@@ -1,0 +1,273 @@
+// Package apcache is an adaptive-precision approximate caching library, a
+// from-scratch reproduction of Olston, Loo and Widom, "Adaptive Precision
+// Setting for Cached Approximate Values" (ACM SIGMOD 2001).
+//
+// Numeric source values are cached as intervals [L, H] that are always valid
+// (they contain the exact value). The precision of each cached interval —
+// its width — is set adaptively: the source widens an interval whose value
+// keeps escaping it (value-initiated refreshes) and narrows one that queries
+// keep finding too imprecise (query-initiated refreshes), with probabilities
+// derived from the refresh cost ratio so the width converges to the
+// cost-rate optimum without workload monitoring.
+//
+// Three deployment shapes are provided:
+//
+//   - Store: an in-process source + cache pair for library use.
+//   - Server/Client (via Serve and Dial): the same protocol over TCP with a
+//     goroutine per connection.
+//   - the simulator and experiment harness under internal/, driven by
+//     cmd/apcache-sim, which regenerate the paper's performance study.
+package apcache
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+
+	"apcache/internal/cache"
+	"apcache/internal/client"
+	"apcache/internal/core"
+	"apcache/internal/hierarchy"
+	"apcache/internal/interval"
+	"apcache/internal/query"
+	"apcache/internal/server"
+	"apcache/internal/source"
+	"apcache/internal/workload"
+)
+
+// Interval is a closed numeric interval approximation [Lo, Hi].
+type Interval = interval.Interval
+
+// Params carries the algorithm parameters: refresh costs Cvr and Cqr, the
+// adaptivity parameter Alpha, and the thresholds Lambda0/Lambda1.
+type Params = core.Params
+
+// Modes for Params.Mode.
+const (
+	// ModeInterval is the standard interval-approximation setting.
+	ModeInterval = core.ModeInterval
+	// ModeStaleCount specializes the algorithm to stale-value (divergence)
+	// approximations.
+	ModeStaleCount = core.ModeStaleCount
+)
+
+// DefaultParams returns the paper's recommended settings: alpha = 1,
+// lambda0 = epsilon (smallest meaningful width), lambda1 = +Inf.
+func DefaultParams(cvr, cqr, epsilon float64) Params {
+	return core.DefaultParams(cvr, cqr, epsilon)
+}
+
+// AggKind selects a bounded-aggregate query type.
+type AggKind = workload.AggKind
+
+// Aggregate kinds.
+const (
+	Sum = workload.Sum
+	Max = workload.Max
+	Min = workload.Min
+	Avg = workload.Avg
+)
+
+// Query is a bounded-aggregate query over cached values: Kind over Keys with
+// a result-interval width of at most Delta.
+type Query = workload.Query
+
+// Answer is a query result: a bounding interval no wider than the query's
+// Delta, plus the keys that had to be fetched.
+type Answer = query.Answer
+
+// Options configures a Store.
+type Options struct {
+	// Params are the algorithm parameters; zero value gets
+	// DefaultParams(1, 2, 0).
+	Params Params
+	// CacheSize caps the number of cached approximations; 0 means
+	// unlimited growth up to the number of keys.
+	CacheSize int
+	// InitialWidth seeds each new controller (default 1).
+	InitialWidth float64
+	// Seed drives the probabilistic width adjustments (default
+	// deterministic seed 1).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	zero := Params{}
+	if o.Params == zero {
+		o.Params = DefaultParams(1, 2, 0)
+	}
+	if o.InitialWidth == 0 {
+		o.InitialWidth = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Store is an in-process adaptive-precision cache: a source of exact values
+// and a cache of interval approximations wired through the precision-setting
+// algorithm. It is safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	src   *source.Source
+	cache *cache.Cache
+	vir   int
+	qir   int
+	cost  float64
+	prm   Params
+}
+
+const storeCacheID = 0
+
+// NewStore builds a store. It returns an error on invalid parameters.
+func NewStore(opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := opts.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.InitialWidth < 0 || math.IsNaN(opts.InitialWidth) {
+		return nil, fmt.Errorf("apcache: bad InitialWidth %g", opts.InitialWidth)
+	}
+	size := opts.CacheSize
+	if size <= 0 {
+		size = 1 << 20
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	s := &Store{cache: cache.New(size), prm: opts.Params}
+	s.src = source.New(func(cacheID, key int) core.WidthPolicy {
+		return core.NewController(opts.Params, opts.InitialWidth, rng)
+	})
+	return s, nil
+}
+
+// Track registers a key with its initial exact value and caches the first
+// approximation.
+func (s *Store) Track(key int, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.src.SetInitial(key, v)
+	r := s.src.Subscribe(storeCacheID, key)
+	s.cache.Put(r.Key, r.Interval, r.OriginalWidth)
+}
+
+// Set applies an update to a tracked key. If the new value escapes the
+// cached interval a value-initiated refresh fires (cost Cvr) and the
+// approximation is re-centered with an adaptively grown width. It reports
+// whether a refresh fired.
+func (s *Store) Set(key int, v float64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	refreshes := s.src.Set(key, v)
+	for _, r := range refreshes {
+		s.vir++
+		s.cost += s.prm.Cvr
+		s.cache.Put(r.Key, r.Interval, r.OriginalWidth)
+	}
+	return len(refreshes) > 0
+}
+
+// Get returns the cached approximation for key.
+func (s *Store) Get(key int) (Interval, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.Get(key)
+}
+
+// ReadExact performs a query-initiated refresh: it returns the exact value
+// (cost Cqr) and installs a freshly narrowed interval.
+func (s *Store) ReadExact(key int) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.src.Value(key); !ok {
+		return 0, fmt.Errorf("apcache: unknown key %d", key)
+	}
+	return s.readLocked(key), nil
+}
+
+func (s *Store) readLocked(key int) float64 {
+	r := s.src.Read(storeCacheID, key)
+	s.qir++
+	s.cost += s.prm.Cqr
+	s.cache.Put(r.Key, r.Interval, r.OriginalWidth)
+	return r.Value
+}
+
+// Do executes a bounded-aggregate query, fetching exact values as needed to
+// guarantee the precision constraint.
+func (s *Store) Do(q Query) (Answer, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range q.Keys {
+		if _, ok := s.src.Value(k); !ok {
+			return Answer{}, fmt.Errorf("apcache: unknown key %d", k)
+		}
+	}
+	ans := query.Execute(q,
+		func(key int) (Interval, bool) { return s.cache.Get(key) },
+		func(key int) float64 { return s.readLocked(key) })
+	return ans, nil
+}
+
+// StoreStats reports a store's cumulative refresh activity.
+type StoreStats struct {
+	// ValueRefreshes and QueryRefreshes count refreshes by kind.
+	ValueRefreshes, QueryRefreshes int
+	// Cost is the total refresh cost (Cvr and Cqr weighted).
+	Cost float64
+	// Cache snapshots the cache counters.
+	Cache cache.Stats
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		ValueRefreshes: s.vir,
+		QueryRefreshes: s.qir,
+		Cost:           s.cost,
+		Cache:          s.cache.Stats(),
+	}
+}
+
+// Server is a networked source process serving cache clients over TCP.
+type Server = server.Server
+
+// ServerConfig parameterizes Serve.
+type ServerConfig = server.Config
+
+// Serve starts a server on addr ("host:port", port 0 picks a free one) and
+// returns it with its bound address.
+func Serve(addr string, cfg ServerConfig) (*Server, net.Addr, error) {
+	srv := server.New(cfg)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, bound, nil
+}
+
+// Client is a networked approximate cache connected to a Server.
+type Client = client.Client
+
+// Dial connects a cache of the given capacity to a server.
+func Dial(addr string, cacheSize int) (*Client, error) {
+	return client.Dial(addr, cacheSize)
+}
+
+// Hierarchy is a multi-level cache chain over one source (the paper's
+// Section 5 future-work direction): each level runs its own adaptive width
+// controller, updates propagate upward only as far as they invalidate, and
+// queries descend only as far as their precision constraint requires.
+type Hierarchy = hierarchy.Hierarchy
+
+// HierarchyConfig parameterizes NewHierarchy.
+type HierarchyConfig = hierarchy.Config
+
+// NewHierarchy builds a multi-level cache chain.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	return hierarchy.New(cfg)
+}

@@ -1,0 +1,216 @@
+package apcache
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := NewStore(Options{
+		Params:       Params{Cvr: 1, Cqr: 2, Alpha: 1, Lambda0: 0, Lambda1: math.Inf(1)},
+		InitialWidth: 10,
+	})
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	return s
+}
+
+func TestStoreTrackAndGet(t *testing.T) {
+	s := newStore(t)
+	s.Track(1, 100)
+	iv, ok := s.Get(1)
+	if !ok || !iv.Valid(100) {
+		t.Fatalf("Get(1) = %v, %v", iv, ok)
+	}
+	if iv.Width() != 10 {
+		t.Errorf("width %g, want 10", iv.Width())
+	}
+}
+
+func TestStoreSetRefreshesOnEscape(t *testing.T) {
+	s := newStore(t)
+	s.Track(1, 100)
+	if s.Set(1, 104) {
+		t.Errorf("in-interval update refreshed")
+	}
+	if !s.Set(1, 200) {
+		t.Errorf("escape did not refresh")
+	}
+	iv, _ := s.Get(1)
+	if !iv.Valid(200) {
+		t.Errorf("interval %v invalid after refresh", iv)
+	}
+	st := s.Stats()
+	if st.ValueRefreshes != 1 || st.Cost != 1 {
+		t.Errorf("stats %+v, want 1 VIR cost 1", st)
+	}
+}
+
+func TestStoreReadExact(t *testing.T) {
+	s := newStore(t)
+	s.Track(1, 42)
+	v, err := s.ReadExact(1)
+	if err != nil || v != 42 {
+		t.Fatalf("ReadExact = %g, %v", v, err)
+	}
+	st := s.Stats()
+	if st.QueryRefreshes != 1 || st.Cost != 2 {
+		t.Errorf("stats %+v, want 1 QIR cost 2", st)
+	}
+	if _, err := s.ReadExact(99); err == nil {
+		t.Errorf("ReadExact of unknown key succeeded")
+	}
+}
+
+func TestStoreQuery(t *testing.T) {
+	s := newStore(t)
+	for k, v := range []float64{10, 20, 30} {
+		s.Track(k, v)
+	}
+	ans, err := s.Do(Query{Kind: Sum, Keys: []int{0, 1, 2}, Delta: 100})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if !ans.Result.Valid(60) {
+		t.Errorf("result %v missing 60", ans.Result)
+	}
+	ans, err = s.Do(Query{Kind: Max, Keys: []int{0, 1, 2}, Delta: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Result.IsExact() || ans.Result.Lo != 30 {
+		t.Errorf("MAX result %v, want [30, 30]", ans.Result)
+	}
+	if _, err := s.Do(Query{Kind: Sum, Keys: []int{0, 9}, Delta: 0}); err == nil {
+		t.Errorf("query over unknown key succeeded")
+	}
+}
+
+func TestStoreAdaptsWidth(t *testing.T) {
+	s := newStore(t)
+	s.Track(1, 0)
+	// Repeated exact reads narrow the interval.
+	for i := 0; i < 4; i++ {
+		if _, err := s.ReadExact(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	iv, _ := s.Get(1)
+	if iv.Width() >= 10 {
+		t.Errorf("width %g did not shrink under read pressure", iv.Width())
+	}
+	// Repeated escapes widen it again.
+	v := 0.0
+	for i := 0; i < 6; i++ {
+		v += 1000
+		s.Set(1, v)
+	}
+	iv, _ = s.Get(1)
+	if iv.Width() <= 10 {
+		t.Errorf("width %g did not grow under update pressure", iv.Width())
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := newStore(t)
+	for k := 0; k < 4; k++ {
+		s.Track(k, 0)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Set(g, float64(i*7))
+				s.Get(g)
+				if i%10 == 0 {
+					if _, err := s.ReadExact(g); err != nil {
+						t.Errorf("ReadExact: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestNewStoreValidation(t *testing.T) {
+	if _, err := NewStore(Options{Params: Params{Cvr: -1, Cqr: 1}}); err == nil {
+		t.Errorf("invalid params accepted")
+	}
+	if _, err := NewStore(Options{InitialWidth: math.NaN()}); err == nil {
+		t.Errorf("NaN width accepted")
+	}
+	// Zero options get defaults.
+	s, err := NewStore(Options{})
+	if err != nil {
+		t.Fatalf("zero options rejected: %v", err)
+	}
+	s.Track(0, 1)
+	if _, ok := s.Get(0); !ok {
+		t.Errorf("default store does not cache")
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams(1, 2, 5)
+	if p.Alpha != 1 || p.Lambda0 != 5 || !math.IsInf(p.Lambda1, 1) {
+		t.Errorf("DefaultParams = %+v", p)
+	}
+}
+
+func TestServeAndDial(t *testing.T) {
+	srv, addr, err := Serve("127.0.0.1:0", ServerConfig{
+		Params:       DefaultParams(1, 2, 0),
+		InitialWidth: 8,
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	srv.SetInitial(0, 50)
+	c, err := Dial(addr.String(), 16)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Subscribe(0); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	iv, ok := c.Get(0)
+	if !ok || !iv.Valid(50) {
+		t.Errorf("Get = %v, %v", iv, ok)
+	}
+}
+
+// ExampleStore demonstrates the embedded single-process API.
+func ExampleStore() {
+	store, err := NewStore(Options{
+		Params:       DefaultParams(1, 2, 0.01),
+		InitialWidth: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	store.Track(0, 20) // cached as [18, 22]
+
+	// Updates inside the interval are free; escapes refresh it.
+	store.Set(0, 21)
+
+	// A loose query is answered from the cache alone.
+	ans, _ := store.Do(Query{Kind: Sum, Keys: []int{0}, Delta: 10})
+	fmt.Println("refreshes needed:", len(ans.Refreshed))
+
+	// An exact query fetches the value.
+	ans, _ = store.Do(Query{Kind: Sum, Keys: []int{0}, Delta: 0})
+	fmt.Println("exact answer:", ans.Result.Lo)
+	// Output:
+	// refreshes needed: 0
+	// exact answer: 21
+}

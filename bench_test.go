@@ -1,0 +1,183 @@
+package apcache
+
+// This file is the benchmark entry point for the paper reproduction: one
+// Benchmark per table/figure of the SIGMOD 2001 evaluation (each iteration
+// executes the registered experiment in quick mode and reports its headline
+// metric), plus micro-benchmarks of the core data structures.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Full-fidelity experiment output (paper-scale durations) comes from:
+//
+//	go run ./cmd/apcache-sim -all
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"apcache/internal/bench"
+	"apcache/internal/cache"
+	"apcache/internal/core"
+	"apcache/internal/interval"
+	"apcache/internal/netproto"
+	"apcache/internal/query"
+	"apcache/internal/workload"
+)
+
+// runExperiment executes a registered experiment once per iteration.
+func runExperiment(b *testing.B, id string) {
+	e, ok := bench.Get(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(bench.Options{Quick: true, Seed: 42})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Tables) == 0 && len(rep.Charts) == 0 {
+			b.Fatalf("%s: empty report", id)
+		}
+	}
+}
+
+// One benchmark per paper artifact (see DESIGN.md section 4).
+
+func BenchmarkFig2(b *testing.B)             { runExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)             { runExperiment(b, "fig3") }
+func BenchmarkConvergence(b *testing.B)      { runExperiment(b, "conv") }
+func BenchmarkFig45(b *testing.B)            { runExperiment(b, "fig45") }
+func BenchmarkFig6(b *testing.B)             { runExperiment(b, "fig6") }
+func BenchmarkFig789(b *testing.B)           { runExperiment(b, "fig789") }
+func BenchmarkSigmaSensitivity(b *testing.B) { runExperiment(b, "sigma") }
+func BenchmarkMaxQueries(b *testing.B)       { runExperiment(b, "maxq") }
+func BenchmarkFig1011(b *testing.B)          { runExperiment(b, "fig1011") }
+func BenchmarkFig1213(b *testing.B)          { runExperiment(b, "fig1213") }
+func BenchmarkFig1415(b *testing.B)          { runExperiment(b, "fig1415") }
+func BenchmarkVariants(b *testing.B)         { runExperiment(b, "variants") }
+func BenchmarkAblation(b *testing.B)         { runExperiment(b, "ablation") }
+
+// --- micro-benchmarks ---
+
+func BenchmarkControllerRefresh(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := core.NewController(core.Params{Cvr: 1, Cqr: 2, Alpha: 1, Lambda1: math.Inf(1)}, 4, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			c.OnRefresh(core.ValueInitiated)
+		} else {
+			c.OnRefresh(core.QueryInitiated)
+		}
+	}
+}
+
+func BenchmarkIntervalSum(b *testing.B) {
+	ivs := make([]interval.Interval, 10)
+	for i := range ivs {
+		ivs[i] = interval.Centered(float64(i), 2)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = interval.SumAll(ivs)
+	}
+}
+
+func BenchmarkCachePutGet(b *testing.B) {
+	c := cache.New(64)
+	iv := interval.Centered(0, 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		key := i % 128 // half the keys fight for space
+		c.Put(key, iv, float64(i%97))
+		c.Get(key)
+	}
+}
+
+func BenchmarkQuerySum(b *testing.B) {
+	cached := map[int]interval.Interval{}
+	exact := map[int]float64{}
+	for k := 0; k < 10; k++ {
+		exact[k] = float64(k)
+		cached[k] = interval.Centered(float64(k), 4)
+	}
+	q := workload.Query{Kind: workload.Sum, Keys: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, Delta: 25}
+	get := func(key int) (interval.Interval, bool) { iv, ok := cached[key]; return iv, ok }
+	fetch := func(key int) float64 { return exact[key] }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = query.Execute(q, get, fetch)
+	}
+}
+
+func BenchmarkQueryMaxExact(b *testing.B) {
+	cached := map[int]interval.Interval{}
+	exact := map[int]float64{}
+	for k := 0; k < 10; k++ {
+		exact[k] = float64(k * 10)
+		cached[k] = interval.Centered(float64(k*10), 4)
+	}
+	q := workload.Query{Kind: workload.Max, Keys: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, Delta: 0}
+	get := func(key int) (interval.Interval, bool) { iv, ok := cached[key]; return iv, ok }
+	fetch := func(key int) float64 { return exact[key] }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = query.Execute(q, get, fetch)
+	}
+}
+
+func BenchmarkProtoEncodeDecode(b *testing.B) {
+	msg := &netproto.Refresh{ID: 1, Key: 7, Kind: netproto.KindValueInitiated,
+		Value: 1.5, Lo: 1, Hi: 2, OriginalWidth: 1}
+	b.ReportAllocs()
+	var buf sliceBuf
+	for i := 0; i < b.N; i++ {
+		buf.b = buf.b[:0]
+		if err := netproto.Write(&buf, msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := netproto.ReadMsg(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sliceBuf is a minimal read/write buffer avoiding bytes.Buffer reset costs.
+type sliceBuf struct {
+	b []byte
+	r int
+}
+
+func (s *sliceBuf) Write(p []byte) (int, error) {
+	if len(s.b) == 0 {
+		s.r = 0
+	}
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+func (s *sliceBuf) Read(p []byte) (int, error) {
+	n := copy(p, s.b[s.r:])
+	s.r += n
+	return n, nil
+}
+
+func BenchmarkStoreSet(b *testing.B) {
+	s, err := NewStore(Options{InitialWidth: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := 0; k < 16; k++ {
+		s.Track(k, 0)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Set(i%16, rng.Float64()*100)
+	}
+}

@@ -1,0 +1,92 @@
+// Command apcache-client connects to an apcache-server, subscribes to its
+// keys, and runs the paper's bounded-aggregate query workload against the
+// local approximate cache, reporting refresh counts and effective cost.
+//
+// Usage:
+//
+//	apcache-client -addr 127.0.0.1:7070 -keys 50 -tq 1s -davg 100 -queries 100
+package main
+
+import (
+	"flag"
+	"log"
+	"math/rand"
+	"time"
+
+	"apcache/internal/client"
+	"apcache/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "server address")
+		keys     = flag.Int("keys", 50, "number of keys hosted by the server")
+		perQuery = flag.Int("perquery", 10, "keys touched per query")
+		cacheSz  = flag.Int("cache", 0, "cache capacity (0 = all keys)")
+		tq       = flag.Duration("tq", time.Second, "query period")
+		davg     = flag.Float64("davg", 100, "average precision constraint")
+		sigma    = flag.Float64("sigma", 1, "precision constraint variation in [0,1]")
+		queries  = flag.Int("queries", 100, "number of queries to run (0 = forever)")
+		useMax   = flag.Bool("max", false, "run MAX queries instead of SUM")
+		cvr      = flag.Float64("cvr", 1, "value-initiated refresh cost (for reporting)")
+		cqr      = flag.Float64("cqr", 2, "query-initiated refresh cost (for reporting)")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	size := *cacheSz
+	if size <= 0 {
+		size = *keys
+	}
+	c, err := client.Dial(*addr, size)
+	if err != nil {
+		log.Fatalf("apcache-client: %v", err)
+	}
+	defer c.Close()
+	for k := 0; k < *keys; k++ {
+		if err := c.Subscribe(k); err != nil {
+			log.Fatalf("apcache-client: subscribe %d: %v", k, err)
+		}
+	}
+	log.Printf("subscribed to %d keys; querying every %v", *keys, *tq)
+
+	kind := workload.Sum
+	if *useMax {
+		kind = workload.Max
+	}
+	gen := &workload.QueryGen{
+		Kinds:        []workload.AggKind{kind},
+		NumSources:   *keys,
+		KeysPerQuery: *perQuery,
+		Constraints:  workload.ConstraintDist{Avg: *davg, Sigma: *sigma},
+		RNG:          rand.New(rand.NewSource(*seed)),
+	}
+	if err := gen.Validate(); err != nil {
+		log.Fatalf("apcache-client: %v", err)
+	}
+
+	start := time.Now()
+	ticker := time.NewTicker(*tq)
+	defer ticker.Stop()
+	for n := 0; *queries == 0 || n < *queries; n++ {
+		<-ticker.C
+		q := gen.Next()
+		ans, err := c.Query(q)
+		if err != nil {
+			log.Fatalf("apcache-client: query: %v", err)
+		}
+		if (n+1)%10 == 0 {
+			st := c.Stats()
+			elapsed := time.Since(start).Seconds()
+			cost := float64(st.ValueRefreshes)*(*cvr) + float64(st.QueryRefreshes)*(*cqr)
+			log.Printf("q#%d %s(%d keys) delta=%.3g -> %v (fetched %d); VIR=%d QIR=%d cost-rate=%.4g/s",
+				n+1, q.Kind, len(q.Keys), q.Delta, ans.Result, len(ans.Refreshed),
+				st.ValueRefreshes, st.QueryRefreshes, cost/elapsed)
+		}
+	}
+	st := c.Stats()
+	cost := float64(st.ValueRefreshes)*(*cvr) + float64(st.QueryRefreshes)*(*cqr)
+	log.Printf("done: VIR=%d QIR=%d total-cost=%.4g hit-rate=%.2f",
+		st.ValueRefreshes, st.QueryRefreshes, cost,
+		float64(st.Cache.Hits)/float64(st.Cache.Hits+st.Cache.Misses+1))
+}

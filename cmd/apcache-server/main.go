@@ -1,0 +1,106 @@
+// Command apcache-server hosts numeric source values over TCP, feeding them
+// with synthetic updates (random walks or a recorded trace) and serving
+// approximate-cache clients with adaptively sized interval approximations.
+//
+// Usage:
+//
+//	apcache-server -addr :7070 -keys 50                # random walks
+//	apcache-server -addr :7070 -trace trace.csv        # trace playback
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"os/signal"
+	"time"
+
+	"apcache/internal/core"
+	"apcache/internal/server"
+	"apcache/internal/trace"
+	"apcache/internal/workload"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		keys      = flag.Int("keys", 50, "number of source values (random-walk mode)")
+		traceFile = flag.String("trace", "", "CSV trace to play back instead of random walks")
+		stepLo    = flag.Float64("steplo", 0.5, "random walk minimum step")
+		stepHi    = flag.Float64("stephi", 1.5, "random walk maximum step")
+		period    = flag.Duration("period", time.Second, "update period")
+		cvr       = flag.Float64("cvr", 1, "value-initiated refresh cost")
+		cqr       = flag.Float64("cqr", 2, "query-initiated refresh cost")
+		alpha     = flag.Float64("alpha", 1, "adaptivity parameter")
+		lambda0   = flag.Float64("lambda0", 0, "lower width threshold")
+		width     = flag.Float64("width", 10, "initial interval width")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Params: core.Params{
+			Cvr: *cvr, Cqr: *cqr, Alpha: *alpha,
+			Lambda0: *lambda0, Lambda1: math.Inf(1),
+		},
+		InitialWidth: *width,
+		Seed:         *seed,
+		Logf:         log.Printf,
+	})
+
+	var updates []workload.UpdateSource
+	rng := rand.New(rand.NewSource(*seed))
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatalf("apcache-server: %v", err)
+		}
+		tr, err := trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("apcache-server: %v", err)
+		}
+		for h := 0; h < tr.Hosts(); h++ {
+			updates = append(updates, workload.NewPlayback(tr.Host(h)))
+		}
+	} else {
+		for k := 0; k < *keys; k++ {
+			updates = append(updates, workload.NewRandomWalk(0, *stepLo, *stepHi, rng))
+		}
+	}
+	for k, u := range updates {
+		srv.SetInitial(k, u.Value())
+	}
+
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("apcache-server: %v", err)
+	}
+	log.Printf("serving %d keys on %s (update period %v)", len(updates), bound, *period)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	ticker := time.NewTicker(*period)
+	defer ticker.Stop()
+	var pushes, ticks int
+	for {
+		select {
+		case <-ticker.C:
+			ticks++
+			for k, u := range updates {
+				pushes += srv.Set(k, u.Step())
+			}
+			if ticks%60 == 0 {
+				log.Printf("t=%ds clients=%d refreshes-pushed=%d", ticks, srv.Clients(), pushes)
+			}
+		case <-stop:
+			fmt.Println()
+			log.Printf("shutting down: %d updates applied, %d refreshes pushed", ticks*len(updates), pushes)
+			srv.Close()
+			return
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command tracegen generates the synthetic network-monitoring traces that
+// substitute for the Paxson/Floyd wide-area traffic data (see
+// internal/trace) and writes them as CSV.
+//
+// Usage:
+//
+//	tracegen -hosts 50 -duration 7200 -seed 1 -o trace.csv
+//	tracegen -top 50 ...     # keep only the most trafficked hosts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"apcache/internal/trace"
+)
+
+func main() {
+	var (
+		hosts    = flag.Int("hosts", 50, "number of hosts to simulate")
+		duration = flag.Int("duration", 7200, "trace length in seconds")
+		window   = flag.Int("window", 60, "moving-average window in seconds")
+		maxRate  = flag.Float64("maxrate", trace.DefaultMaxRate, "peak traffic level (bytes/second)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		top      = flag.Int("top", 0, "keep only the N most trafficked hosts (0 = all)")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	cfg := trace.Config{
+		Hosts:    *hosts,
+		Duration: *duration,
+		Window:   *window,
+		MaxRate:  *maxRate,
+		Seed:     *seed,
+	}
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	if *top > 0 {
+		if *top > tr.Hosts() {
+			fmt.Fprintf(os.Stderr, "tracegen: -top %d exceeds -hosts %d\n", *top, *hosts)
+			os.Exit(2)
+		}
+		tr = tr.TopN(*top)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}

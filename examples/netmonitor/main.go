@@ -1,0 +1,98 @@
+// Netmonitor reproduces the paper's motivating application: a monitoring
+// station caches per-host traffic levels as interval approximations and
+// answers "total traffic over these hosts" (SUM) and "most loaded host"
+// (MAX) queries with precision guarantees, while the hosts' levels replay a
+// bursty wide-area traffic trace.
+//
+// The example runs the same scenario twice — once with the upper threshold
+// lambda1 = lambda0 (exact caching special case) and once with lambda1 = inf
+// (full adaptive precision) — and prints the refresh-cost comparison, the
+// shape behind Figures 7-11 of the paper.
+//
+// Run with:
+//
+//	go run ./examples/netmonitor
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"apcache"
+	"apcache/internal/trace"
+)
+
+const (
+	hosts    = 20
+	duration = 900 // seconds of trace to replay
+	tq       = 1   // seconds between queries
+	davg     = 50_000
+	cvr, cqr = 1.0, 2.0
+)
+
+func main() {
+	tr, err := trace.Generate(trace.Config{
+		Hosts: hosts * 2, Duration: duration, Window: 60,
+		MaxRate: trace.DefaultMaxRate, Seed: 11,
+	})
+	if err != nil {
+		panic(err)
+	}
+	top := tr.TopN(hosts)
+
+	fmt.Printf("replaying %d hosts x %d seconds of synthetic wide-area traffic\n\n", hosts, duration)
+	for _, setting := range []struct {
+		name    string
+		lambda1 float64
+	}{
+		{"lambda1 = lambda0 (exact-or-nothing)", 1000},
+		{"lambda1 = inf (adaptive precision)", math.Inf(1)},
+	} {
+		cost := runScenario(top, setting.lambda1)
+		fmt.Printf("%-40s cost rate %.4g per second\n", setting.name, cost)
+	}
+	fmt.Println("\nwith davg > 0 the adaptive-precision setting should win (paper Figs 10-11)")
+}
+
+// runScenario replays the trace against one cache configuration and returns
+// the average refresh cost per simulated second.
+func runScenario(tr *trace.Trace, lambda1 float64) float64 {
+	store, err := apcache.NewStore(apcache.Options{
+		Params: apcache.Params{
+			Cvr: cvr, Cqr: cqr, Alpha: 1,
+			Lambda0: 1000, Lambda1: lambda1,
+		},
+		InitialWidth: 10_000,
+		Seed:         3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for h := 0; h < tr.Hosts(); h++ {
+		store.Track(h, tr.Host(h)[0])
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	queries := 0
+	for t := 1; t < tr.Duration(); t++ {
+		for h := 0; h < tr.Hosts(); h++ {
+			store.Set(h, tr.Host(h)[t])
+		}
+		if t%tq == 0 {
+			// Alternate SUM and MAX over 10 random hosts.
+			keys := rng.Perm(tr.Hosts())[:10]
+			kind := apcache.Sum
+			if queries%2 == 1 {
+				kind = apcache.Max
+			}
+			delta := davg * (0.5 + rng.Float64()) // sigma = 0.5
+			if _, err := store.Do(apcache.Query{Kind: kind, Keys: keys, Delta: delta}); err != nil {
+				panic(err)
+			}
+			queries++
+		}
+	}
+	st := store.Stats()
+	return st.Cost / float64(tr.Duration())
+}

@@ -1,0 +1,76 @@
+// Quickstart: cache a handful of numeric values as adaptive-precision
+// intervals, watch the widths adapt to update and query pressure, and run
+// bounded-aggregate queries against the cache.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"apcache"
+)
+
+func main() {
+	store, err := apcache.NewStore(apcache.Options{
+		// Cvr=1 (update push), Cqr=2 (request+response), lambda0=0.01.
+		Params:       apcache.DefaultParams(1, 2, 0.01),
+		InitialWidth: 4,
+		Seed:         7,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Track three sensors starting at known values.
+	for key, v := range []float64{20, 50, 80} {
+		store.Track(key, v)
+	}
+
+	fmt.Println("-- initial approximations --")
+	for key := 0; key < 3; key++ {
+		iv, _ := store.Get(key)
+		fmt.Printf("sensor %d cached as %v (width %.3g)\n", key, iv, iv.Width())
+	}
+
+	// Sensor 0 fluctuates wildly: its interval should widen so that most
+	// updates stay inside it.
+	rng := rand.New(rand.NewSource(1))
+	v := 20.0
+	for i := 0; i < 200; i++ {
+		v += rng.Float64()*10 - 5
+		store.Set(0, v)
+	}
+	// Sensor 2 is queried for exact values repeatedly: its interval should
+	// narrow.
+	for i := 0; i < 6; i++ {
+		if _, err := store.ReadExact(2); err != nil {
+			panic(err)
+		}
+	}
+
+	fmt.Println("\n-- after update pressure on 0 and query pressure on 2 --")
+	for key := 0; key < 3; key++ {
+		iv, _ := store.Get(key)
+		fmt.Printf("sensor %d cached as %v (width %.3g)\n", key, iv, iv.Width())
+	}
+
+	// Bounded-aggregate queries: the cache answers as much as the
+	// precision constraint allows and fetches the rest.
+	loose, _ := store.Do(apcache.Query{Kind: apcache.Sum, Keys: []int{0, 1, 2}, Delta: 100})
+	fmt.Printf("\nSUM with delta=100: %v, fetched %d values\n", loose.Result, len(loose.Refreshed))
+
+	tight, _ := store.Do(apcache.Query{Kind: apcache.Sum, Keys: []int{0, 1, 2}, Delta: 1})
+	fmt.Printf("SUM with delta=1:   %v, fetched %d values\n", tight.Result, len(tight.Refreshed))
+
+	exactMax, _ := store.Do(apcache.Query{Kind: apcache.Max, Keys: []int{0, 1, 2}, Delta: 0})
+	fmt.Printf("exact MAX:          %v, fetched %d values (interval endpoints eliminate candidates)\n",
+		exactMax.Result, len(exactMax.Refreshed))
+
+	st := store.Stats()
+	fmt.Printf("\ntotals: %d value-initiated, %d query-initiated refreshes, cost %.4g\n",
+		st.ValueRefreshes, st.QueryRefreshes, st.Cost)
+}

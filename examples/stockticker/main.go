@@ -1,0 +1,81 @@
+// Stockticker runs the full networked deployment in one process: a TCP
+// server hosts fluctuating "prices", pushes value-initiated refreshes when a
+// price escapes its cached interval, and a cache client values a portfolio
+// (a SUM query with a precision constraint) against its local intervals,
+// fetching exact prices only when the cached precision is insufficient.
+//
+// Run with:
+//
+//	go run ./examples/stockticker
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"apcache"
+)
+
+const (
+	symbols   = 8
+	rounds    = 20
+	portfolio = 5 // symbols per valuation query
+)
+
+func main() {
+	srv, addr, err := apcache.Serve("127.0.0.1:0", apcache.ServerConfig{
+		Params:       apcache.DefaultParams(1, 2, 0.01),
+		InitialWidth: 2,
+		Seed:         1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+
+	// Seed prices.
+	rng := rand.New(rand.NewSource(2))
+	prices := make([]float64, symbols)
+	for k := range prices {
+		prices[k] = 50 + rng.Float64()*100
+		srv.SetInitial(k, prices[k])
+	}
+
+	cli, err := apcache.Dial(addr.String(), symbols)
+	if err != nil {
+		panic(err)
+	}
+	defer cli.Close()
+	for k := 0; k < symbols; k++ {
+		if err := cli.Subscribe(k); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("ticker serving %d symbols on %s\n\n", symbols, addr)
+
+	// Market loop: prices jitter every tick; every few ticks the client
+	// values a random portfolio with a precision constraint of $2.
+	for round := 0; round < rounds; round++ {
+		for tick := 0; tick < 5; tick++ {
+			for k := range prices {
+				prices[k] += rng.NormFloat64() * 0.8
+				srv.Set(k, prices[k])
+			}
+			time.Sleep(2 * time.Millisecond) // let pushes propagate
+		}
+		keys := rng.Perm(symbols)[:portfolio]
+		ans, err := cli.Query(apcache.Query{Kind: apcache.Sum, Keys: keys, Delta: 2})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("round %2d: portfolio %v valued at $%.2f +/- $%.2f (fetched %d of %d quotes)\n",
+			round+1, keys, ans.Estimate(), ans.Result.Width()/2, len(ans.Refreshed), portfolio)
+	}
+
+	st := cli.Stats()
+	fmt.Printf("\nrefreshes: %d pushed by server (value-initiated), %d fetched by client (query-initiated)\n",
+		st.ValueRefreshes, st.QueryRefreshes)
+	fmt.Printf("cache hit rate: %.0f%%\n",
+		100*float64(st.Cache.Hits)/float64(st.Cache.Hits+st.Cache.Misses))
+}

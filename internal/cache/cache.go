@@ -1,0 +1,176 @@
+// Package cache implements the client-side store of interval approximations.
+//
+// A cache holds up to kappa approximations. When space runs out it evicts
+// the entry with the widest original (pre-threshold) width, "since they are
+// the least precise approximations and thus contribute least to overall
+// cache precision" (Section 2). Eviction decisions use original widths, not
+// the 0/Inf widths produced by the thresholds, and evictions are silent: the
+// source is not notified, so it may keep refreshing an evicted entry, at
+// which point the cache decides afresh whether the refreshed approximation
+// is worth (re)admitting.
+package cache
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"apcache/internal/interval"
+)
+
+// Entry is one cached approximation.
+type Entry struct {
+	// Key identifies the source value.
+	Key int
+	// Interval is the effective approximation served to queries.
+	Interval interval.Interval
+	// OriginalWidth is the source's pre-threshold width, the eviction rank.
+	OriginalWidth float64
+}
+
+// Cache stores up to a fixed number of approximations. It is not safe for
+// concurrent use; the networked client wraps it with a mutex.
+type Cache struct {
+	capacity int
+	entries  map[int]*Entry
+
+	hits, misses   int
+	admits, evicts int
+	rejects        int
+}
+
+// New returns a cache holding at most capacity entries. Capacity must be
+// positive.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: capacity must be positive, got %d", capacity))
+	}
+	return &Cache{capacity: capacity, entries: make(map[int]*Entry, capacity)}
+}
+
+// Capacity returns the maximum number of entries.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the current number of entries.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Get returns the approximation for key. The second result is false when
+// the key is not cached (queries then treat it as unbounded).
+func (c *Cache) Get(key int) (interval.Interval, bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return interval.Interval{}, false
+	}
+	c.hits++
+	return e.Interval, true
+}
+
+// Peek is Get without touching the hit/miss statistics.
+func (c *Cache) Peek(key int) (interval.Interval, bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		return interval.Interval{}, false
+	}
+	return e.Interval, true
+}
+
+// Contains reports whether key is cached without touching statistics.
+func (c *Cache) Contains(key int) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Put installs an approximation for key. If the key is already present its
+// entry is replaced in place. Otherwise, if the cache is full, the candidate
+// competes with the residents: the widest original width loses — possibly
+// the candidate itself, which is then not admitted (Section 2: "the modified
+// approximation may be cached and another evicted, or the modified
+// approximation may still be the widest and remain uncached").
+//
+// Put returns the key that was evicted to make room, or (0, false) if
+// nothing was evicted (including the case where the candidate was rejected —
+// check Admitted via Contains if needed).
+func (c *Cache) Put(key int, iv interval.Interval, originalWidth float64) (evicted int, didEvict bool) {
+	if math.IsNaN(originalWidth) || originalWidth < 0 {
+		panic(fmt.Sprintf("cache: bad original width %g", originalWidth))
+	}
+	if e, ok := c.entries[key]; ok {
+		e.Interval = iv
+		e.OriginalWidth = originalWidth
+		return 0, false
+	}
+	if len(c.entries) < c.capacity {
+		c.entries[key] = &Entry{Key: key, Interval: iv, OriginalWidth: originalWidth}
+		c.admits++
+		return 0, false
+	}
+	// Full: find the widest resident.
+	widestKey, widest := 0, math.Inf(-1)
+	for k, e := range c.entries {
+		if e.OriginalWidth > widest || (e.OriginalWidth == widest && k < widestKey) {
+			widestKey, widest = k, e.OriginalWidth
+		}
+	}
+	if originalWidth >= widest {
+		// The candidate is at least as wide as every resident: reject it.
+		c.rejects++
+		return 0, false
+	}
+	delete(c.entries, widestKey)
+	c.evicts++
+	c.entries[key] = &Entry{Key: key, Interval: iv, OriginalWidth: originalWidth}
+	c.admits++
+	return widestKey, true
+}
+
+// Drop removes key if present, returning whether it was cached. Drop models
+// an explicit invalidation; per the paper no source notification occurs.
+func (c *Cache) Drop(key int) bool {
+	if _, ok := c.entries[key]; !ok {
+		return false
+	}
+	delete(c.entries, key)
+	c.evicts++
+	return true
+}
+
+// Keys returns the cached keys in ascending order.
+func (c *Cache) Keys() []int {
+	keys := make([]int, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Entries returns copies of all entries ordered by ascending key.
+func (c *Cache) Entries() []Entry {
+	out := make([]Entry, 0, len(c.entries))
+	for _, k := range c.Keys() {
+		out = append(out, *c.entries[k])
+	}
+	return out
+}
+
+// Stats reports the cache's cumulative counters.
+type Stats struct {
+	Hits, Misses   int
+	Admits, Evicts int
+	Rejects        int
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits, Misses: c.misses, Admits: c.admits, Evicts: c.evicts, Rejects: c.rejects}
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no lookups.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

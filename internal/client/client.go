@@ -1,0 +1,292 @@
+// Package client implements the cache side of the networked deployment: it
+// maintains a local store of interval approximations fed by server pushes
+// (value-initiated refreshes), fetches exact values on demand
+// (query-initiated refreshes), and executes bounded-aggregate queries
+// against the combination, mirroring the simulator's cache but over TCP.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"apcache/internal/cache"
+	"apcache/internal/interval"
+	"apcache/internal/netproto"
+	"apcache/internal/query"
+	"apcache/internal/workload"
+)
+
+// ErrClosed is returned by operations on a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// Stats counts the refreshes a client has processed.
+type Stats struct {
+	// ValueRefreshes counts server pushes (value-initiated).
+	ValueRefreshes int
+	// QueryRefreshes counts exact reads (query-initiated).
+	QueryRefreshes int
+	// Cache snapshots the local store's counters.
+	Cache cache.Stats
+}
+
+// Client is a networked approximate cache. All methods are safe for
+// concurrent use.
+type Client struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	store   *cache.Cache
+	pending map[uint64]chan *netproto.Refresh
+	errs    map[uint64]chan string
+	nextID  uint64
+	closed  bool
+	vir     int
+	qir     int
+
+	readErr  error
+	readDone chan struct{}
+
+	timeout time.Duration
+}
+
+// Dial connects to a server and returns a cache of the given capacity.
+func Dial(addr string, cacheSize int) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:     conn,
+		store:    cache.New(cacheSize),
+		pending:  make(map[uint64]chan *netproto.Refresh),
+		errs:     make(map[uint64]chan string),
+		readDone: make(chan struct{}),
+		timeout:  10 * time.Second,
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// SetTimeout adjusts the per-request timeout (default 10s).
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
+// readLoop dispatches inbound frames: responses to waiting requests, pushes
+// into the local store.
+func (c *Client) readLoop() {
+	defer close(c.readDone)
+	r := bufio.NewReader(c.conn)
+	for {
+		msg, err := netproto.ReadMsg(r)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.closed = true
+			for _, ch := range c.pending {
+				close(ch)
+			}
+			for _, ch := range c.errs {
+				close(ch)
+			}
+			c.pending = map[uint64]chan *netproto.Refresh{}
+			c.errs = map[uint64]chan string{}
+			c.mu.Unlock()
+			return
+		}
+		switch m := msg.(type) {
+		case *netproto.Refresh:
+			c.mu.Lock()
+			c.install(m)
+			if m.Kind == netproto.KindValueInitiated {
+				c.vir++
+			}
+			if ch, ok := c.pending[m.ID]; ok {
+				delete(c.pending, m.ID)
+				delete(c.errs, m.ID)
+				c.mu.Unlock()
+				ch <- m
+				continue
+			}
+			c.mu.Unlock()
+		case *netproto.ErrorMsg:
+			c.mu.Lock()
+			if ch, ok := c.errs[m.ID]; ok {
+				delete(c.pending, m.ID)
+				delete(c.errs, m.ID)
+				c.mu.Unlock()
+				ch <- m.Msg
+				continue
+			}
+			c.mu.Unlock()
+		case *netproto.Pong:
+			c.mu.Lock()
+			if ch, ok := c.pending[m.ID]; ok {
+				delete(c.pending, m.ID)
+				delete(c.errs, m.ID)
+				c.mu.Unlock()
+				ch <- nil
+				continue
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// install puts a refresh's interval into the local store. Caller holds mu.
+func (c *Client) install(m *netproto.Refresh) {
+	c.store.Put(int(m.Key), interval.Interval{Lo: m.Lo, Hi: m.Hi}, m.OriginalWidth)
+}
+
+// call sends a request and waits for the matching Refresh/Pong.
+func (c *Client) call(build func(id uint64) netproto.Message) (*netproto.Refresh, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *netproto.Refresh, 1)
+	ech := make(chan string, 1)
+	c.pending[id] = ch
+	c.errs[id] = ech
+	timeout := c.timeout
+	msg := build(id)
+	c.mu.Unlock()
+
+	if err := netproto.Write(c.conn, msg); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		delete(c.errs, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case r, ok := <-ch:
+		if !ok {
+			return nil, c.closeReason()
+		}
+		return r, nil
+	case emsg, ok := <-ech:
+		if !ok {
+			return nil, c.closeReason()
+		}
+		return nil, fmt.Errorf("client: server error: %s", emsg)
+	case <-time.After(timeout):
+		c.mu.Lock()
+		delete(c.pending, id)
+		delete(c.errs, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("client: request timed out after %v", timeout)
+	}
+}
+
+func (c *Client) closeReason() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil {
+		return fmt.Errorf("client: connection lost: %w", c.readErr)
+	}
+	return ErrClosed
+}
+
+// Subscribe registers interest in key; the initial approximation lands in
+// the local store.
+func (c *Client) Subscribe(key int) error {
+	_, err := c.call(func(id uint64) netproto.Message {
+		return &netproto.Subscribe{ID: id, Key: int64(key)}
+	})
+	return err
+}
+
+// Unsubscribe withdraws interest and drops the local entry.
+func (c *Client) Unsubscribe(key int) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.store.Drop(key)
+	c.mu.Unlock()
+	return netproto.Write(c.conn, &netproto.Unsubscribe{Key: int64(key)})
+}
+
+// Get returns the locally cached approximation.
+func (c *Client) Get(key int) (interval.Interval, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.store.Get(key)
+}
+
+// ReadExact fetches the exact value of key from the server — a
+// query-initiated refresh. The accompanying fresh interval is installed
+// locally.
+func (c *Client) ReadExact(key int) (float64, error) {
+	r, err := c.call(func(id uint64) netproto.Message {
+		return &netproto.Read{ID: id, Key: int64(key)}
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.qir++
+	c.mu.Unlock()
+	return r.Value, nil
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	_, err := c.call(func(id uint64) netproto.Message {
+		return &netproto.Ping{ID: id}
+	})
+	return err
+}
+
+// Query executes a bounded-aggregate query against the local cache,
+// fetching exact values from the server as needed to meet q.Delta. It
+// returns the bounding answer and any network error encountered while
+// fetching.
+func (c *Client) Query(q workload.Query) (query.Answer, error) {
+	var fetchErr error
+	ans := query.Execute(q,
+		func(key int) (interval.Interval, bool) { return c.Get(key) },
+		func(key int) float64 {
+			v, err := c.ReadExact(key)
+			if err != nil && fetchErr == nil {
+				fetchErr = err
+			}
+			return v
+		})
+	if fetchErr != nil {
+		return query.Answer{}, fetchErr
+	}
+	return ans, nil
+}
+
+// Stats snapshots the client's counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{ValueRefreshes: c.vir, QueryRefreshes: c.qir, Cache: c.store.Stats()}
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.readDone
+	return err
+}

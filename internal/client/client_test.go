@@ -1,0 +1,431 @@
+// Package client's tests double as the integration tests of the networked
+// deployment: a real server and real clients over loopback TCP.
+package client
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"apcache/internal/core"
+	"apcache/internal/server"
+	"apcache/internal/workload"
+)
+
+func newServer(t *testing.T) (*server.Server, string) {
+	t.Helper()
+	srv := server.New(server.Config{
+		Params:       core.Params{Cvr: 1, Cqr: 2, Alpha: 1, Lambda0: 0, Lambda1: math.Inf(1)},
+		InitialWidth: 10,
+		Seed:         1,
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr.String()
+}
+
+func dial(t *testing.T, addr string, size int) *Client {
+	t.Helper()
+	c, err := Dial(addr, size)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestSubscribeInstallsInterval(t *testing.T) {
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 100)
+	c := dial(t, addr, 10)
+	if err := c.Subscribe(0); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	iv, ok := c.Get(0)
+	if !ok {
+		t.Fatalf("no cached interval after subscribe")
+	}
+	if !iv.Valid(100) {
+		t.Errorf("interval %v invalid for 100", iv)
+	}
+	if iv.Width() != 10 {
+		t.Errorf("width %g, want 10", iv.Width())
+	}
+}
+
+func TestSubscribeUnknownKey(t *testing.T) {
+	_, addr := newServer(t)
+	c := dial(t, addr, 10)
+	if err := c.Subscribe(42); err == nil {
+		t.Fatalf("Subscribe to unknown key succeeded")
+	}
+}
+
+func TestValueInitiatedPush(t *testing.T) {
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 100)
+	c := dial(t, addr, 10)
+	if err := c.Subscribe(0); err != nil {
+		t.Fatal(err)
+	}
+	// In-interval update: no push.
+	if n := srv.Set(0, 104); n != 0 {
+		t.Fatalf("in-interval update pushed %d refreshes", n)
+	}
+	// Escape: exactly one push, eventually visible in the local cache.
+	if n := srv.Set(0, 200); n != 1 {
+		t.Fatalf("escape pushed %d refreshes, want 1", n)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		iv, ok := c.Get(0)
+		if ok && iv.Valid(200) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("push never arrived; cached %v", iv)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := c.Stats()
+	if st.ValueRefreshes != 1 {
+		t.Errorf("client counted %d VIRs, want 1", st.ValueRefreshes)
+	}
+}
+
+func TestReadExact(t *testing.T) {
+	srv, addr := newServer(t)
+	srv.SetInitial(3, 77)
+	c := dial(t, addr, 10)
+	v, err := c.ReadExact(3)
+	if err != nil {
+		t.Fatalf("ReadExact: %v", err)
+	}
+	if v != 77 {
+		t.Errorf("value %g, want 77", v)
+	}
+	// The accompanying interval lands in the cache.
+	iv, ok := c.Get(3)
+	if !ok || !iv.Valid(77) {
+		t.Errorf("interval after read: %v %v", iv, ok)
+	}
+	if c.Stats().QueryRefreshes != 1 {
+		t.Errorf("QIR count %d, want 1", c.Stats().QueryRefreshes)
+	}
+}
+
+func TestReadUnknownKey(t *testing.T) {
+	_, addr := newServer(t)
+	c := dial(t, addr, 10)
+	if _, err := c.ReadExact(9); err == nil {
+		t.Fatalf("ReadExact of unknown key succeeded")
+	}
+}
+
+func TestPing(t *testing.T) {
+	_, addr := newServer(t)
+	c := dial(t, addr, 10)
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+}
+
+func TestQueryThroughNetwork(t *testing.T) {
+	srv, addr := newServer(t)
+	for k, v := range []float64{10, 20, 30} {
+		srv.SetInitial(k, v)
+	}
+	c := dial(t, addr, 10)
+	for k := 0; k < 3; k++ {
+		if err := c.Subscribe(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Loose constraint: answered from cache (3 intervals of width 10 sum
+	// to width 30).
+	ans, err := c.Query(workload.Query{Kind: workload.Sum, Keys: []int{0, 1, 2}, Delta: 50})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(ans.Refreshed) != 0 {
+		t.Errorf("loose query refreshed %v", ans.Refreshed)
+	}
+	if !ans.Result.Valid(60) {
+		t.Errorf("result %v missing true sum 60", ans.Result)
+	}
+	// Exact constraint: everything fetched; answer exact.
+	ans, err = c.Query(workload.Query{Kind: workload.Sum, Keys: []int{0, 1, 2}, Delta: 0})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !ans.Result.IsExact() || ans.Result.Lo != 60 {
+		t.Errorf("exact query result %v, want [60, 60]", ans.Result)
+	}
+}
+
+func TestUnsubscribeStopsPushes(t *testing.T) {
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 0)
+	c := dial(t, addr, 10)
+	if err := c.Subscribe(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unsubscribe(0); err != nil {
+		t.Fatal(err)
+	}
+	// Allow the unsubscribe to land; pushes racing ahead of it may
+	// legitimately re-install the entry, so the contract under test is
+	// only that the server eventually stops pushing.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Set(0, 1e9) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server still pushing after unsubscribe")
+		}
+		time.Sleep(time.Millisecond)
+		srv.SetInitial(0, 0)
+	}
+	// Once quiesced, a further escape generates no refresh.
+	srv.SetInitial(0, 0)
+	if n := srv.Set(0, 1e9); n != 0 {
+		t.Errorf("server pushed %d refreshes after unsubscribe", n)
+	}
+}
+
+func TestMultipleClientsIndependentWidths(t *testing.T) {
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 100)
+	c1 := dial(t, addr, 10)
+	c2 := dial(t, addr, 10)
+	if err := c1.Subscribe(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Subscribe(0); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Clients() != 2 {
+		t.Fatalf("Clients = %d", srv.Clients())
+	}
+	// c1 reads repeatedly: its subscription's width shrinks; c2's stays.
+	for i := 0; i < 3; i++ {
+		if _, err := c1.ReadExact(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	iv1, _ := c1.Get(0)
+	iv2, _ := c2.Get(0)
+	if iv1.Width() >= iv2.Width() {
+		t.Errorf("c1 width %g not narrower than c2 width %g after reads", iv1.Width(), iv2.Width())
+	}
+}
+
+func TestConcurrentReads(t *testing.T) {
+	srv, addr := newServer(t)
+	for k := 0; k < 8; k++ {
+		srv.SetInitial(k, float64(k*10))
+	}
+	c := dial(t, addr, 8)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				v, err := c.ReadExact(g)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v != float64(g*10) {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent read: %v", err)
+	}
+}
+
+func TestUpdatesDuringQueries(t *testing.T) {
+	// Stress: a writer goroutine updates while clients query; intervals
+	// must never yield answers excluding the exact value at fetch time.
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 0)
+	c := dial(t, addr, 4)
+	if err := c.Subscribe(0); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v := 0.0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v += 1
+			srv.Set(0, v)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if _, err := c.ReadExact(0); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestClosedClientErrors(t *testing.T) {
+	_, addr := newServer(t)
+	c := dial(t, addr, 4)
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := c.Subscribe(0); err == nil {
+		t.Errorf("Subscribe after close succeeded")
+	}
+	if _, err := c.ReadExact(0); err == nil {
+		t.Errorf("ReadExact after close succeeded")
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 1)
+	c := dial(t, addr, 4)
+	if err := c.Subscribe(0); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// The next request must fail rather than hang.
+	c.SetTimeout(2 * time.Second)
+	if _, err := c.ReadExact(0); err == nil {
+		t.Errorf("read against closed server succeeded")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 4); err == nil {
+		t.Errorf("Dial to dead port succeeded")
+	}
+}
+
+func TestEndToEndQuerySoundnessAfterChurn(t *testing.T) {
+	// Full-system check: drive real updates through the server while two
+	// clients query concurrently, then quiesce and verify every aggregate
+	// against server-side ground truth.
+	srv, addr := newServer(t)
+	const keys = 12
+	values := make([]float64, keys)
+	for k := 0; k < keys; k++ {
+		values[k] = float64(k * 10)
+		srv.SetInitial(k, values[k])
+	}
+	c1 := dial(t, addr, keys)
+	c2 := dial(t, addr, keys)
+	for k := 0; k < keys; k++ {
+		if err := c1.Subscribe(k); err != nil {
+			t.Fatal(err)
+		}
+		if err := c2.Subscribe(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Churn phase: updates and queries interleave.
+	rng := rand.New(rand.NewSource(13))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wrng := rand.New(rand.NewSource(14))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := wrng.Intn(keys)
+			values[k] += wrng.Float64()*20 - 10
+			srv.Set(k, values[k])
+		}
+	}()
+	for i := 0; i < 30; i++ {
+		q := workload.Query{
+			Kind:  workload.Sum,
+			Keys:  []int{rng.Intn(keys), (rng.Intn(keys-1) + 1 + rng.Intn(keys)) % keys},
+			Delta: rng.Float64() * 100,
+		}
+		if q.Keys[0] == q.Keys[1] {
+			q.Keys = q.Keys[:1]
+		}
+		if _, err := c1.Query(q); err != nil {
+			t.Fatalf("churn query: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiesce: let in-flight pushes drain.
+	time.Sleep(100 * time.Millisecond)
+
+	// Verification phase: no more updates; answers must bound the truth.
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(keys-1) + 1
+		perm := rng.Perm(keys)[:n]
+		kind := []workload.AggKind{workload.Sum, workload.Max, workload.Min, workload.Avg}[trial%4]
+		delta := rng.Float64() * 50
+		cli := c1
+		if trial%2 == 1 {
+			cli = c2
+		}
+		ans, err := cli.Query(workload.Query{Kind: kind, Keys: perm, Delta: delta})
+		if err != nil {
+			t.Fatalf("verify query: %v", err)
+		}
+		var truth float64
+		switch kind {
+		case workload.Sum, workload.Avg:
+			for _, k := range perm {
+				truth += values[k]
+			}
+			if kind == workload.Avg {
+				truth /= float64(n)
+			}
+		case workload.Max:
+			truth = math.Inf(-1)
+			for _, k := range perm {
+				truth = math.Max(truth, values[k])
+			}
+		case workload.Min:
+			truth = math.Inf(1)
+			for _, k := range perm {
+				truth = math.Min(truth, values[k])
+			}
+		}
+		if !ans.Result.Valid(truth) && math.Abs(truth-ans.Result.Clamp(truth)) > 1e-6 {
+			t.Fatalf("trial %d: %v over %v answer %v excludes truth %g", trial, kind, perm, ans.Result, truth)
+		}
+		if ans.Result.Width() > delta+1e-9 {
+			t.Fatalf("trial %d: width %g > delta %g", trial, ans.Result.Width(), delta)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"apcache/internal/workload"
+)
+
+func baseConfig() Config {
+	return Config{
+		NumSources: 5,
+		Cvr:        1,
+		Cqr:        2,
+		X:          9,
+		Updates: func(key int, rng *rand.Rand) workload.UpdateSource {
+			return workload.NewRandomWalk(0, 0.5, 1.5, rng)
+		},
+		Tq:           2,
+		KeysPerQuery: 3,
+		Duration:     3000,
+		Warmup:       300,
+		Seed:         1,
+	}
+}
+
+func TestRunProducesActivity(t *testing.T) {
+	res, err := Run(baseConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.CostRate <= 0 {
+		t.Errorf("CostRate = %g", res.CostRate)
+	}
+	if res.Reevaluations == 0 {
+		t.Errorf("no reevaluations")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, _ := Run(baseConfig())
+	b, _ := Run(baseConfig())
+	if a.CostRate != b.CostRate || a.Reevaluations != b.Reevaluations {
+		t.Errorf("same-seed runs differ")
+	}
+}
+
+func TestReadHeavyWorkloadCaches(t *testing.T) {
+	// Values that never change but are read constantly should end up
+	// cached (w=0 => Cc=0 < Cnc).
+	cfg := baseConfig()
+	cfg.Updates = func(key int, rng *rand.Rand) workload.UpdateSource {
+		return workload.NewPlayback(make([]float64, 10)) // constant zero
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached != cfg.NumSources {
+		t.Errorf("cached %d of %d constant values", res.Cached, cfg.NumSources)
+	}
+	// Steady state: everything cached, nothing changes: zero cost.
+	if res.CostRate > 0.2 {
+		t.Errorf("cost rate %g for constant data, want ~0", res.CostRate)
+	}
+}
+
+func TestWriteHeavyWorkloadDoesNotCache(t *testing.T) {
+	// Rarely-queried, constantly-written values should not be cached:
+	// with Tq large, reads are rare.
+	cfg := baseConfig()
+	cfg.Tq = 50
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached != 0 {
+		t.Errorf("cached %d write-heavy values, want 0", res.Cached)
+	}
+	// Cost rate approaches the remote-read rate: KeysPerQuery/Tq * Cqr.
+	want := float64(cfg.KeysPerQuery) / cfg.Tq * cfg.Cqr
+	if math.Abs(res.CostRate-want) > want*0.5 {
+		t.Errorf("cost rate %g, want ~%g", res.CostRate, want)
+	}
+}
+
+func TestCapacityRespected(t *testing.T) {
+	cfg := baseConfig()
+	cfg.CacheSize = 2
+	cfg.Updates = func(key int, rng *rand.Rand) workload.UpdateSource {
+		return workload.NewPlayback(make([]float64, 10))
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached > 2 {
+		t.Errorf("cached %d > capacity 2", res.Cached)
+	}
+}
+
+func TestBestXFindsMinimum(t *testing.T) {
+	cfg := baseConfig()
+	best, bestX, err := BestX(cfg, []int{3, 9, 21, 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, x := range []int{3, 9, 21, 45} {
+		c := cfg
+		c.X = x
+		r, _ := Run(c)
+		if r.CostRate < best.CostRate-1e-12 {
+			t.Errorf("BestX missed better X=%d (%g < %g)", x, r.CostRate, best.CostRate)
+		}
+		if x == bestX {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("bestX=%d not in sweep", bestX)
+	}
+}
+
+func TestBestXEmptySweep(t *testing.T) {
+	if _, _, err := BestX(baseConfig(), nil); err == nil {
+		t.Errorf("empty sweep accepted")
+	}
+}
+
+func TestDefaultXSweep(t *testing.T) {
+	xs := DefaultXSweep()
+	if xs[0] != 3 || xs[len(xs)-1] != 45 {
+		t.Errorf("sweep = %v, want 3..45", xs)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := baseConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.NumSources = 0 },
+		func(c *Config) { c.CacheSize = 99 },
+		func(c *Config) { c.Cqr = 0 },
+		func(c *Config) { c.Cvr = -1 },
+		func(c *Config) { c.X = 0 },
+		func(c *Config) { c.Updates = nil },
+		func(c *Config) { c.Tq = 0 },
+		func(c *Config) { c.KeysPerQuery = 0 },
+		func(c *Config) { c.KeysPerQuery = 99 },
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.Warmup = 99999 },
+	}
+	for i, mut := range mutations {
+		cfg := baseConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("Run accepted mutation %d", i)
+		}
+	}
+}
+
+func TestBenefitFormula(t *testing.T) {
+	v := &valueState{r: 5, w: 2}
+	if got := v.benefit(1, 2); got != 8 { // 5*2 - 2*1
+		t.Errorf("benefit = %g, want 8", got)
+	}
+}

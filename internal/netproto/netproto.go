@@ -1,0 +1,335 @@
+// Package netproto defines the wire protocol between approximate-caching
+// clients and source servers: length-prefixed binary frames over a reliable
+// stream (TCP in cmd/apcache-server and cmd/apcache-client).
+//
+// The protocol mirrors the paper's refresh model. Clients subscribe to keys
+// and receive an initial approximation; the server pushes a Refresh whenever
+// an update invalidates a cached interval (value-initiated); a client whose
+// query needs more precision sends Read and receives the exact value plus a
+// fresh interval (query-initiated). Requests carry an ID echoed by the
+// matching response; server-initiated pushes use ID 0.
+package netproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MsgType identifies a frame's payload.
+type MsgType uint8
+
+// Message types. Client-to-server types come first.
+const (
+	TSubscribe MsgType = iota + 1
+	TUnsubscribe
+	TRead
+	TPing
+	TRefresh
+	TPong
+	TError
+)
+
+// String returns the type name.
+func (t MsgType) String() string {
+	switch t {
+	case TSubscribe:
+		return "Subscribe"
+	case TUnsubscribe:
+		return "Unsubscribe"
+	case TRead:
+		return "Read"
+	case TPing:
+		return "Ping"
+	case TRefresh:
+		return "Refresh"
+	case TPong:
+		return "Pong"
+	case TError:
+		return "Error"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// RefreshKind is carried inside Refresh frames.
+type RefreshKind uint8
+
+// Refresh kinds: initial subscription, value-initiated push, query-initiated
+// response.
+const (
+	KindInitial RefreshKind = iota
+	KindValueInitiated
+	KindQueryInitiated
+)
+
+// Message is implemented by every frame payload.
+type Message interface {
+	msgType() MsgType
+	encode(b []byte) []byte
+	decode(b []byte) error
+}
+
+// Subscribe registers interest in Key; the server responds with a Refresh
+// (KindInitial) echoing ID.
+type Subscribe struct {
+	ID  uint64
+	Key int64
+}
+
+// Unsubscribe withdraws interest in Key. Used by exact-caching style
+// clients; the adaptive algorithm's caches evict silently and never send it.
+type Unsubscribe struct {
+	ID  uint64
+	Key int64
+}
+
+// Read requests the exact value of Key (a query-initiated refresh); the
+// server responds with a Refresh (KindQueryInitiated) echoing ID.
+type Read struct {
+	ID  uint64
+	Key int64
+}
+
+// Ping solicits a Pong; used for liveness tests.
+type Ping struct {
+	ID uint64
+}
+
+// Refresh delivers an approximation (and exact value) for Key.
+type Refresh struct {
+	ID            uint64 // echoes the triggering request; 0 for pushes
+	Key           int64
+	Kind          RefreshKind
+	Value         float64
+	Lo, Hi        float64
+	OriginalWidth float64
+}
+
+// Pong answers a Ping.
+type Pong struct {
+	ID uint64
+}
+
+// ErrorMsg reports a request failure.
+type ErrorMsg struct {
+	ID  uint64
+	Msg string
+}
+
+// MaxFrame bounds accepted frame sizes; real frames are tiny, so anything
+// larger indicates a corrupt or hostile stream.
+const MaxFrame = 1 << 16
+
+const headerLen = 5 // uint32 length + uint8 type
+
+// Write encodes m as one frame on w.
+func Write(w io.Writer, m Message) error {
+	body := m.encode(make([]byte, 0, 64))
+	if len(body) > MaxFrame {
+		return fmt.Errorf("netproto: frame too large (%d bytes)", len(body))
+	}
+	frame := make([]byte, headerLen+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(len(body)+1))
+	frame[4] = byte(m.msgType())
+	copy(frame[headerLen:], body)
+	_, err := w.Write(frame)
+	if err != nil {
+		return fmt.Errorf("netproto: write %s: %w", m.msgType(), err)
+	}
+	return nil
+}
+
+// ReadMsg decodes the next frame from r.
+func ReadMsg(r io.Reader) (Message, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n == 0 {
+		return nil, fmt.Errorf("netproto: zero-length frame")
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("netproto: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n-1)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("netproto: short frame body: %w", err)
+	}
+	var m Message
+	switch MsgType(hdr[4]) {
+	case TSubscribe:
+		m = &Subscribe{}
+	case TUnsubscribe:
+		m = &Unsubscribe{}
+	case TRead:
+		m = &Read{}
+	case TPing:
+		m = &Ping{}
+	case TRefresh:
+		m = &Refresh{}
+	case TPong:
+		m = &Pong{}
+	case TError:
+		m = &ErrorMsg{}
+	default:
+		return nil, fmt.Errorf("netproto: unknown message type %d", hdr[4])
+	}
+	if err := m.decode(body); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// --- encoding helpers ---
+
+func putU64(b []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+func putF64(b []byte, v float64) []byte { return putU64(b, math.Float64bits(v)) }
+
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.err = fmt.Errorf("netproto: truncated field")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[:8])
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 1 {
+		r.err = fmt.Errorf("netproto: truncated field")
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *reader) rest() []byte {
+	b := r.b
+	r.b = nil
+	return b
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("netproto: %d trailing bytes", len(r.b))
+	}
+	return nil
+}
+
+// --- per-message implementations ---
+
+func (m *Subscribe) msgType() MsgType { return TSubscribe }
+func (m *Subscribe) encode(b []byte) []byte {
+	return putU64(putU64(b, m.ID), uint64(m.Key))
+}
+func (m *Subscribe) decode(b []byte) error {
+	r := reader{b: b}
+	m.ID = r.u64()
+	m.Key = int64(r.u64())
+	return r.done()
+}
+
+func (m *Unsubscribe) msgType() MsgType { return TUnsubscribe }
+func (m *Unsubscribe) encode(b []byte) []byte {
+	return putU64(putU64(b, m.ID), uint64(m.Key))
+}
+func (m *Unsubscribe) decode(b []byte) error {
+	r := reader{b: b}
+	m.ID = r.u64()
+	m.Key = int64(r.u64())
+	return r.done()
+}
+
+func (m *Read) msgType() MsgType { return TRead }
+func (m *Read) encode(b []byte) []byte {
+	return putU64(putU64(b, m.ID), uint64(m.Key))
+}
+func (m *Read) decode(b []byte) error {
+	r := reader{b: b}
+	m.ID = r.u64()
+	m.Key = int64(r.u64())
+	return r.done()
+}
+
+func (m *Ping) msgType() MsgType       { return TPing }
+func (m *Ping) encode(b []byte) []byte { return putU64(b, m.ID) }
+func (m *Ping) decode(b []byte) error {
+	r := reader{b: b}
+	m.ID = r.u64()
+	return r.done()
+}
+
+func (m *Refresh) msgType() MsgType { return TRefresh }
+func (m *Refresh) encode(b []byte) []byte {
+	b = putU64(b, m.ID)
+	b = putU64(b, uint64(m.Key))
+	b = append(b, byte(m.Kind))
+	b = putF64(b, m.Value)
+	b = putF64(b, m.Lo)
+	b = putF64(b, m.Hi)
+	b = putF64(b, m.OriginalWidth)
+	return b
+}
+func (m *Refresh) decode(b []byte) error {
+	r := reader{b: b}
+	m.ID = r.u64()
+	m.Key = int64(r.u64())
+	m.Kind = RefreshKind(r.u8())
+	m.Value = r.f64()
+	m.Lo = r.f64()
+	m.Hi = r.f64()
+	m.OriginalWidth = r.f64()
+	if err := r.done(); err != nil {
+		return err
+	}
+	if m.Kind > KindQueryInitiated {
+		return fmt.Errorf("netproto: bad refresh kind %d", m.Kind)
+	}
+	return nil
+}
+
+func (m *Pong) msgType() MsgType       { return TPong }
+func (m *Pong) encode(b []byte) []byte { return putU64(b, m.ID) }
+func (m *Pong) decode(b []byte) error {
+	r := reader{b: b}
+	m.ID = r.u64()
+	return r.done()
+}
+
+func (m *ErrorMsg) msgType() MsgType { return TError }
+func (m *ErrorMsg) encode(b []byte) []byte {
+	b = putU64(b, m.ID)
+	return append(b, m.Msg...)
+}
+func (m *ErrorMsg) decode(b []byte) error {
+	r := reader{b: b}
+	m.ID = r.u64()
+	m.Msg = string(r.rest())
+	return r.done()
+}

@@ -1,0 +1,253 @@
+package netproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := ReadMsg(&buf)
+	if err != nil {
+		t.Fatalf("ReadMsg: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripSubscribe(t *testing.T) {
+	got := roundTrip(t, &Subscribe{ID: 7, Key: -3}).(*Subscribe)
+	if got.ID != 7 || got.Key != -3 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestRoundTripUnsubscribe(t *testing.T) {
+	got := roundTrip(t, &Unsubscribe{ID: 9, Key: 12}).(*Unsubscribe)
+	if got.ID != 9 || got.Key != 12 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestRoundTripRead(t *testing.T) {
+	got := roundTrip(t, &Read{ID: 1, Key: 99}).(*Read)
+	if got.ID != 1 || got.Key != 99 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestRoundTripPingPong(t *testing.T) {
+	if got := roundTrip(t, &Ping{ID: 5}).(*Ping); got.ID != 5 {
+		t.Errorf("ping %+v", got)
+	}
+	if got := roundTrip(t, &Pong{ID: 6}).(*Pong); got.ID != 6 {
+		t.Errorf("pong %+v", got)
+	}
+}
+
+func TestRoundTripRefresh(t *testing.T) {
+	in := &Refresh{
+		ID: 42, Key: 3, Kind: KindValueInitiated,
+		Value: 1.5, Lo: 1, Hi: 2, OriginalWidth: 1,
+	}
+	got := roundTrip(t, in).(*Refresh)
+	if *got != *in {
+		t.Errorf("got %+v, want %+v", got, in)
+	}
+}
+
+func TestRoundTripRefreshInfinities(t *testing.T) {
+	in := &Refresh{
+		ID: 0, Key: 1, Kind: KindInitial,
+		Value: 0, Lo: math.Inf(-1), Hi: math.Inf(1), OriginalWidth: math.Inf(1),
+	}
+	got := roundTrip(t, in).(*Refresh)
+	if !math.IsInf(got.Lo, -1) || !math.IsInf(got.Hi, 1) || !math.IsInf(got.OriginalWidth, 1) {
+		t.Errorf("infinities lost: %+v", got)
+	}
+}
+
+func TestRoundTripError(t *testing.T) {
+	got := roundTrip(t, &ErrorMsg{ID: 2, Msg: "unknown key"}).(*ErrorMsg)
+	if got.ID != 2 || got.Msg != "unknown key" {
+		t.Errorf("got %+v", got)
+	}
+	// Empty message is fine too.
+	if got := roundTrip(t, &ErrorMsg{ID: 3}).(*ErrorMsg); got.Msg != "" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		&Subscribe{ID: 1, Key: 10},
+		&Refresh{ID: 1, Key: 10, Kind: KindInitial, Value: 5, Lo: 4, Hi: 6, OriginalWidth: 2},
+		&Ping{ID: 2},
+	}
+	for _, m := range msgs {
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range msgs {
+		got, err := ReadMsg(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.msgType() != msgs[i].msgType() {
+			t.Errorf("frame %d type %v, want %v", i, got.msgType(), msgs[i].msgType())
+		}
+	}
+	if _, err := ReadMsg(&buf); err != io.EOF {
+		t.Errorf("expected EOF after frames, got %v", err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	// Unknown type.
+	var buf bytes.Buffer
+	frame := make([]byte, 5+8)
+	binary.LittleEndian.PutUint32(frame, 9)
+	frame[4] = 200
+	buf.Write(frame)
+	if _, err := ReadMsg(&buf); err == nil {
+		t.Errorf("unknown type accepted")
+	}
+	// Oversize frame.
+	buf.Reset()
+	binary.LittleEndian.PutUint32(frame, MaxFrame+1)
+	frame[4] = byte(TPing)
+	buf.Write(frame)
+	if _, err := ReadMsg(&buf); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("oversize frame: %v", err)
+	}
+	// Zero length.
+	buf.Reset()
+	binary.LittleEndian.PutUint32(frame, 0)
+	buf.Write(frame[:5])
+	if _, err := ReadMsg(&buf); err == nil {
+		t.Errorf("zero-length frame accepted")
+	}
+	// Truncated body.
+	buf.Reset()
+	binary.LittleEndian.PutUint32(frame, 9)
+	frame[4] = byte(TPing)
+	buf.Write(frame[:7])
+	if _, err := ReadMsg(&buf); err == nil {
+		t.Errorf("truncated body accepted")
+	}
+}
+
+func TestDecodeTruncatedFields(t *testing.T) {
+	// A Subscribe frame whose body is too short for its fields.
+	var buf bytes.Buffer
+	body := make([]byte, 4) // needs 16
+	frame := make([]byte, 5+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(len(body)+1))
+	frame[4] = byte(TSubscribe)
+	copy(frame[5:], body)
+	buf.Write(frame)
+	if _, err := ReadMsg(&buf); err == nil {
+		t.Errorf("truncated fields accepted")
+	}
+}
+
+func TestDecodeTrailingBytes(t *testing.T) {
+	var buf bytes.Buffer
+	body := make([]byte, 17) // Subscribe wants exactly 16
+	frame := make([]byte, 5+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(len(body)+1))
+	frame[4] = byte(TSubscribe)
+	buf.Write(frame)
+	if _, err := ReadMsg(&buf); err == nil {
+		t.Errorf("trailing bytes accepted")
+	}
+}
+
+func TestBadRefreshKindRejected(t *testing.T) {
+	m := &Refresh{ID: 1, Key: 1, Kind: 9, Value: 1, Lo: 0, Hi: 2, OriginalWidth: 2}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMsg(&buf); err == nil {
+		t.Errorf("bad refresh kind accepted")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	names := map[MsgType]string{
+		TSubscribe: "Subscribe", TUnsubscribe: "Unsubscribe", TRead: "Read",
+		TPing: "Ping", TRefresh: "Refresh", TPong: "Pong", TError: "Error",
+	}
+	for ty, want := range names {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+	if got := MsgType(99).String(); got != "MsgType(99)" {
+		t.Errorf("unknown type string %q", got)
+	}
+}
+
+func TestQuickRefreshRoundTrip(t *testing.T) {
+	f := func(id uint64, key int64, kindRaw uint8, v, lo, hi, w float64) bool {
+		in := &Refresh{
+			ID: id, Key: key, Kind: RefreshKind(kindRaw % 3),
+			Value: v, Lo: lo, Hi: hi, OriginalWidth: w,
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		got, err := ReadMsg(&buf)
+		if err != nil {
+			return false
+		}
+		out, ok := got.(*Refresh)
+		if !ok {
+			return false
+		}
+		// NaN != NaN, so compare bit patterns.
+		eq := func(a, b float64) bool {
+			return math.Float64bits(a) == math.Float64bits(b)
+		}
+		return out.ID == in.ID && out.Key == in.Key && out.Kind == in.Kind &&
+			eq(out.Value, in.Value) && eq(out.Lo, in.Lo) && eq(out.Hi, in.Hi) &&
+			eq(out.OriginalWidth, in.OriginalWidth)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickErrorMsgRoundTrip(t *testing.T) {
+	f := func(id uint64, msg string) bool {
+		if len(msg) > MaxFrame-16 {
+			return true
+		}
+		in := &ErrorMsg{ID: id, Msg: msg}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		got, err := ReadMsg(&buf)
+		if err != nil {
+			return false
+		}
+		out := got.(*ErrorMsg)
+		return out.ID == id && out.Msg == msg
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

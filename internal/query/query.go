@@ -1,0 +1,213 @@
+// Package query implements bounded-aggregate query processing over cached
+// interval approximations, in the style of Olston and Widom's TRAPP system
+// [OW00], which the SIGMOD 2001 study uses to generate its query load
+// (Section 4.1): each query computes SUM or MAX (here also MIN and AVG) over
+// a set of approximate values and carries a precision constraint delta, the
+// maximum acceptable width of the result interval. If the cached intervals
+// cannot meet the constraint, a subset of the values is refreshed from their
+// sources (query-initiated refreshes) until the constraint is guaranteed.
+//
+// The refresh-set selection is the package's core: for SUM/AVG the result
+// width is the (scaled) sum of the input widths, so refreshing the widest
+// intervals first minimizes the number of refreshes; for MAX/MIN candidates
+// are eliminated using interval endpoints, so caching non-exact intervals
+// helps even for exact-answer queries (Section 4.4's observation that
+// lambda1 = Inf is best for MAX even at davg = 0).
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"apcache/internal/interval"
+	"apcache/internal/workload"
+)
+
+// Lookup returns the cached approximation for a key. ok is false when the
+// key is not cached, in which case the processor treats the approximation as
+// unbounded (no information).
+type Lookup func(key int) (iv interval.Interval, ok bool)
+
+// Fetch performs a query-initiated refresh for a key and returns the exact
+// value. The callee is responsible for cost accounting and for installing
+// whatever new interval its width policy produces in the cache; the query
+// processor uses the returned exact value directly.
+type Fetch func(key int) float64
+
+// Answer is the result of executing a bounded-aggregate query.
+type Answer struct {
+	// Result bounds the aggregate; its width is <= the query's Delta.
+	Result interval.Interval
+	// Refreshed lists the keys fetched from sources, in fetch order.
+	Refreshed []int
+}
+
+// Estimate returns the midpoint of the result interval, the conventional
+// scalar estimate.
+func (a Answer) Estimate() float64 { return a.Result.Center() }
+
+// Execute runs one bounded-aggregate query to completion: it reads the
+// cached intervals, fetches exact values until the precision constraint is
+// guaranteed, and returns the bounding answer. It panics on an unsupported
+// aggregate kind or empty key set (programming errors, not data errors).
+func Execute(q workload.Query, get Lookup, fetch Fetch) Answer {
+	if len(q.Keys) == 0 {
+		panic("query: empty key set")
+	}
+	if get == nil || fetch == nil {
+		panic("query: nil Lookup or Fetch")
+	}
+	switch q.Kind {
+	case workload.Sum:
+		return executeSum(q.Keys, q.Delta, 1, get, fetch)
+	case workload.Avg:
+		return executeSum(q.Keys, q.Delta, 1/float64(len(q.Keys)), get, fetch)
+	case workload.Max:
+		return executeExtreme(q.Keys, q.Delta, false, get, fetch)
+	case workload.Min:
+		return executeExtreme(q.Keys, q.Delta, true, get, fetch)
+	default:
+		panic(fmt.Sprintf("query: unsupported aggregate %v", q.Kind))
+	}
+}
+
+// entry is one key's working state during execution.
+type entry struct {
+	key int
+	iv  interval.Interval
+}
+
+// load reads the working intervals, treating uncached keys as unbounded.
+func load(keys []int, get Lookup) []entry {
+	entries := make([]entry, len(keys))
+	for i, k := range keys {
+		iv, ok := get(k)
+		if !ok {
+			iv = interval.Unbounded()
+		}
+		entries[i] = entry{key: k, iv: iv}
+	}
+	return entries
+}
+
+// executeSum handles SUM (scale 1) and AVG (scale 1/n). The result width is
+// scale * sum of widths, so the minimal refresh set is the widest intervals:
+// sort by width descending and refresh until the residual width meets the
+// constraint.
+func executeSum(keys []int, delta, scale float64, get Lookup, fetch Fetch) Answer {
+	entries := load(keys, get)
+	// Order indices by width descending; unbounded first.
+	order := make([]int, len(entries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return widthRank(entries[order[a]].iv) > widthRank(entries[order[b]].iv)
+	})
+	var residual float64 // total width of intervals we keep
+	for _, i := range order {
+		w := entries[i].iv.Width()
+		if !math.IsInf(w, 1) {
+			residual += w
+		}
+	}
+	var refreshed []int
+	for _, i := range order {
+		w := entries[i].iv.Width()
+		if !math.IsInf(w, 1) && residual*scale <= delta {
+			break
+		}
+		v := fetch(entries[i].key)
+		refreshed = append(refreshed, entries[i].key)
+		if !math.IsInf(w, 1) {
+			residual -= w
+		}
+		entries[i].iv = interval.Exact(v)
+	}
+	sum := interval.Exact(0)
+	for _, e := range entries {
+		sum = sum.Add(e.iv)
+	}
+	return Answer{Result: sum.Scale(scale), Refreshed: refreshed}
+}
+
+// widthRank orders widths with +Inf greatest.
+func widthRank(iv interval.Interval) float64 {
+	w := iv.Width()
+	if math.IsInf(w, 1) {
+		return math.MaxFloat64
+	}
+	return w
+}
+
+// executeExtreme handles MAX (and MIN by negation). The bound on the
+// maximum is [max Lo_i, max Hi_i]; while it is too wide, fetch the key with
+// the greatest upper endpoint among non-exact entries. Each fetch pins that
+// entry to a point, which either lowers the collective upper bound or raises
+// the lower bound, and intervals wholly below the current lower bound are
+// never fetched — the candidate-elimination property that makes interval
+// caching profitable for MAX queries even under exact-answer constraints.
+func executeExtreme(keys []int, delta float64, minimize bool, get Lookup, fetch Fetch) Answer {
+	entries := load(keys, get)
+	if minimize {
+		for i := range entries {
+			entries[i].iv = negate(entries[i].iv)
+		}
+	}
+	var refreshed []int
+	for {
+		bound := entries[0].iv
+		for _, e := range entries[1:] {
+			bound = bound.Max(e.iv)
+		}
+		if bound.Width() <= delta {
+			result := bound
+			if minimize {
+				result = negate(result)
+			}
+			return Answer{Result: result, Refreshed: refreshed}
+		}
+		// Fetch the non-exact entry with the greatest upper endpoint; ties
+		// broken by wider interval to maximize information gained.
+		best := -1
+		for i, e := range entries {
+			if e.iv.IsExact() {
+				continue
+			}
+			if best == -1 || e.iv.Hi > entries[best].iv.Hi ||
+				(e.iv.Hi == entries[best].iv.Hi && widthRank(e.iv) > widthRank(entries[best].iv)) {
+				best = i
+			}
+		}
+		if best == -1 {
+			// All entries exact: the bound width is 0 <= delta; cannot
+			// happen unless delta < 0.
+			result := bound
+			if minimize {
+				result = negate(result)
+			}
+			return Answer{Result: result, Refreshed: refreshed}
+		}
+		v := fetch(entries[best].key)
+		refreshed = append(refreshed, entries[best].key)
+		if minimize {
+			v = -v
+		}
+		entries[best].iv = interval.Exact(v)
+	}
+}
+
+// negate mirrors an interval about zero, mapping MIN onto MAX.
+func negate(iv interval.Interval) interval.Interval {
+	return interval.Interval{Lo: -iv.Hi, Hi: -iv.Lo}
+}
+
+// PlanSum returns, without fetching, the keys a SUM query with constraint
+// delta would refresh given the current cache contents. It is the static
+// analysis used by tests and by capacity planning; Execute remains the
+// operational path.
+func PlanSum(keys []int, delta float64, get Lookup) []int {
+	ans := executeSum(keys, delta, 1, get, func(int) float64 { return 0 })
+	return ans.Refreshed
+}

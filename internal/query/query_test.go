@@ -1,0 +1,409 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"apcache/internal/interval"
+	"apcache/internal/workload"
+)
+
+// fixture builds a Lookup over a static map and a Fetch that returns true
+// values while recording fetches.
+type fixture struct {
+	cached  map[int]interval.Interval
+	exact   map[int]float64
+	fetched []int
+}
+
+func (f *fixture) get(key int) (interval.Interval, bool) {
+	iv, ok := f.cached[key]
+	return iv, ok
+}
+
+func (f *fixture) fetch(key int) float64 {
+	f.fetched = append(f.fetched, key)
+	return f.exact[key]
+}
+
+func TestSumAnswerableFromCache(t *testing.T) {
+	f := &fixture{
+		cached: map[int]interval.Interval{
+			0: {Lo: 1, Hi: 3},
+			1: {Lo: 10, Hi: 12},
+		},
+		exact: map[int]float64{0: 2, 1: 11},
+	}
+	q := workload.Query{Kind: workload.Sum, Keys: []int{0, 1}, Delta: 5}
+	ans := Execute(q, f.get, f.fetch)
+	if len(ans.Refreshed) != 0 {
+		t.Fatalf("refreshed %v, want none (width 4 <= delta 5)", ans.Refreshed)
+	}
+	if ans.Result.Lo != 11 || ans.Result.Hi != 15 {
+		t.Errorf("result %v, want [11, 15]", ans.Result)
+	}
+	if ans.Estimate() != 13 {
+		t.Errorf("estimate %g, want 13", ans.Estimate())
+	}
+}
+
+func TestSumRefreshesWidestFirst(t *testing.T) {
+	f := &fixture{
+		cached: map[int]interval.Interval{
+			0: {Lo: 0, Hi: 8},  // width 8
+			1: {Lo: 0, Hi: 2},  // width 2
+			2: {Lo: 0, Hi: 16}, // width 16
+		},
+		exact: map[int]float64{0: 4, 1: 1, 2: 8},
+	}
+	// Total width 26; delta 10 requires dropping to <= 10: refresh key 2
+	// (residual 10 <= 10). Widest-first means exactly one fetch.
+	q := workload.Query{Kind: workload.Sum, Keys: []int{0, 1, 2}, Delta: 10}
+	ans := Execute(q, f.get, f.fetch)
+	if len(ans.Refreshed) != 1 || ans.Refreshed[0] != 2 {
+		t.Fatalf("refreshed %v, want [2]", ans.Refreshed)
+	}
+	if got := ans.Result.Width(); got > 10 {
+		t.Errorf("result width %g > delta", got)
+	}
+	// Result must contain the true sum 4+1+8 = 13.
+	if !ans.Result.Valid(13) {
+		t.Errorf("result %v does not contain true sum 13", ans.Result)
+	}
+}
+
+func TestSumExactConstraintFetchesEverything(t *testing.T) {
+	f := &fixture{
+		cached: map[int]interval.Interval{
+			0: {Lo: 0, Hi: 1},
+			1: {Lo: 5, Hi: 6},
+		},
+		exact: map[int]float64{0: 0.5, 1: 5.5},
+	}
+	q := workload.Query{Kind: workload.Sum, Keys: []int{0, 1}, Delta: 0}
+	ans := Execute(q, f.get, f.fetch)
+	if len(ans.Refreshed) != 2 {
+		t.Fatalf("refreshed %v, want both keys", ans.Refreshed)
+	}
+	if !ans.Result.IsExact() || ans.Result.Lo != 6 {
+		t.Errorf("result %v, want exact [6, 6]", ans.Result)
+	}
+}
+
+func TestSumZeroWidthEntriesNeedNoFetch(t *testing.T) {
+	f := &fixture{
+		cached: map[int]interval.Interval{
+			0: interval.Exact(3),
+			1: interval.Exact(4),
+		},
+		exact: map[int]float64{0: 3, 1: 4},
+	}
+	q := workload.Query{Kind: workload.Sum, Keys: []int{0, 1}, Delta: 0}
+	ans := Execute(q, f.get, f.fetch)
+	if len(ans.Refreshed) != 0 {
+		t.Fatalf("exact cache entries still fetched: %v", ans.Refreshed)
+	}
+	if ans.Result.Lo != 7 {
+		t.Errorf("result %v, want [7, 7]", ans.Result)
+	}
+}
+
+func TestSumUncachedKeyTreatedAsUnbounded(t *testing.T) {
+	f := &fixture{
+		cached: map[int]interval.Interval{0: {Lo: 1, Hi: 2}},
+		exact:  map[int]float64{0: 1.5, 1: 100},
+	}
+	q := workload.Query{Kind: workload.Sum, Keys: []int{0, 1}, Delta: 50}
+	ans := Execute(q, f.get, f.fetch)
+	if len(ans.Refreshed) != 1 || ans.Refreshed[0] != 1 {
+		t.Fatalf("refreshed %v, want uncached key 1 only", ans.Refreshed)
+	}
+	if !ans.Result.Valid(101.5) {
+		t.Errorf("result %v missing true sum 101.5", ans.Result)
+	}
+}
+
+func TestAvgScalesConstraint(t *testing.T) {
+	f := &fixture{
+		cached: map[int]interval.Interval{
+			0: {Lo: 0, Hi: 10},
+			1: {Lo: 0, Hi: 10},
+		},
+		exact: map[int]float64{0: 5, 1: 5},
+	}
+	// AVG width = (10+10)/2 = 10; delta 10 is satisfiable from cache.
+	q := workload.Query{Kind: workload.Avg, Keys: []int{0, 1}, Delta: 10}
+	ans := Execute(q, f.get, f.fetch)
+	if len(ans.Refreshed) != 0 {
+		t.Fatalf("AVG fetched %v, want none", ans.Refreshed)
+	}
+	if ans.Result.Lo != 0 || ans.Result.Hi != 10 {
+		t.Errorf("result %v, want [0, 10]", ans.Result)
+	}
+	// delta 5 forces exactly one refresh: initial AVG width 10 > 5, and one
+	// fetch leaves residual 10/2 = 5 <= 5.
+	f2 := &fixture{cached: map[int]interval.Interval{
+		0: {Lo: 0, Hi: 10},
+		1: {Lo: 0, Hi: 10},
+	}, exact: map[int]float64{0: 5, 1: 5}}
+	q.Delta = 5
+	ans = Execute(q, f2.get, f2.fetch)
+	if len(ans.Refreshed) != 1 {
+		t.Errorf("AVG delta=5 fetched %v, want exactly 1", ans.Refreshed)
+	}
+}
+
+func TestMaxAnswerableFromCache(t *testing.T) {
+	f := &fixture{
+		cached: map[int]interval.Interval{
+			0: {Lo: 10, Hi: 12}, // dominates
+			1: {Lo: 0, Hi: 2},
+		},
+		exact: map[int]float64{0: 11, 1: 1},
+	}
+	q := workload.Query{Kind: workload.Max, Keys: []int{0, 1}, Delta: 2}
+	ans := Execute(q, f.get, f.fetch)
+	if len(ans.Refreshed) != 0 {
+		t.Fatalf("refreshed %v, want none", ans.Refreshed)
+	}
+	if ans.Result.Lo != 10 || ans.Result.Hi != 12 {
+		t.Errorf("result %v, want [10, 12]", ans.Result)
+	}
+}
+
+func TestMaxCandidateElimination(t *testing.T) {
+	// Key 1's interval [0,2] lies entirely below key 0's lower bound 10,
+	// so an exact MAX answer needs only key 0 fetched (Section 4.4: for
+	// MAX, approximate values are useful even when exact precision is
+	// required).
+	f := &fixture{
+		cached: map[int]interval.Interval{
+			0: {Lo: 10, Hi: 14},
+			1: {Lo: 0, Hi: 2},
+		},
+		exact: map[int]float64{0: 12, 1: 1},
+	}
+	q := workload.Query{Kind: workload.Max, Keys: []int{0, 1}, Delta: 0}
+	ans := Execute(q, f.get, f.fetch)
+	if len(ans.Refreshed) != 1 || ans.Refreshed[0] != 0 {
+		t.Fatalf("refreshed %v, want [0] only (candidate elimination)", ans.Refreshed)
+	}
+	if !ans.Result.IsExact() || ans.Result.Lo != 12 {
+		t.Errorf("result %v, want exact [12, 12]", ans.Result)
+	}
+}
+
+func TestMaxOverlappingCandidates(t *testing.T) {
+	f := &fixture{
+		cached: map[int]interval.Interval{
+			0: {Lo: 5, Hi: 15},
+			1: {Lo: 8, Hi: 12},
+			2: {Lo: 0, Hi: 1},
+		},
+		exact: map[int]float64{0: 7, 1: 11, 2: 0.5},
+	}
+	q := workload.Query{Kind: workload.Max, Keys: []int{0, 1, 2}, Delta: 0}
+	ans := Execute(q, f.get, f.fetch)
+	// True max is 11. Key 2 must never be fetched.
+	for _, k := range ans.Refreshed {
+		if k == 2 {
+			t.Fatalf("fetched dominated key 2")
+		}
+	}
+	if !ans.Result.IsExact() || ans.Result.Lo != 11 {
+		t.Errorf("result %v, want exact [11, 11]", ans.Result)
+	}
+}
+
+func TestMinMirrorsMax(t *testing.T) {
+	f := &fixture{
+		cached: map[int]interval.Interval{
+			0: {Lo: 10, Hi: 14}, // dominated for MIN
+			1: {Lo: 0, Hi: 4},
+		},
+		exact: map[int]float64{0: 12, 1: 2},
+	}
+	q := workload.Query{Kind: workload.Min, Keys: []int{0, 1}, Delta: 0}
+	ans := Execute(q, f.get, f.fetch)
+	if len(ans.Refreshed) != 1 || ans.Refreshed[0] != 1 {
+		t.Fatalf("refreshed %v, want [1] only", ans.Refreshed)
+	}
+	if !ans.Result.IsExact() || ans.Result.Lo != 2 {
+		t.Errorf("result %v, want exact [2, 2]", ans.Result)
+	}
+}
+
+func TestMinAnswerableFromCache(t *testing.T) {
+	f := &fixture{
+		cached: map[int]interval.Interval{
+			0: {Lo: 1, Hi: 2},
+			1: {Lo: 10, Hi: 30},
+		},
+		exact: map[int]float64{0: 1.5, 1: 20},
+	}
+	q := workload.Query{Kind: workload.Min, Keys: []int{0, 1}, Delta: 1}
+	ans := Execute(q, f.get, f.fetch)
+	if len(ans.Refreshed) != 0 {
+		t.Fatalf("refreshed %v, want none", ans.Refreshed)
+	}
+	if ans.Result.Lo != 1 || ans.Result.Hi != 2 {
+		t.Errorf("result %v, want [1, 2]", ans.Result)
+	}
+}
+
+func TestExecutePanics(t *testing.T) {
+	f := &fixture{cached: map[int]interval.Interval{}, exact: map[int]float64{}}
+	cases := []func(){
+		func() { Execute(workload.Query{Kind: workload.Sum}, f.get, f.fetch) },
+		func() {
+			Execute(workload.Query{Kind: workload.AggKind(9), Keys: []int{0}}, f.get, f.fetch)
+		},
+		func() { Execute(workload.Query{Kind: workload.Sum, Keys: []int{0}}, nil, f.fetch) },
+		func() { Execute(workload.Query{Kind: workload.Sum, Keys: []int{0}}, f.get, nil) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPlanSum(t *testing.T) {
+	f := &fixture{
+		cached: map[int]interval.Interval{
+			0: {Lo: 0, Hi: 8},
+			1: {Lo: 0, Hi: 2},
+		},
+	}
+	plan := PlanSum([]int{0, 1}, 3, f.get)
+	if len(plan) != 1 || plan[0] != 0 {
+		t.Errorf("plan %v, want [0]", plan)
+	}
+	if plan := PlanSum([]int{0, 1}, 100, f.get); len(plan) != 0 {
+		t.Errorf("plan %v, want empty at loose constraint", plan)
+	}
+}
+
+// buildRandom creates a random fixture with nKeys entries whose intervals
+// genuinely contain the exact values.
+func buildRandom(rng *rand.Rand, nKeys int) *fixture {
+	f := &fixture{cached: map[int]interval.Interval{}, exact: map[int]float64{}}
+	for k := 0; k < nKeys; k++ {
+		v := rng.Float64()*200 - 100
+		f.exact[k] = v
+		switch rng.Intn(4) {
+		case 0: // exact copy
+			f.cached[k] = interval.Exact(v)
+		case 1, 2: // proper interval containing v
+			below := rng.Float64() * 50
+			above := rng.Float64() * 50
+			f.cached[k] = interval.Interval{Lo: v - below, Hi: v + above}
+		case 3: // uncached
+		}
+	}
+	return f
+}
+
+func TestQuickSumSoundAndPrecise(t *testing.T) {
+	f := func(seed int64, nRaw, deltaRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%8 + 1
+		fx := buildRandom(rng, n)
+		delta := float64(deltaRaw)
+		keys := make([]int, n)
+		var truth float64
+		for k := 0; k < n; k++ {
+			keys[k] = k
+			truth += fx.exact[k]
+		}
+		ans := Execute(workload.Query{Kind: workload.Sum, Keys: keys, Delta: delta}, fx.get, fx.fetch)
+		// Soundness: the result contains the true sum (allow float slack).
+		if !ans.Result.Valid(truth) && math.Abs(truth-ans.Result.Clamp(truth)) > 1e-9 {
+			return false
+		}
+		// Precision: the constraint is met.
+		return ans.Result.Width() <= delta+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMaxSoundAndPrecise(t *testing.T) {
+	f := func(seed int64, nRaw, deltaRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%8 + 1
+		fx := buildRandom(rng, n)
+		delta := float64(deltaRaw)
+		keys := make([]int, n)
+		truth := math.Inf(-1)
+		for k := 0; k < n; k++ {
+			keys[k] = k
+			truth = math.Max(truth, fx.exact[k])
+		}
+		ans := Execute(workload.Query{Kind: workload.Max, Keys: keys, Delta: delta}, fx.get, fx.fetch)
+		if !ans.Result.Valid(truth) && math.Abs(truth-ans.Result.Clamp(truth)) > 1e-9 {
+			return false
+		}
+		return ans.Result.Width() <= delta+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinSoundAndPrecise(t *testing.T) {
+	f := func(seed int64, nRaw, deltaRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%8 + 1
+		fx := buildRandom(rng, n)
+		delta := float64(deltaRaw)
+		keys := make([]int, n)
+		truth := math.Inf(1)
+		for k := 0; k < n; k++ {
+			keys[k] = k
+			truth = math.Min(truth, fx.exact[k])
+		}
+		ans := Execute(workload.Query{Kind: workload.Min, Keys: keys, Delta: delta}, fx.get, fx.fetch)
+		if !ans.Result.Valid(truth) && math.Abs(truth-ans.Result.Clamp(truth)) > 1e-9 {
+			return false
+		}
+		return ans.Result.Width() <= delta+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNoDuplicateFetches(t *testing.T) {
+	f := func(seed int64, nRaw uint8, kindRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%8 + 1
+		fx := buildRandom(rng, n)
+		kinds := []workload.AggKind{workload.Sum, workload.Max, workload.Min, workload.Avg}
+		kind := kinds[int(kindRaw)%len(kinds)]
+		keys := make([]int, n)
+		for k := 0; k < n; k++ {
+			keys[k] = k
+		}
+		Execute(workload.Query{Kind: kind, Keys: keys, Delta: 0}, fx.get, fx.fetch)
+		seen := map[int]bool{}
+		for _, k := range fx.fetched {
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"apcache/internal/interval"
+	"apcache/internal/workload"
+)
+
+// This file extends the bounded-aggregate processor with the two query
+// capabilities the paper defers to future work: relative precision
+// constraints (footnote 1: "Converting relative precision constraints to
+// absolute ones is discussed in [OW00, YV00]") and bounded threshold
+// (selection) queries over interval data.
+
+// ExecuteRelative runs a bounded-aggregate query whose constraint is
+// relative: the result interval's width must be at most rel * |estimate|,
+// where the estimate is the result's midpoint. Because the acceptable
+// absolute width depends on the answer itself, the processor iterates:
+// execute with the absolute constraint implied by the current estimate,
+// re-derive the estimate, and repeat until the constraint stabilizes (it
+// tightens monotonically, so the loop terminates — each round either
+// accepts the current answer or fetches at least one more exact value).
+//
+// rel must be in [0, 1); rel = 0 demands an exact answer. A result whose
+// estimate is 0 also degenerates to an exact answer, as no nonzero width
+// can satisfy width <= 0.
+func ExecuteRelative(kind workload.AggKind, keys []int, rel float64, get Lookup, fetch Fetch) Answer {
+	if rel < 0 || rel >= 1 || math.IsNaN(rel) {
+		panic(fmt.Sprintf("query: relative constraint %g out of [0, 1)", rel))
+	}
+	// Fetches must be idempotent within one query execution: wrap fetch
+	// with a memo so iterations never re-fetch (and re-charge) a key.
+	memo := make(map[int]float64)
+	var order []int
+	mfetch := func(key int) float64 {
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		v := fetch(key)
+		memo[key] = v
+		order = append(order, key)
+		return v
+	}
+	mget := func(key int) (interval.Interval, bool) {
+		if v, ok := memo[key]; ok {
+			return interval.Exact(v), true
+		}
+		return get(key)
+	}
+	// Start from the loosest reading: the all-cache answer.
+	ans := Execute(workload.Query{Kind: kind, Keys: keys, Delta: math.Inf(1)}, mget, mfetch)
+	for i := 0; i < len(keys)+1; i++ {
+		target := rel * math.Abs(ans.Estimate())
+		if math.IsNaN(target) {
+			// Unbounded or half-bounded answer: no estimate exists yet;
+			// demand exactness for this round.
+			target = 0
+		}
+		if !ans.Result.IsUnbounded() && ans.Result.Width() <= target {
+			break
+		}
+		prevFetches := len(order)
+		ans = Execute(workload.Query{Kind: kind, Keys: keys, Delta: target}, mget, mfetch)
+		if len(order) == prevFetches {
+			// Nothing further to fetch: the answer is as exact as it gets.
+			break
+		}
+	}
+	ans.Refreshed = append([]int(nil), order...)
+	return ans
+}
+
+// ThresholdResult classifies keys against a threshold using only interval
+// endpoints plus the fetches needed to respect the ambiguity budget.
+type ThresholdResult struct {
+	// Above holds keys whose value is certainly > the threshold.
+	Above []int
+	// Below holds keys whose value is certainly <= the threshold.
+	Below []int
+	// Uncertain holds keys whose interval straddles the threshold and that
+	// the ambiguity budget allowed to remain unresolved.
+	Uncertain []int
+	// Refreshed lists the keys fetched, in fetch order.
+	Refreshed []int
+}
+
+// ExecuteThreshold answers a bounded selection query: classify each key as
+// above or not-above the threshold, fetching exact values until at most
+// maxUncertain keys remain ambiguous. It resolves the widest straddling
+// intervals first (they are the least likely to resolve on their own).
+// This is the monitoring-style "which hosts exceed T" query the paper's
+// motivating application implies; it uses the same candidate-elimination
+// property as MAX: intervals wholly on one side of the threshold cost
+// nothing.
+func ExecuteThreshold(keys []int, threshold float64, maxUncertain int, get Lookup, fetch Fetch) ThresholdResult {
+	if maxUncertain < 0 {
+		panic("query: negative ambiguity budget")
+	}
+	if get == nil || fetch == nil {
+		panic("query: nil Lookup or Fetch")
+	}
+	entries := load(keys, get)
+	var res ThresholdResult
+	// Collect straddlers; certain keys classify immediately.
+	var straddle []int // indices into entries
+	for i, e := range entries {
+		switch {
+		case e.iv.Lo > threshold:
+			res.Above = append(res.Above, e.key)
+		case e.iv.Hi <= threshold:
+			res.Below = append(res.Below, e.key)
+		default:
+			straddle = append(straddle, i)
+		}
+	}
+	// Resolve widest-first until within budget.
+	for len(straddle) > maxUncertain {
+		widest := 0
+		for j := 1; j < len(straddle); j++ {
+			if widthRank(entries[straddle[j]].iv) > widthRank(entries[straddle[widest]].iv) {
+				widest = j
+			}
+		}
+		i := straddle[widest]
+		v := fetch(entries[i].key)
+		res.Refreshed = append(res.Refreshed, entries[i].key)
+		if v > threshold {
+			res.Above = append(res.Above, entries[i].key)
+		} else {
+			res.Below = append(res.Below, entries[i].key)
+		}
+		straddle = append(straddle[:widest], straddle[widest+1:]...)
+	}
+	for _, i := range straddle {
+		res.Uncertain = append(res.Uncertain, entries[i].key)
+	}
+	return res
+}

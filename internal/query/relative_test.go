@@ -1,0 +1,251 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"apcache/internal/interval"
+	"apcache/internal/workload"
+)
+
+func TestRelativeAnsweredFromCache(t *testing.T) {
+	f := &fixture{
+		cached: map[int]interval.Interval{
+			0: {Lo: 99, Hi: 101}, // estimate ~100, width 2
+		},
+		exact: map[int]float64{0: 100},
+	}
+	// 5% of 100 = 5 >= width 2: no fetch needed.
+	ans := ExecuteRelative(workload.Sum, []int{0}, 0.05, f.get, f.fetch)
+	if len(ans.Refreshed) != 0 {
+		t.Fatalf("fetched %v, want none", ans.Refreshed)
+	}
+	if !ans.Result.Valid(100) {
+		t.Errorf("result %v excludes 100", ans.Result)
+	}
+}
+
+func TestRelativeTightensUntilSatisfied(t *testing.T) {
+	f := &fixture{
+		cached: map[int]interval.Interval{
+			0: {Lo: 50, Hi: 150}, // width 100, estimate 100
+			1: {Lo: 90, Hi: 110}, // width 20
+		},
+		exact: map[int]float64{0: 100, 1: 100},
+	}
+	// Target: 10% of ~200 = 20; initial width 120 -> must fetch key 0
+	// (residual 20 <= 20 after).
+	ans := ExecuteRelative(workload.Sum, []int{0, 1}, 0.1, f.get, f.fetch)
+	if !ans.Result.Valid(200) {
+		t.Fatalf("result %v excludes 200", ans.Result)
+	}
+	if got := ans.Result.Width(); got > 0.1*math.Abs(ans.Estimate())+1e-9 {
+		t.Errorf("width %g violates relative constraint at estimate %g", got, ans.Estimate())
+	}
+	if len(ans.Refreshed) == 0 || len(ans.Refreshed) > 2 {
+		t.Errorf("refreshed %v", ans.Refreshed)
+	}
+}
+
+func TestRelativeZeroDemandsExact(t *testing.T) {
+	f := &fixture{
+		cached: map[int]interval.Interval{
+			0: {Lo: 1, Hi: 3},
+			1: {Lo: 5, Hi: 9},
+		},
+		exact: map[int]float64{0: 2, 1: 7},
+	}
+	ans := ExecuteRelative(workload.Sum, []int{0, 1}, 0, f.get, f.fetch)
+	if !ans.Result.IsExact() || ans.Result.Lo != 9 {
+		t.Errorf("result %v, want exact [9, 9]", ans.Result)
+	}
+}
+
+func TestRelativeNeverDoubleFetches(t *testing.T) {
+	f := &fixture{
+		cached: map[int]interval.Interval{},
+		exact:  map[int]float64{0: 10, 1: -10, 2: 0.5},
+	}
+	// Sum near zero forces the relative target toward 0: everything gets
+	// fetched, but each key exactly once.
+	ExecuteRelative(workload.Sum, []int{0, 1, 2}, 0.01, f.get, f.fetch)
+	seen := map[int]bool{}
+	for _, k := range f.fetched {
+		if seen[k] {
+			t.Fatalf("key %d fetched twice: %v", k, f.fetched)
+		}
+		seen[k] = true
+	}
+}
+
+func TestRelativeMax(t *testing.T) {
+	f := &fixture{
+		cached: map[int]interval.Interval{
+			0: {Lo: 90, Hi: 110},
+			1: {Lo: 0, Hi: 5},
+		},
+		exact: map[int]float64{0: 95, 1: 3},
+	}
+	ans := ExecuteRelative(workload.Max, []int{0, 1}, 0.25, f.get, f.fetch)
+	if !ans.Result.Valid(95) {
+		t.Fatalf("result %v excludes true max 95", ans.Result)
+	}
+	if ans.Result.Width() > 0.25*math.Abs(ans.Estimate())+1e-9 {
+		t.Errorf("relative constraint violated: %v", ans.Result)
+	}
+}
+
+func TestRelativePanicsOnBadRel(t *testing.T) {
+	f := &fixture{cached: map[int]interval.Interval{}, exact: map[int]float64{}}
+	for _, rel := range []float64{-0.1, 1, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rel=%g accepted", rel)
+				}
+			}()
+			ExecuteRelative(workload.Sum, []int{0}, rel, f.get, f.fetch)
+		}()
+	}
+}
+
+func TestQuickRelativeSound(t *testing.T) {
+	f := func(seed int64, nRaw uint8, relRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%6 + 1
+		fx := buildRandom(rng, n)
+		rel := float64(relRaw%90+1) / 100 // (0, 0.9]
+		keys := make([]int, n)
+		var truth float64
+		for k := 0; k < n; k++ {
+			keys[k] = k
+			truth += fx.exact[k]
+		}
+		ans := ExecuteRelative(workload.Sum, keys, rel, fx.get, fx.fetch)
+		if !ans.Result.Valid(truth) && math.Abs(truth-ans.Result.Clamp(truth)) > 1e-9 {
+			return false
+		}
+		// Constraint: width <= rel*|estimate| or fully exact.
+		return ans.Result.Width() <= rel*math.Abs(ans.Estimate())+1e-9 || ans.Result.IsExact()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdCertainClassification(t *testing.T) {
+	f := &fixture{
+		cached: map[int]interval.Interval{
+			0: {Lo: 50, Hi: 60}, // above 40
+			1: {Lo: 0, Hi: 10},  // below 40
+			2: {Lo: 30, Hi: 55}, // straddles
+		},
+		exact: map[int]float64{0: 55, 1: 5, 2: 45},
+	}
+	res := ExecuteThreshold([]int{0, 1, 2}, 40, 0, f.get, f.fetch)
+	if len(res.Above) != 2 || len(res.Below) != 1 || len(res.Uncertain) != 0 {
+		t.Fatalf("result %+v", res)
+	}
+	if len(res.Refreshed) != 1 || res.Refreshed[0] != 2 {
+		t.Errorf("refreshed %v, want only straddler 2", res.Refreshed)
+	}
+}
+
+func TestThresholdBudgetLeavesUncertain(t *testing.T) {
+	f := &fixture{
+		cached: map[int]interval.Interval{
+			0: {Lo: 30, Hi: 55},
+			1: {Lo: 35, Hi: 45},
+		},
+		exact: map[int]float64{0: 50, 1: 38},
+	}
+	res := ExecuteThreshold([]int{0, 1}, 40, 2, f.get, f.fetch)
+	if len(res.Refreshed) != 0 {
+		t.Fatalf("budget 2 still fetched %v", res.Refreshed)
+	}
+	if len(res.Uncertain) != 2 {
+		t.Errorf("uncertain %v, want both", res.Uncertain)
+	}
+	// Budget 1 resolves the widest straddler (key 0, width 25).
+	f2 := &fixture{cached: f.cached, exact: f.exact}
+	res = ExecuteThreshold([]int{0, 1}, 40, 1, f2.get, f2.fetch)
+	if len(res.Refreshed) != 1 || res.Refreshed[0] != 0 {
+		t.Errorf("refreshed %v, want widest straddler 0", res.Refreshed)
+	}
+}
+
+func TestThresholdBoundaryIsBelow(t *testing.T) {
+	// Hi == threshold classifies as below (value <= threshold).
+	f := &fixture{
+		cached: map[int]interval.Interval{0: {Lo: 10, Hi: 40}},
+		exact:  map[int]float64{0: 40},
+	}
+	res := ExecuteThreshold([]int{0}, 40, 0, f.get, f.fetch)
+	if len(res.Below) != 1 || len(res.Refreshed) != 0 {
+		t.Errorf("result %+v", res)
+	}
+}
+
+func TestThresholdUncachedKeysFetch(t *testing.T) {
+	f := &fixture{
+		cached: map[int]interval.Interval{},
+		exact:  map[int]float64{0: 100},
+	}
+	res := ExecuteThreshold([]int{0}, 40, 0, f.get, f.fetch)
+	if len(res.Above) != 1 || len(res.Refreshed) != 1 {
+		t.Errorf("result %+v", res)
+	}
+}
+
+func TestThresholdPanics(t *testing.T) {
+	f := &fixture{cached: map[int]interval.Interval{}, exact: map[int]float64{}}
+	cases := []func(){
+		func() { ExecuteThreshold([]int{0}, 1, -1, f.get, f.fetch) },
+		func() { ExecuteThreshold([]int{0}, 1, 0, nil, f.fetch) },
+		func() { ExecuteThreshold([]int{0}, 1, 0, f.get, nil) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuickThresholdSound(t *testing.T) {
+	f := func(seed int64, nRaw, thRaw, budgetRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%8 + 1
+		fx := buildRandom(rng, n)
+		threshold := float64(thRaw) - 128
+		budget := int(budgetRaw) % (n + 1)
+		keys := make([]int, n)
+		for k := 0; k < n; k++ {
+			keys[k] = k
+		}
+		res := ExecuteThreshold(keys, threshold, budget, fx.get, fx.fetch)
+		if len(res.Uncertain) > budget {
+			return false
+		}
+		for _, k := range res.Above {
+			if fx.exact[k] <= threshold {
+				return false
+			}
+		}
+		for _, k := range res.Below {
+			if fx.exact[k] > threshold {
+				return false
+			}
+		}
+		return len(res.Above)+len(res.Below)+len(res.Uncertain) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package replicate implements adaptive precision setting in a symmetric
+// replication architecture — the second future-work direction of the
+// paper's Section 5 ("building on work on adaptive exact replication
+// [WJH97] and on replicating interval approximations [YV00]").
+//
+// The setting follows Yu and Vahdat's TACT-style numeric error bounding
+// [YV00]: a logical numeric value is the sum of contributions accumulated at
+// n replicas (a distributed counter or gauge). Each replica i may buffer
+// local writes up to a slack share s_i before propagating them to the
+// group; the logical value read anywhere is then known to within the total
+// outstanding slack, Sum(s_i). Two traffic kinds mirror the paper's two
+// refresh kinds:
+//
+//   - a push (value-initiated analog, cost Cvr): replica i's buffered
+//     writes exceed s_i, so it must propagate;
+//   - a sync (query-initiated analog, cost Cqr): a read needs the value
+//     within delta < Sum(s_i), so replicas are drained until the remaining
+//     slack fits.
+//
+// The contribution transplanted from the paper: each replica's share is set
+// by the same probabilistic controller — grown by (1+alpha) with probability
+// min(theta,1) on a push, shrunk with probability min(1/theta,1) on a sync —
+// so the slack allocation adapts per replica to its local write rate and to
+// the read precision demand, with no rate monitoring.
+package replicate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"apcache/internal/core"
+	"apcache/internal/interval"
+)
+
+// Config describes a replica group.
+type Config struct {
+	// Replicas is n >= 1.
+	Replicas int
+	// Params configures the share controllers; Cvr is the cost of one
+	// push, Cqr the cost of one sync.
+	Params core.Params
+	// InitialShare seeds every replica's slack share.
+	InitialShare float64
+	// RNG drives the probabilistic share adjustments.
+	RNG core.Rand
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Replicas < 1 {
+		return fmt.Errorf("replicate: Replicas must be >= 1, got %d", c.Replicas)
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.InitialShare < 0 || math.IsNaN(c.InitialShare) {
+		return fmt.Errorf("replicate: bad InitialShare %g", c.InitialShare)
+	}
+	if c.RNG == nil {
+		return fmt.Errorf("replicate: nil RNG")
+	}
+	return nil
+}
+
+// replica is one member's state.
+type replica struct {
+	ctrl    *core.Controller
+	pending float64 // buffered (unpropagated) local writes
+}
+
+// share returns the replica's current slack share (its controller's
+// effective width).
+func (r *replica) share() float64 { return r.ctrl.EffectiveWidth() }
+
+// Group is a symmetric replica group over one logical numeric value. It is
+// not safe for concurrent use.
+type Group struct {
+	cfg      Config
+	replicas []*replica
+	base     float64 // globally agreed portion of the value
+
+	pushes, syncs int
+	cost          float64
+}
+
+// New builds a group.
+func New(cfg Config) (*Group, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Group{cfg: cfg}
+	for i := 0; i < cfg.Replicas; i++ {
+		g.replicas = append(g.replicas, &replica{
+			ctrl: core.NewController(cfg.Params, cfg.InitialShare, cfg.RNG),
+		})
+	}
+	return g, nil
+}
+
+// Replicas returns n.
+func (g *Group) Replicas() int { return len(g.replicas) }
+
+// True returns the exact logical value (base plus all buffered writes) —
+// the quantity only an oracle sees; reads go through Read.
+func (g *Group) True() float64 {
+	v := g.base
+	for _, r := range g.replicas {
+		v += r.pending
+	}
+	return v
+}
+
+// Slack returns the total outstanding slack Sum(s_i): the width of the
+// interval any replica can assert around the agreed base.
+func (g *Group) Slack() float64 {
+	var s float64
+	for _, r := range g.replicas {
+		s += r.share()
+	}
+	return s
+}
+
+// Share returns replica i's current slack share.
+func (g *Group) Share(i int) float64 { return g.replicas[i].share() }
+
+// Write applies a local delta at replica i. If the replica's buffered
+// writes exceed its share it propagates: the buffer folds into the base, one
+// push is charged, and the share grows per the controller. It reports
+// whether a push occurred.
+func (g *Group) Write(i int, delta float64) bool {
+	if i < 0 || i >= len(g.replicas) {
+		panic(fmt.Sprintf("replicate: replica %d out of range 0..%d", i, len(g.replicas)-1))
+	}
+	r := g.replicas[i]
+	r.pending += delta
+	if math.Abs(r.pending) <= r.share() {
+		return false
+	}
+	g.propagate(r)
+	r.ctrl.OnRefresh(core.ValueInitiated)
+	return true
+}
+
+// propagate folds replica r's buffer into the agreed base.
+func (g *Group) propagate(r *replica) {
+	g.base += r.pending
+	r.pending = 0
+	g.pushes++
+	g.cost += g.cfg.Params.Cvr
+}
+
+// Read returns an interval of width at most delta containing the logical
+// value. While the outstanding slack exceeds delta it syncs replicas in
+// decreasing-share order (draining the largest uncertainty first), charging
+// one sync each and shrinking the synced replica's share per the controller.
+func (g *Group) Read(delta float64) interval.Interval {
+	if delta < 0 || math.IsNaN(delta) {
+		panic(fmt.Sprintf("replicate: bad delta %g", delta))
+	}
+	// Order replicas by decreasing share.
+	order := make([]int, len(g.replicas))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return g.replicas[order[a]].share() > g.replicas[order[b]].share()
+	})
+	synced := make(map[int]bool)
+	residual := func() float64 {
+		var s float64
+		for j, r := range g.replicas {
+			if !synced[j] {
+				s += r.share()
+			}
+		}
+		return s
+	}
+	for _, i := range order {
+		// Each unsynced replica j may hold buffered writes anywhere in
+		// [-s_j, s_j], so the answer interval has width 2*residual.
+		if 2*residual() <= delta {
+			break
+		}
+		r := g.replicas[i]
+		g.propagate(r)
+		g.cost += g.cfg.Params.Cqr - g.cfg.Params.Cvr // reclassify as a sync
+		g.pushes--
+		g.syncs++
+		r.ctrl.OnRefresh(core.QueryInitiated)
+		synced[i] = true
+	}
+	res := residual()
+	return interval.Interval{Lo: g.base - res, Hi: g.base + res}
+}
+
+// Stats reports traffic counts and cost.
+type Stats struct {
+	// Pushes and Syncs count propagations by trigger.
+	Pushes, Syncs int
+	// Cost is the total weighted traffic cost.
+	Cost float64
+}
+
+// Stats snapshots the counters.
+func (g *Group) Stats() Stats {
+	return Stats{Pushes: g.pushes, Syncs: g.syncs, Cost: g.cost}
+}

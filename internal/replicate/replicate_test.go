@@ -1,0 +1,244 @@
+package replicate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"apcache/internal/core"
+)
+
+// fire always triggers probabilistic adjustments.
+type fire struct{}
+
+func (fire) Float64() float64 { return 0 }
+
+func config(n int) Config {
+	return Config{
+		Replicas:     n,
+		Params:       core.Params{Cvr: 1, Cqr: 2, Alpha: 1, Lambda0: 0, Lambda1: math.Inf(1)},
+		InitialShare: 4,
+		RNG:          fire{},
+	}
+}
+
+func TestWriteBuffersUntilShareExceeded(t *testing.T) {
+	g, err := New(config(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Write(0, 3) { // |3| <= share 4
+		t.Fatalf("small write propagated")
+	}
+	if g.True() != 3 {
+		t.Fatalf("True = %g", g.True())
+	}
+	if !g.Write(0, 3) { // |6| > 4 -> push
+		t.Fatalf("overflow write did not propagate")
+	}
+	st := g.Stats()
+	if st.Pushes != 1 || st.Cost != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	// Push grew replica 0's share to 8.
+	if g.Share(0) != 8 {
+		t.Errorf("share after push %g, want 8", g.Share(0))
+	}
+}
+
+func TestReadSoundAndPrecise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := config(4)
+	cfg.RNG = rng
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		g.Write(rng.Intn(4), rng.Float64()*6-3)
+		if i%10 == 0 {
+			delta := rng.Float64() * 30
+			iv := g.Read(delta)
+			if !iv.Valid(g.True()) {
+				t.Fatalf("step %d: %v excludes true value %g", i, iv, g.True())
+			}
+			if iv.Width() > delta+1e-9 {
+				t.Fatalf("step %d: width %g > delta %g", i, iv.Width(), delta)
+			}
+		}
+	}
+}
+
+func TestExactReadDrainsEverything(t *testing.T) {
+	g, err := New(config(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Write(0, 2)
+	g.Write(1, -1)
+	g.Write(2, 3)
+	iv := g.Read(0)
+	if !iv.IsExact() || iv.Lo != 4 {
+		t.Fatalf("exact read %v, want [4, 4]", iv)
+	}
+	if g.Stats().Syncs != 3 {
+		t.Errorf("syncs = %d, want 3", g.Stats().Syncs)
+	}
+}
+
+func TestLooseReadIsFree(t *testing.T) {
+	g, err := New(config(2)) // total slack 8, worst-case width 16
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Write(0, 2)
+	before := g.Stats()
+	iv := g.Read(100)
+	if g.Stats().Syncs != before.Syncs {
+		t.Errorf("loose read synced")
+	}
+	if !iv.Valid(2) {
+		t.Errorf("result %v excludes 2", iv)
+	}
+}
+
+func TestHotWriterEarnsLargerShare(t *testing.T) {
+	// The adaptive claim: a replica with heavy write traffic should end up
+	// with a larger slack share than an idle one, amortizing its pushes.
+	rng := rand.New(rand.NewSource(2))
+	cfg := config(2)
+	cfg.RNG = rng
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		g.Write(0, rng.Float64()*4-2) // hot
+		if i%50 == 0 {
+			g.Write(1, rng.Float64()*0.02-0.01) // nearly idle
+		}
+		if i%20 == 0 {
+			g.Read(10 + rng.Float64()*20)
+		}
+	}
+	if g.Share(0) <= g.Share(1) {
+		t.Errorf("hot writer share %g not above idle share %g", g.Share(0), g.Share(1))
+	}
+}
+
+func TestSyncShrinksShare(t *testing.T) {
+	g, err := New(config(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Write(0, 1)
+	g.Read(0) // sync -> shrink share 4 -> 2
+	if g.Share(0) != 2 {
+		t.Errorf("share after sync %g, want 2", g.Share(0))
+	}
+	st := g.Stats()
+	if st.Syncs != 1 || st.Pushes != 0 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.Cost != 2 { // one Cqr
+		t.Errorf("cost %g, want 2", st.Cost)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := config(2)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{Replicas: 0, Params: good.Params, InitialShare: 1, RNG: fire{}},
+		{Replicas: 1, Params: core.Params{Cvr: -1, Cqr: 1}, InitialShare: 1, RNG: fire{}},
+		{Replicas: 1, Params: good.Params, InitialShare: -1, RNG: fire{}},
+		{Replicas: 1, Params: good.Params, InitialShare: 1, RNG: nil},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+		if _, err := New(c); err == nil {
+			t.Errorf("New accepted bad config %d", i)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	g, _ := New(config(2))
+	cases := []func(){
+		func() { g.Write(5, 1) },
+		func() { g.Write(-1, 1) },
+		func() { g.Read(-1) },
+		func() { g.Read(math.NaN()) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuickReadAlwaysSound(t *testing.T) {
+	f := func(seed int64, nRaw uint8, ops []int8) bool {
+		n := int(nRaw)%5 + 1
+		rng := rand.New(rand.NewSource(seed))
+		cfg := config(n)
+		cfg.RNG = rng
+		g, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		for k, op := range ops {
+			g.Write(k%n, float64(op)/8)
+			if k%5 == 0 {
+				delta := math.Abs(float64(op))
+				iv := g.Read(delta)
+				if !iv.Valid(g.True()) {
+					return false
+				}
+				if iv.Width() > delta+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPendingNeverExceedsShare(t *testing.T) {
+	f := func(seed int64, ops []int8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := config(3)
+		cfg.RNG = rng
+		g, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		for k, op := range ops {
+			g.Write(k%3, float64(op)/4)
+			// Invariant: every replica's buffered writes fit its share.
+			for i, r := range g.replicas {
+				if math.Abs(r.pending) > r.share()+1e-9 {
+					_ = i
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

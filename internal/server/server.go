@@ -1,0 +1,332 @@
+// Package server implements a networked data source: it hosts exact numeric
+// values, accepts cache clients over TCP, runs one adaptive width controller
+// per (client, key) subscription, pushes value-initiated refreshes when
+// updates escape cached intervals, and answers exact reads (query-initiated
+// refreshes). One goroutine serves each connection's requests; pushes are
+// serialized per connection by a dedicated writer goroutine.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+
+	"apcache/internal/core"
+	"apcache/internal/netproto"
+	"apcache/internal/source"
+)
+
+// Config parameterizes a server.
+type Config struct {
+	// Params configures the per-subscription adaptive controllers.
+	Params core.Params
+	// InitialWidth seeds each new controller.
+	InitialWidth float64
+	// Seed drives the controllers' probabilistic adjustments.
+	Seed int64
+	// Logf, when non-nil, receives diagnostic messages.
+	Logf func(format string, args ...interface{})
+}
+
+// Server hosts values and serves cache clients.
+type Server struct {
+	cfg Config
+
+	mu      sync.Mutex
+	src     *source.Source
+	conns   map[int]*clientConn
+	nextID  int
+	rng     *rand.Rand
+	ln      net.Listener
+	closed  bool
+	serveWG sync.WaitGroup
+}
+
+// clientConn is one connected cache.
+type clientConn struct {
+	id   int
+	conn net.Conn
+	out  chan netproto.Message
+	done chan struct{}
+}
+
+// lockedRand adapts the server's mutex-guarded RNG to core.Rand. The server
+// mutex is always held when controllers run, so plain access is safe; this
+// type exists to document that invariant.
+type lockedRand struct{ r *rand.Rand }
+
+func (l lockedRand) Float64() float64 { return l.r.Float64() }
+
+// New creates a server. It panics on invalid Params (configuration error).
+func New(cfg Config) *Server {
+	if err := cfg.Params.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.InitialWidth < 0 {
+		panic("server: negative initial width")
+	}
+	s := &Server{
+		cfg:   cfg,
+		conns: make(map[int]*clientConn),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	s.src = source.New(func(cacheID, key int) core.WidthPolicy {
+		return core.NewController(cfg.Params, cfg.InitialWidth, lockedRand{s.rng})
+	})
+	return s
+}
+
+// SetInitial seeds a value without generating refreshes.
+func (s *Server) SetInitial(key int, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.src.SetInitial(key, v)
+}
+
+// Set updates a value, pushing value-initiated refreshes to every client
+// whose interval the update invalidates. It returns the number of refreshes
+// pushed.
+func (s *Server) Set(key int, v float64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	refreshes := s.src.Set(key, v)
+	for _, r := range refreshes {
+		c, ok := s.conns[r.CacheID]
+		if !ok {
+			continue // client disconnected; subscription reaped below
+		}
+		c.send(&netproto.Refresh{
+			ID:            0,
+			Key:           int64(r.Key),
+			Kind:          netproto.KindValueInitiated,
+			Value:         r.Value,
+			Lo:            r.Interval.Lo,
+			Hi:            r.Interval.Hi,
+			OriginalWidth: r.OriginalWidth,
+		})
+	}
+	return len(refreshes)
+}
+
+// Value returns the current exact value.
+func (s *Server) Value(key int) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Value(key)
+}
+
+// Clients returns the number of connected caches.
+func (s *Server) Clients() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.serveWG.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.serveWG.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.nextID++
+		c := &clientConn{
+			id:   s.nextID,
+			conn: conn,
+			out:  make(chan netproto.Message, 256),
+			done: make(chan struct{}),
+		}
+		s.conns[c.id] = c
+		s.mu.Unlock()
+		s.serveWG.Add(2)
+		go s.writeLoop(c)
+		go s.readLoop(c)
+	}
+}
+
+// send enqueues a message; a slow client's queue overflowing drops the
+// message (the next refresh supersedes it anyway).
+func (c *clientConn) send(m netproto.Message) {
+	select {
+	case c.out <- m:
+	case <-c.done:
+	default:
+		// Queue full: drop. Validity is preserved because a dropped
+		// value-initiated refresh is followed by another as soon as the
+		// value escapes the (still-stored) interval again — or, in the
+		// worst case, the client's next query fetches the exact value.
+	}
+}
+
+func (s *Server) writeLoop(c *clientConn) {
+	defer s.serveWG.Done()
+	w := bufio.NewWriter(c.conn)
+	for {
+		select {
+		case m := <-c.out:
+			if err := netproto.Write(w, m); err != nil {
+				c.conn.Close()
+				return
+			}
+			// Drain anything queued before flushing.
+			for {
+				select {
+				case m := <-c.out:
+					if err := netproto.Write(w, m); err != nil {
+						c.conn.Close()
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			if err := w.Flush(); err != nil {
+				c.conn.Close()
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+func (s *Server) readLoop(c *clientConn) {
+	defer s.serveWG.Done()
+	defer s.dropClient(c)
+	r := bufio.NewReader(c.conn)
+	for {
+		msg, err := netproto.ReadMsg(r)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				s.logf("client %d: read: %v", c.id, err)
+			}
+			return
+		}
+		switch m := msg.(type) {
+		case *netproto.Subscribe:
+			s.handleSubscribe(c, m)
+		case *netproto.Unsubscribe:
+			s.mu.Lock()
+			s.src.Unsubscribe(c.id, int(m.Key))
+			s.mu.Unlock()
+		case *netproto.Read:
+			s.handleRead(c, m)
+		case *netproto.Ping:
+			c.send(&netproto.Pong{ID: m.ID})
+		default:
+			c.send(&netproto.ErrorMsg{Msg: fmt.Sprintf("unexpected %T", msg)})
+		}
+	}
+}
+
+func (s *Server) handleSubscribe(c *clientConn, m *netproto.Subscribe) {
+	s.mu.Lock()
+	if _, ok := s.src.Value(int(m.Key)); !ok {
+		s.mu.Unlock()
+		c.send(&netproto.ErrorMsg{ID: m.ID, Msg: fmt.Sprintf("unknown key %d", m.Key)})
+		return
+	}
+	r := s.src.Subscribe(c.id, int(m.Key))
+	s.mu.Unlock()
+	c.send(&netproto.Refresh{
+		ID:            m.ID,
+		Key:           m.Key,
+		Kind:          netproto.KindInitial,
+		Value:         r.Value,
+		Lo:            r.Interval.Lo,
+		Hi:            r.Interval.Hi,
+		OriginalWidth: r.OriginalWidth,
+	})
+}
+
+func (s *Server) handleRead(c *clientConn, m *netproto.Read) {
+	s.mu.Lock()
+	if _, ok := s.src.Value(int(m.Key)); !ok {
+		s.mu.Unlock()
+		c.send(&netproto.ErrorMsg{ID: m.ID, Msg: fmt.Sprintf("unknown key %d", m.Key)})
+		return
+	}
+	r := s.src.Read(c.id, int(m.Key))
+	s.mu.Unlock()
+	c.send(&netproto.Refresh{
+		ID:            m.ID,
+		Key:           m.Key,
+		Kind:          netproto.KindQueryInitiated,
+		Value:         r.Value,
+		Lo:            r.Interval.Lo,
+		Hi:            r.Interval.Hi,
+		OriginalWidth: r.OriginalWidth,
+	})
+}
+
+// dropClient removes a disconnected client and its subscriptions.
+func (s *Server) dropClient(c *clientConn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.conns[c.id]; !ok {
+		return
+	}
+	delete(s.conns, c.id)
+	close(c.done)
+	c.conn.Close()
+	// Reap the client's subscriptions so Set stops preparing refreshes for
+	// it. (Within the protocol this is connection teardown, not the
+	// cache-eviction notification the paper's algorithm avoids.)
+	for key := 0; ; key++ {
+		if _, ok := s.src.Value(key); !ok {
+			break
+		}
+		s.src.Unsubscribe(c.id, key)
+	}
+}
+
+// Close shuts the server down and waits for its goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]*clientConn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		s.dropClient(c)
+	}
+	s.serveWG.Wait()
+	return nil
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,318 @@
+package server
+
+import (
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"apcache/internal/core"
+	"apcache/internal/netproto"
+)
+
+func testConfig() Config {
+	return Config{
+		Params:       core.Params{Cvr: 1, Cqr: 2, Alpha: 1, Lambda0: 0, Lambda1: math.Inf(1)},
+		InitialWidth: 10,
+		Seed:         1,
+	}
+}
+
+func TestNewValidatesParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("invalid params accepted")
+		}
+	}()
+	New(Config{Params: core.Params{Cvr: -1, Cqr: 1}})
+}
+
+func TestNewRejectsNegativeWidth(t *testing.T) {
+	cfg := testConfig()
+	cfg.InitialWidth = -1
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("negative width accepted")
+		}
+	}()
+	New(cfg)
+}
+
+func TestSetWithoutClients(t *testing.T) {
+	s := New(testConfig())
+	s.SetInitial(0, 5)
+	if n := s.Set(0, 100); n != 0 {
+		t.Errorf("Set with no clients pushed %d refreshes", n)
+	}
+	if v, ok := s.Value(0); !ok || v != 100 {
+		t.Errorf("Value = %g, %v", v, ok)
+	}
+	if s.Clients() != 0 {
+		t.Errorf("Clients = %d", s.Clients())
+	}
+}
+
+func TestListenBadAddress(t *testing.T) {
+	s := New(testConfig())
+	if _, err := s.Listen("256.256.256.256:99999"); err == nil {
+		t.Fatalf("bad address accepted")
+	}
+}
+
+func TestCloseIdempotentAndStopsAccept(t *testing.T) {
+	s := New(testConfig())
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// New connections must be refused or immediately dropped.
+	conn, err := net.DialTimeout("tcp", addr.String(), time.Second)
+	if err == nil {
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := netproto.ReadMsg(conn); err == nil {
+			t.Errorf("closed server answered a frame")
+		}
+		conn.Close()
+	}
+}
+
+// rawDial speaks the protocol directly to exercise the server's framing
+// paths without the client package.
+func rawDial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	return conn
+}
+
+func TestRawSubscribeReadFlow(t *testing.T) {
+	s := New(testConfig())
+	s.SetInitial(2, 40)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn := rawDial(t, addr.String())
+
+	if err := netproto.Write(conn, &netproto.Subscribe{ID: 1, Key: 2}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := netproto.ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := msg.(*netproto.Refresh)
+	if !ok || r.ID != 1 || r.Kind != netproto.KindInitial || r.Value != 40 {
+		t.Fatalf("subscribe response %#v", msg)
+	}
+	if r.Lo != 35 || r.Hi != 45 {
+		t.Errorf("interval [%g, %g], want [35, 45]", r.Lo, r.Hi)
+	}
+
+	if err := netproto.Write(conn, &netproto.Read{ID: 2, Key: 2}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = netproto.ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok = msg.(*netproto.Refresh)
+	if !ok || r.ID != 2 || r.Kind != netproto.KindQueryInitiated {
+		t.Fatalf("read response %#v", msg)
+	}
+	// theta=1, alpha=1: the read halves the width to 5.
+	if r.Hi-r.Lo != 5 {
+		t.Errorf("width after read %g, want 5", r.Hi-r.Lo)
+	}
+}
+
+func TestRawUnknownKeyError(t *testing.T) {
+	s := New(testConfig())
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn := rawDial(t, addr.String())
+	if err := netproto.Write(conn, &netproto.Read{ID: 9, Key: 123}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := netproto.ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := msg.(*netproto.ErrorMsg)
+	if !ok || e.ID != 9 {
+		t.Fatalf("expected ErrorMsg with ID 9, got %#v", msg)
+	}
+}
+
+func TestRawPing(t *testing.T) {
+	s := New(testConfig())
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn := rawDial(t, addr.String())
+	if err := netproto.Write(conn, &netproto.Ping{ID: 3}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := netproto.ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := msg.(*netproto.Pong); !ok || p.ID != 3 {
+		t.Fatalf("expected Pong 3, got %#v", msg)
+	}
+}
+
+func TestClientDisconnectReapsSubscriptions(t *testing.T) {
+	s := New(testConfig())
+	s.SetInitial(0, 10)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn := rawDial(t, addr.String())
+	if err := netproto.Write(conn, &netproto.Subscribe{ID: 1, Key: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netproto.ReadMsg(conn); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Clients() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("client not reaped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// After the reap no refreshes are prepared for the dead client.
+	s.SetInitial(0, 10)
+	if n := s.Set(0, 1e9); n != 0 {
+		t.Errorf("Set pushed %d refreshes after disconnect", n)
+	}
+}
+
+func TestGarbageFrameDisconnects(t *testing.T) {
+	s := New(testConfig())
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn := rawDial(t, addr.String())
+	if _, err := conn.Write([]byte{0xff, 0xff, 0xff, 0xff, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Clients() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server kept a client that sent garbage")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSetPushesToSubscribedClient(t *testing.T) {
+	// Covers the Set push path end-to-end at the protocol level.
+	s := New(testConfig())
+	s.SetInitial(0, 10)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn := rawDial(t, addr.String())
+	if err := netproto.Write(conn, &netproto.Subscribe{ID: 1, Key: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netproto.ReadMsg(conn); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Set(0, 1000); n != 1 {
+		t.Fatalf("Set pushed %d refreshes", n)
+	}
+	msg, err := netproto.ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := msg.(*netproto.Refresh)
+	if !ok || r.Kind != netproto.KindValueInitiated || r.ID != 0 {
+		t.Fatalf("push frame %#v", msg)
+	}
+	if r.Value != 1000 || r.Lo > 1000 || r.Hi < 1000 {
+		t.Errorf("push carries %g in [%g, %g]", r.Value, r.Lo, r.Hi)
+	}
+}
+
+func TestSubscribeUnknownKeyAtProtocolLevel(t *testing.T) {
+	s := New(testConfig())
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn := rawDial(t, addr.String())
+	if err := netproto.Write(conn, &netproto.Subscribe{ID: 4, Key: 77}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := netproto.ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := msg.(*netproto.ErrorMsg); !ok || e.ID != 4 {
+		t.Fatalf("expected error frame, got %#v", msg)
+	}
+}
+
+func TestUnexpectedFrameGetsError(t *testing.T) {
+	// A client sending a server-to-client frame gets an error back.
+	s := New(testConfig())
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn := rawDial(t, addr.String())
+	if err := netproto.Write(conn, &netproto.Pong{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := netproto.ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(*netproto.ErrorMsg); !ok {
+		t.Fatalf("expected ErrorMsg, got %#v", msg)
+	}
+}
+
+func TestLogfGoesToConfiguredSink(t *testing.T) {
+	var got []string
+	cfg := testConfig()
+	cfg.Logf = func(format string, args ...interface{}) {
+		got = append(got, format)
+	}
+	s := New(cfg)
+	s.logf("hello %d", 1)
+	if len(got) != 1 {
+		t.Errorf("log sink got %v", got)
+	}
+	// Nil sink must not panic.
+	s2 := New(testConfig())
+	s2.logf("dropped")
+}

@@ -1,0 +1,56 @@
+package sim
+
+import "container/heap"
+
+// eventKind distinguishes the two periodic event streams.
+type eventKind int
+
+const (
+	evUpdate eventKind = iota // all sources advance one time step
+	evQuery                   // one query executes at the cache
+)
+
+// event is one scheduled occurrence.
+type event struct {
+	t    float64
+	seq  uint64 // tie-break: FIFO among equal times
+	kind eventKind
+}
+
+// eventQueue is a min-heap on (t, seq).
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// scheduler drives the simulation clock.
+type scheduler struct {
+	q   eventQueue
+	seq uint64
+}
+
+func (s *scheduler) schedule(t float64, kind eventKind) {
+	s.seq++
+	heap.Push(&s.q, event{t: t, seq: s.seq, kind: kind})
+}
+
+func (s *scheduler) next() (event, bool) {
+	if s.q.Len() == 0 {
+		return event{}, false
+	}
+	return heap.Pop(&s.q).(event), true
+}

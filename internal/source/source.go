@@ -1,0 +1,194 @@
+// Package source implements the server side of the approximate caching
+// protocol: it hosts exact numeric values, tracks the interval approximation
+// each cache holds for each value, detects invalidation on updates
+// (value-initiated refreshes), serves exact reads (query-initiated
+// refreshes), and runs one width policy per (cache, value) pair — the
+// adaptive controller of internal/core, or any other core.WidthPolicy.
+//
+// Per the paper, the source is never told about cache evictions, so it keeps
+// maintaining subscriptions for evicted entries; the cache re-decides
+// admission whenever a refresh arrives.
+package source
+
+import (
+	"fmt"
+
+	"apcache/internal/core"
+	"apcache/internal/interval"
+)
+
+// PolicyFactory builds the width policy for a newly subscribed
+// (cache, value) pair.
+type PolicyFactory func(cacheID, key int) core.WidthPolicy
+
+// Refresh is one message from the source to a cache carrying a fresh
+// approximation (and, for query-initiated refreshes, the exact value the
+// query consumes).
+type Refresh struct {
+	// CacheID identifies the destination cache.
+	CacheID int
+	// Key identifies the value.
+	Key int
+	// Value is the current exact value.
+	Value float64
+	// Interval is the new approximation to install.
+	Interval interval.Interval
+	// OriginalWidth is the policy's pre-threshold width, which the cache
+	// uses as its eviction rank.
+	OriginalWidth float64
+}
+
+type subID struct{ cache, key int }
+
+type subscription struct {
+	policy core.WidthPolicy
+	iv     interval.Interval
+}
+
+// Source hosts a set of exact values and their per-cache subscriptions. It
+// is not safe for concurrent use; the networked server serializes access.
+type Source struct {
+	values  map[int]float64
+	subs    map[subID]*subscription
+	factory PolicyFactory
+}
+
+// New returns an empty source using factory for new subscriptions.
+func New(factory PolicyFactory) *Source {
+	if factory == nil {
+		panic("source: nil PolicyFactory")
+	}
+	return &Source{
+		values:  make(map[int]float64),
+		subs:    make(map[subID]*subscription),
+		factory: factory,
+	}
+}
+
+// SetInitial installs a value without generating refreshes; use it to seed
+// the source before subscriptions exist.
+func (s *Source) SetInitial(key int, v float64) { s.values[key] = v }
+
+// Value returns the current exact value for key.
+func (s *Source) Value(key int) (float64, bool) {
+	v, ok := s.values[key]
+	return v, ok
+}
+
+// Keys returns the number of hosted values.
+func (s *Source) Keys() int { return len(s.values) }
+
+// Subscriptions returns the number of live subscriptions.
+func (s *Source) Subscriptions() int { return len(s.subs) }
+
+// Subscribe registers cacheID's interest in key and returns the initial
+// refresh carrying the first approximation. Subscribing an already
+// subscribed pair returns the current approximation without adjusting the
+// policy. Subscribe panics if the key does not exist.
+func (s *Source) Subscribe(cacheID, key int) Refresh {
+	v, ok := s.values[key]
+	if !ok {
+		panic(fmt.Sprintf("source: Subscribe to unknown key %d", key))
+	}
+	id := subID{cache: cacheID, key: key}
+	sub, ok := s.subs[id]
+	if !ok {
+		sub = &subscription{policy: s.factory(cacheID, key)}
+		sub.iv = sub.policy.NewInterval(v)
+		s.subs[id] = sub
+	}
+	return Refresh{CacheID: cacheID, Key: key, Value: v, Interval: sub.iv, OriginalWidth: sub.policy.Width()}
+}
+
+// Unsubscribe removes the pair's subscription, reporting whether it existed.
+// The adaptive algorithm's caches never call this (silent eviction); the
+// exact-caching baseline does notify sources.
+func (s *Source) Unsubscribe(cacheID, key int) bool {
+	id := subID{cache: cacheID, key: key}
+	if _, ok := s.subs[id]; !ok {
+		return false
+	}
+	delete(s.subs, id)
+	return true
+}
+
+// Subscribed reports whether the pair has a live subscription.
+func (s *Source) Subscribed(cacheID, key int) bool {
+	_, ok := s.subs[subID{cache: cacheID, key: key}]
+	return ok
+}
+
+// Set updates key's exact value and returns the value-initiated refreshes
+// for every subscription whose interval the new value escapes. Each such
+// policy is adjusted with a ValueInitiated refresh (directionally, for
+// uncentered policies) and ships a new interval centered per its policy.
+func (s *Source) Set(key int, v float64) []Refresh {
+	s.values[key] = v
+	var out []Refresh
+	for id, sub := range s.subs {
+		if id.key != key || sub.iv.Valid(v) {
+			continue
+		}
+		above := v > sub.iv.Hi
+		var iv interval.Interval
+		if uc, ok := sub.policy.(*core.UncenteredController); ok {
+			iv = uc.RefreshIntervalDirectional(core.ValueInitiated, above, v)
+		} else {
+			iv = sub.policy.RefreshInterval(core.ValueInitiated, v)
+		}
+		sub.iv = iv
+		out = append(out, Refresh{
+			CacheID:       id.cache,
+			Key:           key,
+			Value:         v,
+			Interval:      iv,
+			OriginalWidth: sub.policy.Width(),
+		})
+	}
+	return out
+}
+
+// Read serves a query-initiated refresh: it returns the exact value together
+// with a new approximation, adjusting the pair's policy with a
+// QueryInitiated refresh. Reading through an unsubscribed pair subscribes it
+// first (a query may touch a value the cache has never seen). Read panics
+// on an unknown key.
+func (s *Source) Read(cacheID, key int) Refresh {
+	v, ok := s.values[key]
+	if !ok {
+		panic(fmt.Sprintf("source: Read of unknown key %d", key))
+	}
+	id := subID{cache: cacheID, key: key}
+	sub, ok := s.subs[id]
+	if !ok {
+		sub = &subscription{policy: s.factory(cacheID, key)}
+		s.subs[id] = sub
+	}
+	var iv interval.Interval
+	if uc, ok := sub.policy.(*core.UncenteredController); ok {
+		iv = uc.RefreshIntervalDirectional(core.QueryInitiated, false, v)
+	} else {
+		iv = sub.policy.RefreshInterval(core.QueryInitiated, v)
+	}
+	sub.iv = iv
+	return Refresh{CacheID: cacheID, Key: key, Value: v, Interval: iv, OriginalWidth: sub.policy.Width()}
+}
+
+// IntervalFor returns the interval the source believes cacheID holds for
+// key, for inspection and tests.
+func (s *Source) IntervalFor(cacheID, key int) (interval.Interval, bool) {
+	sub, ok := s.subs[subID{cache: cacheID, key: key}]
+	if !ok {
+		return interval.Interval{}, false
+	}
+	return sub.iv, true
+}
+
+// PolicyFor returns the width policy for a subscription, for inspection.
+func (s *Source) PolicyFor(cacheID, key int) (core.WidthPolicy, bool) {
+	sub, ok := s.subs[subID{cache: cacheID, key: key}]
+	if !ok {
+		return nil, false
+	}
+	return sub.policy, true
+}

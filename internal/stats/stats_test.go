@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCostMeterWarmupDiscard(t *testing.T) {
+	m := NewCostMeter(100)
+	m.ValueRefresh(50, 4) // warm-up, discarded
+	m.QueryRefresh(99, 2) // warm-up, discarded
+	m.ValueRefresh(100, 4)
+	m.QueryRefresh(150, 2)
+	m.Tick(200)
+	if got := m.TotalCost(); got != 6 {
+		t.Errorf("TotalCost = %g, want 6", got)
+	}
+	if m.ValueRefreshes() != 1 || m.QueryRefreshes() != 1 {
+		t.Errorf("post-warm-up counts = %d/%d, want 1/1", m.ValueRefreshes(), m.QueryRefreshes())
+	}
+	if m.AllValueRefreshes() != 2 || m.AllQueryRefreshes() != 2 {
+		t.Errorf("all counts = %d/%d, want 2/2", m.AllValueRefreshes(), m.AllQueryRefreshes())
+	}
+	if got := m.Elapsed(); got != 100 {
+		t.Errorf("Elapsed = %g, want 100", got)
+	}
+	if got := m.Rate(); math.Abs(got-0.06) > 1e-12 {
+		t.Errorf("Rate = %g, want 0.06", got)
+	}
+}
+
+func TestCostMeterRefreshRates(t *testing.T) {
+	m := NewCostMeter(0)
+	for i := 0; i < 10; i++ {
+		m.ValueRefresh(float64(i), 1)
+	}
+	for i := 0; i < 5; i++ {
+		m.QueryRefresh(float64(i), 2)
+	}
+	m.Tick(100)
+	pvr, pqr := m.RefreshRates()
+	if math.Abs(pvr-0.1) > 1e-12 || math.Abs(pqr-0.05) > 1e-12 {
+		t.Errorf("rates = %g/%g, want 0.1/0.05", pvr, pqr)
+	}
+}
+
+func TestCostMeterEmpty(t *testing.T) {
+	m := NewCostMeter(10)
+	if m.Rate() != 0 || m.Elapsed() != 0 {
+		t.Errorf("empty meter: rate=%g elapsed=%g", m.Rate(), m.Elapsed())
+	}
+	pvr, pqr := m.RefreshRates()
+	if pvr != 0 || pqr != 0 {
+		t.Errorf("empty meter rates %g/%g", pvr, pqr)
+	}
+}
+
+func TestSummaryMoments(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	if got := s.Std(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Std = %g, want 2", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %g/%g, want 2/9", s.Min(), s.Max())
+	}
+	if s.String() == "" {
+		t.Errorf("empty String()")
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 {
+		t.Errorf("empty summary mean/var = %g/%g", s.Mean(), s.Var())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "value"
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i), float64(i*i))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	w := s.Window(3, 6)
+	if len(w) != 3 || w[0].T != 3 || w[2].T != 5 {
+		t.Errorf("Window(3,6) = %+v", w)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {1, 5},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); got != tc.want {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Errorf("median = %g", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Errorf("Quantile of empty slice should be NaN")
+	}
+	// Out-of-range q is clamped.
+	if got := Quantile(xs, 2); got != 5 {
+		t.Errorf("Quantile(2) = %g, want 5", got)
+	}
+	if got := Quantile(xs, -1); got != 1 {
+		t.Errorf("Quantile(-1) = %g, want 1", got)
+	}
+	// Input must not be mutated.
+	unsorted := []float64{3, 1, 2}
+	Quantile(unsorted, 0.5)
+	if unsorted[0] != 3 {
+		t.Errorf("Quantile mutated its input")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter("hits")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 || c.Name() != "hits" {
+		t.Errorf("counter = %d %q", c.Value(), c.Name())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestQuickSummaryMeanWithinBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				ok = false
+				break
+			}
+			s.Add(x)
+		}
+		if !ok || s.N() == 0 {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9 && s.Var() >= -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(clean, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

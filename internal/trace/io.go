@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes the trace with one row per second and one column per
+// host; the header row names hosts host0..hostN-1.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	header := make([]string, tr.Hosts())
+	for h := range header {
+		header[h] = fmt.Sprintf("host%d", h)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	row := make([]string, tr.Hosts())
+	for t := 0; t < tr.Duration(); t++ {
+		for h := 0; h < tr.Hosts(); h++ {
+			row[h] = strconv.FormatFloat(tr.Series[h][t], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write row %d: %w", t, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	hosts := len(header)
+	if hosts == 0 {
+		return nil, fmt.Errorf("trace: empty header")
+	}
+	tr := &Trace{Series: make([][]float64, hosts)}
+	t := 0
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read row %d: %w", t, err)
+		}
+		if len(row) != hosts {
+			return nil, fmt.Errorf("trace: row %d has %d columns, want %d", t, len(row), hosts)
+		}
+		for h, cell := range row {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d host %d: %w", t, h, err)
+			}
+			tr.Series[h] = append(tr.Series[h], v)
+		}
+		t++
+	}
+	if t == 0 {
+		return nil, fmt.Errorf("trace: no samples")
+	}
+	return tr, nil
+}

@@ -1,0 +1,101 @@
+package apcache
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"apcache/internal/core"
+)
+
+// snapshot is the serialized form of a Store: values, per-key controller
+// widths, and cached approximations. Controllers are reconstructed from
+// their widths — the width is the only adaptive state the algorithm keeps.
+type snapshot struct {
+	Version int
+	Params  Params
+	Keys    []keySnapshot
+	VIR     int
+	QIR     int
+	Cost    float64
+}
+
+type keySnapshot struct {
+	Key    int
+	Value  float64
+	Width  float64 // controller's original width
+	Cached bool
+	Lo, Hi float64
+	OrigW  float64 // cache entry's eviction rank
+}
+
+const snapshotVersion = 1
+
+// Save serializes the store's state — exact values, adaptive widths, and
+// cached intervals — so a restarted process can resume with the learned
+// precision settings instead of re-adapting from scratch.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := snapshot{
+		Version: snapshotVersion,
+		Params:  s.prm,
+		VIR:     s.vir,
+		QIR:     s.qir,
+		Cost:    s.cost,
+	}
+	for _, e := range s.cache.Entries() {
+		v, ok := s.src.Value(e.Key)
+		if !ok {
+			continue
+		}
+		ks := keySnapshot{Key: e.Key, Value: v, Cached: true,
+			Lo: e.Interval.Lo, Hi: e.Interval.Hi, OrigW: e.OriginalWidth}
+		if p, ok := s.src.PolicyFor(storeCacheID, e.Key); ok {
+			ks.Width = p.Width()
+		}
+		snap.Keys = append(snap.Keys, ks)
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("apcache: save: %w", err)
+	}
+	return nil
+}
+
+// Load restores a snapshot written by Save into a fresh store built with the
+// snapshot's parameters. The seed drives the restored controllers'
+// probabilistic adjustments.
+func Load(r io.Reader, seed int64) (*Store, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("apcache: load: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("apcache: snapshot version %d unsupported", snap.Version)
+	}
+	s, err := NewStore(Options{Params: snap.Params, InitialWidth: 1, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vir, s.qir, s.cost = snap.VIR, snap.QIR, snap.Cost
+	for _, ks := range snap.Keys {
+		s.src.SetInitial(ks.Key, ks.Value)
+		s.src.Subscribe(storeCacheID, ks.Key)
+		if p, ok := s.src.PolicyFor(storeCacheID, ks.Key); ok {
+			if c, ok := p.(*core.Controller); ok {
+				c.SetWidth(ks.Width)
+			}
+		}
+		if ks.Cached {
+			s.cache.Put(ks.Key, Interval{Lo: ks.Lo, Hi: ks.Hi}, ks.OrigW)
+		}
+	}
+	return s, nil
+}
+
+// decodeSnap and encodeSnap expose raw snapshot coding for version tests.
+func decodeSnap(r io.Reader, snap *snapshot) error { return gob.NewDecoder(r).Decode(snap) }
+
+func encodeSnap(w io.Writer, snap snapshot) error { return gob.NewEncoder(w).Encode(snap) }

@@ -1,0 +1,128 @@
+package apcache
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := newStore(t)
+	for k, v := range []float64{10, 20, 30} {
+		s.Track(k, v)
+	}
+	// Adapt some state: narrow key 2, widen key 0.
+	for i := 0; i < 3; i++ {
+		if _, err := s.ReadExact(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := 10.0
+	for i := 0; i < 4; i++ {
+		v += 100
+		s.Set(0, v)
+	}
+	before := s.Stats()
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	restored, err := Load(&buf, 99)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	after := restored.Stats()
+	if after.ValueRefreshes != before.ValueRefreshes || after.QueryRefreshes != before.QueryRefreshes {
+		t.Errorf("counters lost: %+v vs %+v", after, before)
+	}
+	if after.Cost != before.Cost {
+		t.Errorf("cost lost: %g vs %g", after.Cost, before.Cost)
+	}
+	// Cached intervals and exact values survive.
+	for k, want := range []float64{v, 20, 30} {
+		iv0, ok0 := s.Get(k)
+		iv1, ok1 := restored.Get(k)
+		if ok0 != ok1 || iv0 != iv1 {
+			t.Errorf("key %d interval mismatch: %v/%v vs %v/%v", k, iv0, ok0, iv1, ok1)
+		}
+		got, err := restored.ReadExact(k)
+		if err != nil || got != want {
+			t.Errorf("key %d value %g, want %g (err %v)", k, got, want, err)
+		}
+	}
+}
+
+func TestLoadPreservesAdaptedWidths(t *testing.T) {
+	s := newStore(t)
+	s.Track(0, 0)
+	// Narrow the width via reads: 10 -> 10/16.
+	for i := 0; i < 4; i++ {
+		if _, err := s.ReadExact(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	narrowed, _ := s.Get(0)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The next refresh must continue from the narrowed width, not restart
+	// from the default: a value escape doubles it.
+	restored.Set(0, 1e6)
+	iv, _ := restored.Get(0)
+	if iv.Width() > narrowed.Width()*2+1e-9 {
+		t.Errorf("restored width %g did not continue from adapted %g", iv.Width(), narrowed.Width())
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a snapshot"), 1); err == nil {
+		t.Errorf("garbage accepted")
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	s := newStore(t)
+	s.Track(0, 1)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode with a bumped version by decoding into the raw struct.
+	var snap snapshot
+	if err := decodeSnap(&buf, &snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.Version = 99
+	var buf2 bytes.Buffer
+	if err := encodeSnap(&buf2, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf2, 1); err == nil {
+		t.Errorf("wrong version accepted")
+	}
+}
+
+func TestSaveEmptyStore(t *testing.T) {
+	s := newStore(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("Save empty: %v", err)
+	}
+	restored, err := Load(&buf, 1)
+	if err != nil {
+		t.Fatalf("Load empty: %v", err)
+	}
+	if _, ok := restored.Get(0); ok {
+		t.Errorf("empty restore has entries")
+	}
+	if math.IsNaN(restored.Stats().Cost) {
+		t.Errorf("NaN cost")
+	}
+}
