@@ -10,11 +10,25 @@
 // derived from the refresh cost ratio so the width converges to the
 // cost-rate optimum without workload monitoring.
 //
+// # Sharding
+//
+// The algorithm is inherently per-key — each cached value runs its own
+// independent width controller — so Store partitions its keys over a
+// power-of-two number of shards (Options.Shards, default scaled to
+// GOMAXPROCS). Each shard owns the exact values, controllers, cached
+// intervals, and random source for its slice of the key space behind its own
+// mutex, so Track/Set/Get/ReadExact on different shards never contend.
+// Cumulative refresh counters are atomics, read by Stats without touching
+// any shard lock. A bounded-aggregate query (Do) locks only the shards its
+// keys hash to, always in ascending shard order so concurrent queries with
+// overlapping key sets cannot deadlock, and holds them for the duration of
+// the query so the answer is computed against one consistent snapshot.
+//
 // Three deployment shapes are provided:
 //
 //   - Store: an in-process source + cache pair for library use.
 //   - Server/Client (via Serve and Dial): the same protocol over TCP with a
-//     goroutine per connection.
+//     goroutine per connection and the same per-shard locking on the server.
 //   - the simulator and experiment harness under internal/, driven by
 //     cmd/apcache-sim, which regenerate the paper's performance study.
 package apcache
@@ -25,6 +39,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"apcache/internal/cache"
 	"apcache/internal/client"
@@ -33,6 +48,7 @@ import (
 	"apcache/internal/interval"
 	"apcache/internal/query"
 	"apcache/internal/server"
+	"apcache/internal/shard"
 	"apcache/internal/source"
 	"apcache/internal/workload"
 )
@@ -84,13 +100,22 @@ type Options struct {
 	// DefaultParams(1, 2, 0).
 	Params Params
 	// CacheSize caps the number of cached approximations; 0 means
-	// unlimited growth up to the number of keys.
+	// unlimited growth up to the number of keys. The cap is divided evenly
+	// among the shards (each shard gets at least one slot, so the
+	// effective total is at most max(CacheSize, Shards)), and eviction
+	// competition (widest original width loses) is per shard rather than
+	// global.
 	CacheSize int
 	// InitialWidth seeds each new controller (default 1).
 	InitialWidth float64
 	// Seed drives the probabilistic width adjustments (default
-	// deterministic seed 1).
+	// deterministic seed 1). Each shard derives its own stream from it.
 	Seed int64
+	// Shards sets the number of lock shards the key space is partitioned
+	// over. 0 selects a default scaled to GOMAXPROCS; any value is rounded
+	// up to a power of two and capped at 256. Use 1 to recover the old
+	// global-lock behavior (useful as a benchmark baseline).
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -104,20 +129,38 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	o.Shards = shard.Count(o.Shards)
 	return o
+}
+
+// storeShard owns one slice of the key space: the exact values and width
+// controllers (src), the cached approximations (cache), and the random
+// stream feeding the controllers' probabilistic adjustments. All fields are
+// guarded by mu. The struct is padded to a full cache line so individually
+// allocated shards never false-share, even when the allocator packs them
+// into adjacent slots of one size-class span.
+type storeShard struct {
+	mu    sync.Mutex
+	src   *source.Source
+	cache *cache.Cache
+	_     [64 - 24]byte // pad past one 64-byte cache line
 }
 
 // Store is an in-process adaptive-precision cache: a source of exact values
 // and a cache of interval approximations wired through the precision-setting
-// algorithm. It is safe for concurrent use.
+// algorithm. It is safe for concurrent use; see the package comment for the
+// sharding design.
 type Store struct {
-	mu    sync.Mutex
-	src   *source.Source
-	cache *cache.Cache
-	vir   int
-	qir   int
-	cost  float64
-	prm   Params
+	shards []*storeShard
+	prm    Params
+
+	// Cumulative refresh accounting, updated atomically so Stats reads
+	// them without taking any shard lock. These are the one piece of
+	// cross-shard shared state on the hot path; they are touched only when
+	// a refresh actually fires, not on every operation. cost is stored as
+	// float64 bits and updated by CAS.
+	vir, qir atomic.Int64
+	costBits atomic.Uint64
 }
 
 const storeCacheID = 0
@@ -135,22 +178,80 @@ func NewStore(opts Options) (*Store, error) {
 	if size <= 0 {
 		size = 1 << 20
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	s := &Store{cache: cache.New(size), prm: opts.Params}
-	s.src = source.New(func(cacheID, key int) core.WidthPolicy {
-		return core.NewController(opts.Params, opts.InitialWidth, rng)
-	})
+	s := &Store{shards: make([]*storeShard, opts.Shards), prm: opts.Params}
+	for i := range s.shards {
+		// Split the cap exactly: size/Shards per shard with the remainder
+		// spread over the first shards, floored at one slot each so no
+		// shard is uncacheable (for CacheSize < Shards the effective total
+		// is therefore Shards, not CacheSize).
+		perShard := size / opts.Shards
+		if i < size%opts.Shards {
+			perShard++
+		}
+		if perShard < 1 {
+			perShard = 1
+		}
+		// Each shard gets its own deterministic stream: the controllers it
+		// hosts draw only from it, under the shard lock.
+		rng := rand.New(rand.NewSource(opts.Seed + int64(i)))
+		sh := &storeShard{cache: cache.New(perShard)}
+		sh.src = source.New(func(cacheID, key int) core.WidthPolicy {
+			return core.NewController(opts.Params, opts.InitialWidth, rng)
+		})
+		s.shards[i] = sh
+	}
 	return s, nil
 }
 
+// Shards returns the number of lock shards the store was built with.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardFor returns the shard owning key.
+func (s *Store) shardFor(key int) *storeShard {
+	return s.shards[shard.Index(key, len(s.shards))]
+}
+
+// addCost atomically accumulates refresh cost.
+func (s *Store) addCost(d float64) {
+	for {
+		old := s.costBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if s.costBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Track registers a key with its initial exact value and caches the first
-// approximation.
+// approximation. Tracking a key that is already live is treated as an
+// update (exactly like Set): routing it through the refresh path keeps the
+// cached interval valid, where blindly re-seeding the value would silently
+// break the containment invariant.
 func (s *Store) Track(key int, v float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.src.SetInitial(key, v)
-	r := s.src.Subscribe(storeCacheID, key)
-	s.cache.Put(r.Key, r.Interval, r.OriginalWidth)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.src.Value(key); ok && sh.src.Subscribed(storeCacheID, key) {
+		refreshes := sh.src.Set(key, v)
+		for _, r := range refreshes {
+			s.vir.Add(1)
+			s.addCost(s.prm.Cvr)
+			sh.cache.Put(r.Key, r.Interval, r.OriginalWidth)
+		}
+		if len(refreshes) == 0 {
+			// The new value sits inside the current interval, so no refresh
+			// fired — but Track promises the key is cached afterwards, so
+			// re-offer the (still valid) current approximation in case the
+			// entry was evicted. Subscribe on a live pair is a free read of
+			// the current state: no cost, no policy adjustment.
+			r := sh.src.Subscribe(storeCacheID, key)
+			sh.cache.Put(r.Key, r.Interval, r.OriginalWidth)
+		}
+		return
+	}
+	sh.src.SetInitial(key, v)
+	r := sh.src.Subscribe(storeCacheID, key)
+	sh.cache.Put(r.Key, r.Interval, r.OriginalWidth)
 }
 
 // Set applies an update to a tracked key. If the new value escapes the
@@ -158,57 +259,103 @@ func (s *Store) Track(key int, v float64) {
 // approximation is re-centered with an adaptively grown width. It reports
 // whether a refresh fired.
 func (s *Store) Set(key int, v float64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	refreshes := s.src.Set(key, v)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	refreshes := sh.src.Set(key, v)
 	for _, r := range refreshes {
-		s.vir++
-		s.cost += s.prm.Cvr
-		s.cache.Put(r.Key, r.Interval, r.OriginalWidth)
+		s.vir.Add(1)
+		s.addCost(s.prm.Cvr)
+		sh.cache.Put(r.Key, r.Interval, r.OriginalWidth)
 	}
 	return len(refreshes) > 0
 }
 
 // Get returns the cached approximation for key.
 func (s *Store) Get(key int) (Interval, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cache.Get(key)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.cache.Get(key)
 }
 
 // ReadExact performs a query-initiated refresh: it returns the exact value
 // (cost Cqr) and installs a freshly narrowed interval.
 func (s *Store) ReadExact(key int) (float64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.src.Value(key); !ok {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.src.Value(key); !ok {
 		return 0, fmt.Errorf("apcache: unknown key %d", key)
 	}
-	return s.readLocked(key), nil
+	return s.readLocked(sh, key), nil
 }
 
-func (s *Store) readLocked(key int) float64 {
-	r := s.src.Read(storeCacheID, key)
-	s.qir++
-	s.cost += s.prm.Cqr
-	s.cache.Put(r.Key, r.Interval, r.OriginalWidth)
+// readLocked serves a query-initiated refresh for a key on an already-locked
+// shard.
+func (s *Store) readLocked(sh *storeShard, key int) float64 {
+	r := sh.src.Read(storeCacheID, key)
+	s.qir.Add(1)
+	s.addCost(s.prm.Cqr)
+	sh.cache.Put(r.Key, r.Interval, r.OriginalWidth)
 	return r.Value
 }
 
 // Do executes a bounded-aggregate query, fetching exact values as needed to
-// guarantee the precision constraint.
+// guarantee the precision constraint. Only the shards the query's keys hash
+// to are locked, in ascending shard order (so overlapping concurrent queries
+// cannot deadlock), and they stay locked for the duration so the answer is
+// computed against a consistent snapshot.
 func (s *Store) Do(q Query) (Answer, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	locked := s.lockShardsFor(q.Keys)
+	defer unlockShards(locked)
 	for _, k := range q.Keys {
-		if _, ok := s.src.Value(k); !ok {
+		if _, ok := s.shardFor(k).src.Value(k); !ok {
 			return Answer{}, fmt.Errorf("apcache: unknown key %d", k)
 		}
 	}
 	ans := query.Execute(q,
-		func(key int) (Interval, bool) { return s.cache.Get(key) },
-		func(key int) float64 { return s.readLocked(key) })
+		func(key int) (Interval, bool) { return s.shardFor(key).cache.Get(key) },
+		func(key int) float64 { return s.readLocked(s.shardFor(key), key) })
 	return ans, nil
+}
+
+// lockShardsFor locks the distinct shards the keys hash to in ascending
+// index order and returns them (still locked) for unlockShards.
+func (s *Store) lockShardsFor(keys []int) []*storeShard {
+	n := len(s.shards)
+	seen := make([]bool, n)
+	for _, k := range keys {
+		seen[shard.Index(k, n)] = true
+	}
+	locked := make([]*storeShard, 0, n)
+	for i, hit := range seen {
+		if hit {
+			s.shards[i].mu.Lock()
+			locked = append(locked, s.shards[i])
+		}
+	}
+	return locked
+}
+
+// lockAll locks every shard in ascending order (snapshot operations).
+func (s *Store) lockAll() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+}
+
+// unlockAll releases every shard lock.
+func (s *Store) unlockAll() {
+	for _, sh := range s.shards {
+		sh.mu.Unlock()
+	}
+}
+
+func unlockShards(locked []*storeShard) {
+	for _, sh := range locked {
+		sh.mu.Unlock()
+	}
 }
 
 // StoreStats reports a store's cumulative refresh activity.
@@ -217,20 +364,31 @@ type StoreStats struct {
 	ValueRefreshes, QueryRefreshes int
 	// Cost is the total refresh cost (Cvr and Cqr weighted).
 	Cost float64
-	// Cache snapshots the cache counters.
+	// Cache snapshots the cache counters, summed over all shards.
 	Cache cache.Stats
 }
 
-// Stats snapshots the store's counters.
+// Stats snapshots the store's counters. The refresh counters are read from
+// atomics without contending with the hot path; the cache counters take each
+// shard lock briefly in turn, so they are per-shard-consistent rather than a
+// single global snapshot.
 func (s *Store) Stats() StoreStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return StoreStats{
-		ValueRefreshes: s.vir,
-		QueryRefreshes: s.qir,
-		Cost:           s.cost,
-		Cache:          s.cache.Stats(),
+	st := StoreStats{
+		ValueRefreshes: int(s.vir.Load()),
+		QueryRefreshes: int(s.qir.Load()),
+		Cost:           math.Float64frombits(s.costBits.Load()),
 	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		cs := sh.cache.Stats()
+		sh.mu.Unlock()
+		st.Cache.Hits += cs.Hits
+		st.Cache.Misses += cs.Misses
+		st.Cache.Admits += cs.Admits
+		st.Cache.Evicts += cs.Evicts
+		st.Cache.Rejects += cs.Rejects
+	}
+	return st
 }
 
 // Server is a networked source process serving cache clients over TCP.

@@ -214,3 +214,69 @@ func ExampleStore() {
 	// refreshes needed: 0
 	// exact answer: 21
 }
+
+func TestTrackReadmitsEvictedKey(t *testing.T) {
+	// A 1-entry cache on one shard: key 1 loses the admission tie against
+	// resident key 0 and stays uncached. After key 0's width grows past key
+	// 1's, re-Tracking key 1 with a value inside its interval must re-offer
+	// the entry — which now wins admission — even though no refresh fires.
+	s, err := NewStore(Options{InitialWidth: 10, CacheSize: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Track(0, 0)
+	s.Track(1, 1000)
+	if _, ok := s.Get(1); ok {
+		t.Fatal("key 1 admitted over resident key 0 on an equal-width tie")
+	}
+	v := 0.0
+	for i := 0; i < 3; i++ { // widen key 0 with escaping updates
+		v += 1000
+		s.Set(0, v)
+	}
+	s.Track(1, 1000) // same value: inside the interval, no refresh
+	if _, ok := s.Get(1); !ok {
+		t.Error("key 1 still uncached after re-Track despite winning admission")
+	}
+}
+
+func TestNewStoreHugeCacheSize(t *testing.T) {
+	// The per-shard cap must not overflow for CacheSize near MaxInt; the
+	// store should behave as effectively unlimited.
+	s, err := NewStore(Options{InitialWidth: 10, CacheSize: math.MaxInt, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 100
+	for k := 0; k < keys; k++ {
+		s.Track(k, float64(k))
+	}
+	for k := 0; k < keys; k++ {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("key %d not cached despite unlimited capacity", k)
+		}
+	}
+}
+
+func TestCacheSizeSplitIsExact(t *testing.T) {
+	// The cap must not gain ceiling slack from the per-shard split: with
+	// every shard oversubscribed, the store caches exactly CacheSize
+	// entries (100 over 16 shards, not 16*ceil(100/16) = 112).
+	s, err := NewStore(Options{InitialWidth: 10, CacheSize: 100, Shards: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 4000
+	for k := 0; k < keys; k++ {
+		s.Track(k, float64(k))
+	}
+	cached := 0
+	for k := 0; k < keys; k++ {
+		if _, ok := s.Get(k); ok {
+			cached++
+		}
+	}
+	if cached != 100 {
+		t.Errorf("cached %d entries, want exactly 100", cached)
+	}
+}

@@ -14,8 +14,10 @@ package apcache
 //	go run ./cmd/apcache-sim -all
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"apcache/internal/bench"
@@ -164,6 +166,45 @@ func (s *sliceBuf) Read(p []byte) (int, error) {
 	n := copy(p, s.b[s.r:])
 	s.r += n
 	return n, nil
+}
+
+// BenchmarkStoreParallel measures the mixed hot path (70% Set, 25% Get, 5%
+// ReadExact over 1024 keys) under b.RunParallel at 1, 4, and 8 shards. The
+// 1-shard configuration is the old global-lock architecture; the scaling
+// ratio 8-shard/1-shard is the headline recorded in BENCH_store.json.
+func BenchmarkStoreParallel(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, err := NewStore(Options{InitialWidth: 10, Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			const keys = 1024
+			for k := 0; k < keys; k++ {
+				s.Track(k, 0)
+			}
+			var seed atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seed.Add(1)))
+				for pb.Next() {
+					k := rng.Intn(keys)
+					switch r := rng.Intn(20); {
+					case r < 14:
+						s.Set(k, rng.Float64()*1000)
+					case r < 19:
+						s.Get(k)
+					default:
+						if _, err := s.ReadExact(k); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}
+			})
+		})
+	}
 }
 
 func BenchmarkStoreSet(b *testing.B) {

@@ -38,6 +38,7 @@ func main() {
 		lambda0   = flag.Float64("lambda0", 0, "lower width threshold")
 		width     = flag.Float64("width", 10, "initial interval width")
 		seed      = flag.Int64("seed", 1, "random seed")
+		shards    = flag.Int("shards", 0, "lock shards for the key space (0 = GOMAXPROCS-scaled, rounded to a power of two)")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 		},
 		InitialWidth: *width,
 		Seed:         *seed,
+		Shards:       *shards,
 		Logf:         log.Printf,
 	})
 

@@ -65,6 +65,7 @@ func runScenario(tr *trace.Trace, lambda1 float64) float64 {
 		},
 		InitialWidth: 10_000,
 		Seed:         3,
+		Shards:       1, // single-threaded replay; sharding would only split the cache
 	})
 	if err != nil {
 		panic(err)

@@ -1,0 +1,110 @@
+package apcache
+
+// FuzzStoreInvariant drives a Store with a random sequence of updates,
+// reads, and bounded-aggregate queries decoded from fuzz input, checking the
+// paper's safety properties after every operation: cached intervals always
+// contain the exact value, widths are never negative or NaN, and query
+// answers both meet their precision constraint and contain the true
+// aggregate computed from a mirror of the exact values.
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fuzzValue decodes a finite float64 in a bounded range from 2 bytes.
+func fuzzValue(b []byte) float64 {
+	return float64(int16(binary.LittleEndian.Uint16(b)))
+}
+
+func FuzzStoreInvariant(f *testing.F) {
+	f.Add(int64(1), uint8(4), []byte{0, 0, 10, 1, 1, 200, 2, 2, 0, 3, 3, 0, 4, 0, 5, 5})
+	f.Add(int64(42), uint8(1), []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13})
+	f.Add(int64(7), uint8(64), []byte{8, 255, 16, 128, 24, 0, 32, 64, 40, 32, 48, 16})
+	f.Fuzz(func(t *testing.T, seed int64, shards uint8, ops []byte) {
+		s, err := NewStore(Options{
+			InitialWidth: 8,
+			Seed:         seed,
+			Shards:       int(shards),
+			CacheSize:    32, // small enough that evictions and rejects occur
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := map[int]float64{} // mirror of the exact values
+		const keys = 16
+
+		for len(ops) >= 4 {
+			op, key := ops[0]%5, int(ops[1]%keys)
+			val := fuzzValue(ops[2:4])
+			ops = ops[4:]
+			switch op {
+			case 0: // track
+				s.Track(key, val)
+				exact[key] = val
+			case 1: // update
+				if _, ok := exact[key]; !ok {
+					s.Track(key, val)
+				} else {
+					s.Set(key, val)
+				}
+				exact[key] = val
+			case 2: // exact read
+				if _, ok := exact[key]; !ok {
+					continue
+				}
+				got, err := s.ReadExact(key)
+				if err != nil {
+					t.Fatalf("ReadExact(%d): %v", key, err)
+				}
+				if got != exact[key] {
+					t.Fatalf("ReadExact(%d) = %g, want %g", key, got, exact[key])
+				}
+			case 3: // approximate read
+				iv, ok := s.Get(key)
+				if !ok {
+					continue
+				}
+				if iv.Width() < 0 || math.IsNaN(iv.Width()) {
+					t.Fatalf("key %d: bad width %g in %v", key, iv.Width(), iv)
+				}
+				if v, tracked := exact[key]; tracked && !iv.Valid(v) {
+					t.Fatalf("key %d: interval %v does not contain exact value %g", key, iv, v)
+				}
+			case 4: // bounded SUM query over every tracked key
+				if len(exact) == 0 {
+					continue
+				}
+				qkeys := make([]int, 0, len(exact))
+				truth := 0.0
+				for k, v := range exact {
+					qkeys = append(qkeys, k)
+					truth += v
+				}
+				delta := math.Abs(val) // precision constraint from fuzz input
+				ans, err := s.Do(Query{Kind: Sum, Keys: qkeys, Delta: delta})
+				if err != nil {
+					t.Fatalf("Do: %v", err)
+				}
+				if w := ans.Result.Width(); w > delta+1e-9 || w < 0 || math.IsNaN(w) {
+					t.Fatalf("answer width %g violates delta %g", w, delta)
+				}
+				if !ans.Result.Valid(truth) {
+					t.Fatalf("answer %v does not contain true sum %g", ans.Result, truth)
+				}
+			}
+			// Global invariant sweep: every cached interval contains its
+			// exact value (Get does not perturb state).
+			for k, v := range exact {
+				if iv, ok := s.Get(k); ok && !iv.Valid(v) {
+					t.Fatalf("key %d: interval %v lost exact value %g", k, iv, v)
+				}
+			}
+		}
+		st := s.Stats()
+		if st.Cost < 0 || math.IsNaN(st.Cost) {
+			t.Fatalf("bad cumulative cost %g", st.Cost)
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module apcache
+
+go 1.24

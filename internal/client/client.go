@@ -38,6 +38,13 @@ type Stats struct {
 type Client struct {
 	conn net.Conn
 
+	// wmu serializes frame writes to conn: net.Conn permits concurrent
+	// Write calls but may split a large buffer across several, so two
+	// goroutines writing frames (a call racing an Unsubscribe) could
+	// interleave partial frames and corrupt the stream. wmu is never held
+	// together with mu.
+	wmu sync.Mutex
+
 	mu      sync.Mutex
 	store   *cache.Cache
 	pending map[uint64]chan *netproto.Refresh
@@ -161,7 +168,7 @@ func (c *Client) call(build func(id uint64) netproto.Message) (*netproto.Refresh
 	msg := build(id)
 	c.mu.Unlock()
 
-	if err := netproto.Write(c.conn, msg); err != nil {
+	if err := c.writeMsg(msg); err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		delete(c.errs, id)
@@ -215,7 +222,14 @@ func (c *Client) Unsubscribe(key int) error {
 	}
 	c.store.Drop(key)
 	c.mu.Unlock()
-	return netproto.Write(c.conn, &netproto.Unsubscribe{Key: int64(key)})
+	return c.writeMsg(&netproto.Unsubscribe{Key: int64(key)})
+}
+
+// writeMsg frames and writes one message under the write lock.
+func (c *Client) writeMsg(m netproto.Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return netproto.Write(c.conn, m)
 }
 
 // Get returns the locally cached approximation.

@@ -4,6 +4,16 @@
 // updates escape cached intervals, and answers exact reads (query-initiated
 // refreshes). One goroutine serves each connection's requests; pushes are
 // serialized per connection by a dedicated writer goroutine.
+//
+// The key space is partitioned over Config.Shards lock shards (default
+// scaled to GOMAXPROCS), each owning a source.Source and random stream
+// behind its own mutex, so requests from different connections contend only
+// when they touch keys on the same shard. The connection registry has its
+// own lock; the only nested acquisition is shard lock → connection lock
+// (never the reverse), so the ordering is deadlock-free. Refresh frames for
+// a key are enqueued while its shard lock is held, which guarantees each
+// client observes that key's intervals in generation order — installing them
+// in arrival order preserves the validity invariant.
 package server
 
 import (
@@ -16,6 +26,7 @@ import (
 
 	"apcache/internal/core"
 	"apcache/internal/netproto"
+	"apcache/internal/shard"
 	"apcache/internal/source"
 )
 
@@ -25,21 +36,35 @@ type Config struct {
 	Params core.Params
 	// InitialWidth seeds each new controller.
 	InitialWidth float64
-	// Seed drives the controllers' probabilistic adjustments.
+	// Seed drives the controllers' probabilistic adjustments. Each shard
+	// derives its own stream from it.
 	Seed int64
+	// Shards sets the number of lock shards the key space is partitioned
+	// over. 0 selects a default scaled to GOMAXPROCS; any value is rounded
+	// up to a power of two and capped at 256.
+	Shards int
 	// Logf, when non-nil, receives diagnostic messages.
 	Logf func(format string, args ...interface{})
 }
 
+// srcShard owns the values, subscriptions, and controllers for one slice of
+// the key space, guarded by mu.
+type srcShard struct {
+	mu  sync.Mutex
+	src *source.Source
+	_   [64 - 16]byte // pad past one cache line; see storeShard in apcache.go
+}
+
 // Server hosts values and serves cache clients.
 type Server struct {
-	cfg Config
+	cfg    Config
+	shards []*srcShard
 
-	mu      sync.Mutex
-	src     *source.Source
+	// connMu guards the connection registry and listener lifecycle. It is
+	// only ever acquired after a shard lock, never before one.
+	connMu  sync.Mutex
 	conns   map[int]*clientConn
 	nextID  int
-	rng     *rand.Rand
 	ln      net.Listener
 	closed  bool
 	serveWG sync.WaitGroup
@@ -53,9 +78,9 @@ type clientConn struct {
 	done chan struct{}
 }
 
-// lockedRand adapts the server's mutex-guarded RNG to core.Rand. The server
-// mutex is always held when controllers run, so plain access is safe; this
-// type exists to document that invariant.
+// lockedRand adapts a shard's mutex-guarded RNG to core.Rand. The shard
+// mutex is always held when its controllers run, so plain access is safe;
+// this type exists to document that invariant.
 type lockedRand struct{ r *rand.Rand }
 
 func (l lockedRand) Float64() float64 { return l.r.Float64() }
@@ -68,31 +93,56 @@ func New(cfg Config) *Server {
 	if cfg.InitialWidth < 0 {
 		panic("server: negative initial width")
 	}
+	n := shard.Count(cfg.Shards)
 	s := &Server{
-		cfg:   cfg,
-		conns: make(map[int]*clientConn),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:    cfg,
+		shards: make([]*srcShard, n),
+		conns:  make(map[int]*clientConn),
 	}
-	s.src = source.New(func(cacheID, key int) core.WidthPolicy {
-		return core.NewController(cfg.Params, cfg.InitialWidth, lockedRand{s.rng})
-	})
+	for i := range s.shards {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+		sh := &srcShard{}
+		sh.src = source.New(func(cacheID, key int) core.WidthPolicy {
+			return core.NewController(cfg.Params, cfg.InitialWidth, lockedRand{rng})
+		})
+		s.shards[i] = sh
+	}
 	return s
+}
+
+// Shards returns the number of lock shards the server was built with.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// shardFor returns the shard owning key.
+func (s *Server) shardFor(key int) *srcShard {
+	return s.shards[shard.Index(key, len(s.shards))]
 }
 
 // SetInitial seeds a value without generating refreshes.
 func (s *Server) SetInitial(key int, v float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.src.SetInitial(key, v)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.src.SetInitial(key, v)
 }
 
 // Set updates a value, pushing value-initiated refreshes to every client
 // whose interval the update invalidates. It returns the number of refreshes
-// pushed.
+// pushed. Only the key's shard is locked; the frames are enqueued under that
+// lock so each client sees the key's intervals in generation order.
 func (s *Server) Set(key int, v float64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	refreshes := s.src.Set(key, v)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	refreshes := sh.src.Set(key, v)
+	if len(refreshes) == 0 {
+		return 0
+	}
+	// One connMu acquisition for the whole batch: taking it per refresh
+	// would put a global lock back on the sharded hot path. send is a
+	// non-blocking enqueue, so holding connMu across the loop is cheap.
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
 	for _, r := range refreshes {
 		c, ok := s.conns[r.CacheID]
 		if !ok {
@@ -113,15 +163,16 @@ func (s *Server) Set(key int, v float64) int {
 
 // Value returns the current exact value.
 func (s *Server) Value(key int) (float64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.src.Value(key)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.src.Value(key)
 }
 
 // Clients returns the number of connected caches.
 func (s *Server) Clients() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
 	return len(s.conns)
 }
 
@@ -132,9 +183,9 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
 	}
-	s.mu.Lock()
+	s.connMu.Lock()
 	s.ln = ln
-	s.mu.Unlock()
+	s.connMu.Unlock()
 	s.serveWG.Add(1)
 	go s.acceptLoop(ln)
 	return ln.Addr(), nil
@@ -147,9 +198,9 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
-		s.mu.Lock()
+		s.connMu.Lock()
 		if s.closed {
-			s.mu.Unlock()
+			s.connMu.Unlock()
 			conn.Close()
 			return
 		}
@@ -161,7 +212,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			done: make(chan struct{}),
 		}
 		s.conns[c.id] = c
-		s.mu.Unlock()
+		s.connMu.Unlock()
 		s.serveWG.Add(2)
 		go s.writeLoop(c)
 		go s.readLoop(c)
@@ -231,9 +282,10 @@ func (s *Server) readLoop(c *clientConn) {
 		case *netproto.Subscribe:
 			s.handleSubscribe(c, m)
 		case *netproto.Unsubscribe:
-			s.mu.Lock()
-			s.src.Unsubscribe(c.id, int(m.Key))
-			s.mu.Unlock()
+			sh := s.shardFor(int(m.Key))
+			sh.mu.Lock()
+			sh.src.Unsubscribe(c.id, int(m.Key))
+			sh.mu.Unlock()
 		case *netproto.Read:
 			s.handleRead(c, m)
 		case *netproto.Ping:
@@ -245,14 +297,16 @@ func (s *Server) readLoop(c *clientConn) {
 }
 
 func (s *Server) handleSubscribe(c *clientConn, m *netproto.Subscribe) {
-	s.mu.Lock()
-	if _, ok := s.src.Value(int(m.Key)); !ok {
-		s.mu.Unlock()
+	sh := s.shardFor(int(m.Key))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.src.Value(int(m.Key)); !ok {
 		c.send(&netproto.ErrorMsg{ID: m.ID, Msg: fmt.Sprintf("unknown key %d", m.Key)})
 		return
 	}
-	r := s.src.Subscribe(c.id, int(m.Key))
-	s.mu.Unlock()
+	r := sh.src.Subscribe(c.id, int(m.Key))
+	// Enqueued under the shard lock: a concurrent Set on this key cannot
+	// slip its (newer) refresh frame ahead of this one.
 	c.send(&netproto.Refresh{
 		ID:            m.ID,
 		Key:           m.Key,
@@ -265,14 +319,14 @@ func (s *Server) handleSubscribe(c *clientConn, m *netproto.Subscribe) {
 }
 
 func (s *Server) handleRead(c *clientConn, m *netproto.Read) {
-	s.mu.Lock()
-	if _, ok := s.src.Value(int(m.Key)); !ok {
-		s.mu.Unlock()
+	sh := s.shardFor(int(m.Key))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.src.Value(int(m.Key)); !ok {
 		c.send(&netproto.ErrorMsg{ID: m.ID, Msg: fmt.Sprintf("unknown key %d", m.Key)})
 		return
 	}
-	r := s.src.Read(c.id, int(m.Key))
-	s.mu.Unlock()
+	r := sh.src.Read(c.id, int(m.Key))
 	c.send(&netproto.Refresh{
 		ID:            m.ID,
 		Key:           m.Key,
@@ -286,35 +340,35 @@ func (s *Server) handleRead(c *clientConn, m *netproto.Read) {
 
 // dropClient removes a disconnected client and its subscriptions.
 func (s *Server) dropClient(c *clientConn) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.connMu.Lock()
 	if _, ok := s.conns[c.id]; !ok {
+		s.connMu.Unlock()
 		return
 	}
 	delete(s.conns, c.id)
 	close(c.done)
 	c.conn.Close()
-	// Reap the client's subscriptions so Set stops preparing refreshes for
-	// it. (Within the protocol this is connection teardown, not the
-	// cache-eviction notification the paper's algorithm avoids.)
-	for key := 0; ; key++ {
-		if _, ok := s.src.Value(key); !ok {
-			break
-		}
-		s.src.Unsubscribe(c.id, key)
+	s.connMu.Unlock()
+	// Reap the client's subscriptions shard by shard so Set stops preparing
+	// refreshes for it. (Within the protocol this is connection teardown,
+	// not the cache-eviction notification the paper's algorithm avoids.)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.src.UnsubscribeCache(c.id)
+		sh.mu.Unlock()
 	}
 }
 
 // Close shuts the server down and waits for its goroutines.
 func (s *Server) Close() error {
-	s.mu.Lock()
+	s.connMu.Lock()
 	s.closed = true
 	ln := s.ln
 	conns := make([]*clientConn, 0, len(s.conns))
 	for _, c := range s.conns {
 		conns = append(conns, c)
 	}
-	s.mu.Unlock()
+	s.connMu.Unlock()
 	if ln != nil {
 		ln.Close()
 	}

@@ -1,0 +1,60 @@
+package shard
+
+import "testing"
+
+func TestCountPowerOfTwo(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {7, 8}, {8, 8},
+		{9, 16}, {100, 128}, {MaxShards, MaxShards}, {MaxShards + 1, MaxShards},
+		{1 << 20, MaxShards},
+	}
+	for _, c := range cases {
+		if got := Count(c.in); got != c.want {
+			t.Errorf("Count(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCountDefaultIsPowerOfTwo(t *testing.T) {
+	for _, req := range []int{0, -1, -100} {
+		n := Count(req)
+		if n < 1 || n > MaxShards || n&(n-1) != 0 {
+			t.Errorf("Count(%d) = %d, want a power of two in [1, %d]", req, n, MaxShards)
+		}
+	}
+}
+
+func TestIndexInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 64, MaxShards} {
+		for key := -1000; key < 1000; key++ {
+			i := Index(key, n)
+			if i < 0 || i >= n {
+				t.Fatalf("Index(%d, %d) = %d out of range", key, n, i)
+			}
+		}
+	}
+}
+
+func TestIndexSpreadsSequentialKeys(t *testing.T) {
+	// Sequential keys — the paper's workloads number values 0..n-1 — must not
+	// pile onto a few shards. Demand every shard gets within 2x of fair share.
+	const n, keys = 16, 16384
+	var counts [n]int
+	for k := 0; k < keys; k++ {
+		counts[Index(k, n)]++
+	}
+	fair := keys / n
+	for s, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("shard %d holds %d of %d keys (fair share %d)", s, c, keys, fair)
+		}
+	}
+}
+
+func TestIndexDeterministic(t *testing.T) {
+	for key := 0; key < 100; key++ {
+		if Index(key, 8) != Index(key, 8) {
+			t.Fatalf("Index not deterministic for key %d", key)
+		}
+	}
+}

@@ -112,6 +112,22 @@ func (s *Source) Unsubscribe(cacheID, key int) bool {
 	return true
 }
 
+// UnsubscribeCache removes every subscription held by cacheID, returning how
+// many were removed. The networked server uses it to reap a disconnected
+// client's subscriptions regardless of which keys it held (connection
+// teardown, not the cache-eviction notification the paper's algorithm
+// avoids).
+func (s *Source) UnsubscribeCache(cacheID int) int {
+	n := 0
+	for id := range s.subs {
+		if id.cache == cacheID {
+			delete(s.subs, id)
+			n++
+		}
+	}
+	return n
+}
+
 // Subscribed reports whether the pair has a live subscription.
 func (s *Source) Subscribed(cacheID, key int) bool {
 	_, ok := s.subs[subID{cache: cacheID, key: key}]

@@ -168,6 +168,30 @@ func TestUnsubscribeStopsRefreshes(t *testing.T) {
 	}
 }
 
+func TestUnsubscribeCacheReapsOnlyThatCache(t *testing.T) {
+	s := newTestSource(10)
+	for _, key := range []int{1, 7, 300} {
+		s.SetInitial(key, 0)
+		s.Subscribe(0, key)
+		s.Subscribe(1, key)
+	}
+	if n := s.UnsubscribeCache(0); n != 3 {
+		t.Fatalf("UnsubscribeCache(0) reaped %d, want 3", n)
+	}
+	if n := s.UnsubscribeCache(0); n != 0 {
+		t.Errorf("second UnsubscribeCache(0) reaped %d, want 0", n)
+	}
+	if s.Subscriptions() != 3 {
+		t.Errorf("cache 1 lost subscriptions: %d live, want 3", s.Subscriptions())
+	}
+	// Cache 1 still gets refreshes; cache 0 gets none.
+	for _, r := range s.Set(7, 1e9) {
+		if r.CacheID == 0 {
+			t.Errorf("refresh prepared for reaped cache: %+v", r)
+		}
+	}
+}
+
 func TestEvictedEntriesKeepRefreshing(t *testing.T) {
 	// The paper's protocol: caches do not notify sources of evictions, so
 	// the source keeps pushing VIRs. We model eviction as simply not

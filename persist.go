@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 
 	"apcache/internal/core"
 )
@@ -11,6 +12,8 @@ import (
 // snapshot is the serialized form of a Store: values, per-key controller
 // widths, and cached approximations. Controllers are reconstructed from
 // their widths — the width is the only adaptive state the algorithm keeps.
+// The shard layout is deliberately not serialized: keys re-hash onto
+// whatever shard count the restoring store is built with.
 type snapshot struct {
 	Version int
 	Params  Params
@@ -33,28 +36,32 @@ const snapshotVersion = 1
 
 // Save serializes the store's state — exact values, adaptive widths, and
 // cached intervals — so a restarted process can resume with the learned
-// precision settings instead of re-adapting from scratch.
+// precision settings instead of re-adapting from scratch. All shards are
+// locked (in ascending order) for the duration, so the snapshot is globally
+// consistent.
 func (s *Store) Save(w io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	snap := snapshot{
 		Version: snapshotVersion,
 		Params:  s.prm,
-		VIR:     s.vir,
-		QIR:     s.qir,
-		Cost:    s.cost,
+		VIR:     int(s.vir.Load()),
+		QIR:     int(s.qir.Load()),
+		Cost:    math.Float64frombits(s.costBits.Load()),
 	}
-	for _, e := range s.cache.Entries() {
-		v, ok := s.src.Value(e.Key)
-		if !ok {
-			continue
+	for _, sh := range s.shards {
+		for _, e := range sh.cache.Entries() {
+			v, ok := sh.src.Value(e.Key)
+			if !ok {
+				continue
+			}
+			ks := keySnapshot{Key: e.Key, Value: v, Cached: true,
+				Lo: e.Interval.Lo, Hi: e.Interval.Hi, OrigW: e.OriginalWidth}
+			if p, ok := sh.src.PolicyFor(storeCacheID, e.Key); ok {
+				ks.Width = p.Width()
+			}
+			snap.Keys = append(snap.Keys, ks)
 		}
-		ks := keySnapshot{Key: e.Key, Value: v, Cached: true,
-			Lo: e.Interval.Lo, Hi: e.Interval.Hi, OrigW: e.OriginalWidth}
-		if p, ok := s.src.PolicyFor(storeCacheID, e.Key); ok {
-			ks.Width = p.Width()
-		}
-		snap.Keys = append(snap.Keys, ks)
 	}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("apcache: save: %w", err)
@@ -63,9 +70,20 @@ func (s *Store) Save(w io.Writer) error {
 }
 
 // Load restores a snapshot written by Save into a fresh store built with the
-// snapshot's parameters. The seed drives the restored controllers'
-// probabilistic adjustments.
+// snapshot's parameters and default options. The seed drives the restored
+// controllers' probabilistic adjustments. Use LoadOptions to also control
+// the shard count (and any other store option).
 func Load(r io.Reader, seed int64) (*Store, error) {
+	return LoadOptions(r, Options{Seed: seed})
+}
+
+// LoadOptions restores a snapshot written by Save into a fresh store built
+// with the given options. The snapshot's algorithm parameters always win
+// over opts.Params (they are part of the saved state); everything else —
+// notably Shards and Seed — comes from opts, so a store saved by a
+// deterministic single-shard run can be restored with the same layout
+// instead of a GOMAXPROCS-dependent default.
+func LoadOptions(r io.Reader, opts Options) (*Store, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("apcache: load: %w", err)
@@ -73,24 +91,28 @@ func Load(r io.Reader, seed int64) (*Store, error) {
 	if snap.Version != snapshotVersion {
 		return nil, fmt.Errorf("apcache: snapshot version %d unsupported", snap.Version)
 	}
-	s, err := NewStore(Options{Params: snap.Params, InitialWidth: 1, Seed: seed})
+	opts.Params = snap.Params
+	s, err := NewStore(opts)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.vir, s.qir, s.cost = snap.VIR, snap.QIR, snap.Cost
+	s.vir.Store(int64(snap.VIR))
+	s.qir.Store(int64(snap.QIR))
+	s.costBits.Store(math.Float64bits(snap.Cost))
 	for _, ks := range snap.Keys {
-		s.src.SetInitial(ks.Key, ks.Value)
-		s.src.Subscribe(storeCacheID, ks.Key)
-		if p, ok := s.src.PolicyFor(storeCacheID, ks.Key); ok {
+		sh := s.shardFor(ks.Key)
+		sh.mu.Lock()
+		sh.src.SetInitial(ks.Key, ks.Value)
+		sh.src.Subscribe(storeCacheID, ks.Key)
+		if p, ok := sh.src.PolicyFor(storeCacheID, ks.Key); ok {
 			if c, ok := p.(*core.Controller); ok {
 				c.SetWidth(ks.Width)
 			}
 		}
 		if ks.Cached {
-			s.cache.Put(ks.Key, Interval{Lo: ks.Lo, Hi: ks.Hi}, ks.OrigW)
+			sh.cache.Put(ks.Key, Interval{Lo: ks.Lo, Hi: ks.Hi}, ks.OrigW)
 		}
+		sh.mu.Unlock()
 	}
 	return s, nil
 }

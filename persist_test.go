@@ -126,3 +126,34 @@ func TestSaveEmptyStore(t *testing.T) {
 		t.Errorf("NaN cost")
 	}
 }
+
+func TestLoadOptionsControlsShards(t *testing.T) {
+	s, err := NewStore(Options{InitialWidth: 10, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 20; k++ {
+		s.Track(k, float64(k*10))
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	restored, err := LoadOptions(&buf, Options{Seed: 7, Shards: 1})
+	if err != nil {
+		t.Fatalf("LoadOptions: %v", err)
+	}
+	if got := restored.Shards(); got != 1 {
+		t.Fatalf("restored.Shards() = %d, want 1", got)
+	}
+	// Keys re-hash onto the new layout with state intact.
+	for k := 0; k < 20; k++ {
+		v, err := restored.ReadExact(k)
+		if err != nil {
+			t.Fatalf("ReadExact(%d): %v", k, err)
+		}
+		if v != float64(k*10) {
+			t.Errorf("key %d restored as %g, want %g", k, v, float64(k*10))
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package apcache
+
+// Race-focused concurrency suite: goroutine hammers over the sharded Store
+// and the networked Server/Client pair, designed to run under `go test
+// -race`. Beyond being race-clean, each test re-checks the paper's safety
+// invariant at a quiesce point: every cached interval contains the exact
+// value it approximates (Section 1.1 — approximations are always valid).
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// checkStoreInvariant asserts, on a quiesced store, that every cached
+// interval contains the exact value. ReadExact both returns the exact value
+// and re-centers the interval, so it is read after Get.
+func checkStoreInvariant(t *testing.T, s *Store, keys int) {
+	t.Helper()
+	for k := 0; k < keys; k++ {
+		iv, cached := s.Get(k)
+		v, err := s.ReadExact(k)
+		if err != nil {
+			t.Fatalf("ReadExact(%d): %v", k, err)
+		}
+		if cached && !iv.Valid(v) {
+			t.Errorf("key %d: cached interval %v does not contain exact value %g", k, iv, v)
+		}
+		if cached && (iv.Width() < 0 || math.IsNaN(iv.Width())) {
+			t.Errorf("key %d: bad interval width %g", k, iv.Width())
+		}
+	}
+}
+
+// TestStoreHammer interleaves Track, Set, Get, ReadExact and Do from many
+// goroutines over a shared key space, across shard counts (1 recovers the
+// global-lock configuration).
+func TestStoreHammer(t *testing.T) {
+	for _, shards := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			const (
+				keys       = 64
+				goroutines = 8
+				opsPerG    = 400
+			)
+			s, err := NewStore(Options{
+				Params:       Params{Cvr: 1, Cqr: 2, Alpha: 1, Lambda0: 0, Lambda1: math.Inf(1)},
+				InitialWidth: 10,
+				Shards:       shards,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < keys; k++ {
+				s.Track(k, float64(k))
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g) + 100))
+					for i := 0; i < opsPerG; i++ {
+						k := rng.Intn(keys)
+						switch rng.Intn(10) {
+						case 0, 1, 2, 3: // 40% updates
+							s.Set(k, rng.Float64()*1000)
+						case 4, 5, 6: // 30% approximate reads
+							if iv, ok := s.Get(k); ok && math.IsNaN(iv.Width()) {
+								t.Errorf("NaN-width interval for key %d", k)
+								return
+							}
+						case 7: // exact reads
+							if _, err := s.ReadExact(k); err != nil {
+								t.Errorf("ReadExact(%d): %v", k, err)
+								return
+							}
+						case 8: // re-track (subscribe is idempotent)
+							s.Track(k, rng.Float64()*1000)
+						default: // bounded-aggregate queries over random key sets
+							qkeys := make([]int, 1+rng.Intn(6))
+							for j := range qkeys {
+								qkeys[j] = rng.Intn(keys)
+							}
+							kind := []AggKind{Sum, Max, Min, Avg}[rng.Intn(4)]
+							delta := rng.Float64() * 50
+							ans, err := s.Do(Query{Kind: kind, Keys: qkeys, Delta: delta})
+							if err != nil {
+								t.Errorf("Do: %v", err)
+								return
+							}
+							if w := ans.Result.Width(); w > delta+1e-9 {
+								t.Errorf("answer width %g exceeds delta %g", w, delta)
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			checkStoreInvariant(t, s, keys)
+			st := s.Stats()
+			if st.Cost < 0 || math.IsNaN(st.Cost) {
+				t.Errorf("bad cumulative cost %g", st.Cost)
+			}
+			if st.ValueRefreshes < 0 || st.QueryRefreshes < 0 {
+				t.Errorf("negative refresh counters: %+v", st)
+			}
+		})
+	}
+}
+
+// TestStoreHammerWithEviction runs the hammer against a small cache so
+// admits, rejects and evictions race with refreshes.
+func TestStoreHammerWithEviction(t *testing.T) {
+	const keys, goroutines, opsPerG = 64, 6, 300
+	s, err := NewStore(Options{InitialWidth: 10, CacheSize: 16, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < keys; k++ {
+		s.Track(k, 0)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 7))
+			for i := 0; i < opsPerG; i++ {
+				k := rng.Intn(keys)
+				if rng.Intn(2) == 0 {
+					s.Set(k, rng.Float64()*1000)
+				} else {
+					s.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	checkStoreInvariant(t, s, keys)
+}
+
+// TestStoreSaveUnderLoad exercises the whole-store snapshot (which locks
+// every shard) while the hammer is running.
+func TestStoreSaveUnderLoad(t *testing.T) {
+	const keys = 32
+	s, err := NewStore(Options{InitialWidth: 10, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < keys; k++ {
+		s.Track(k, 0)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Set(rng.Intn(keys), rng.Float64()*100)
+			}
+		}(g)
+	}
+	for i := 0; i < 20; i++ {
+		var sink discardWriter
+		if err := s.Save(&sink); err != nil {
+			t.Errorf("Save under load: %v", err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	checkStoreInvariant(t, s, keys)
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestClientServerHammer runs a server with a concurrent updater thread and
+// several clients issuing Get/ReadExact/Query from multiple goroutines each.
+// After quiescing (a Ping round trip drains each connection's in-order
+// refresh stream), every client-cached interval must contain the server's
+// exact value.
+func TestClientServerHammer(t *testing.T) {
+	const (
+		keys          = 32
+		clients       = 3
+		goroutinesPer = 3
+		opsPerG       = 150
+	)
+	srv, addr, err := Serve("127.0.0.1:0", ServerConfig{
+		Params:       DefaultParams(1, 2, 0),
+		InitialWidth: 8,
+		Shards:       4,
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	for k := 0; k < keys; k++ {
+		srv.SetInitial(k, float64(k))
+	}
+
+	cs := make([]*Client, clients)
+	for i := range cs {
+		c, err := Dial(addr.String(), keys*2)
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		defer c.Close()
+		cs[i] = c
+		for k := 0; k < keys; k++ {
+			if err := c.Subscribe(k); err != nil {
+				t.Fatalf("Subscribe: %v", err)
+			}
+		}
+	}
+
+	// Server-side updater: concurrent value churn pushing refreshes. Updates
+	// run in bounded bursts with a Ping drain in between, so a connection's
+	// 256-slot push queue can never overflow — a dropped refresh is legal
+	// protocol behavior but would weaken the quiesce check below from "must
+	// contain" to "may be stale".
+	var updater sync.WaitGroup
+	updater.Add(1)
+	go func() {
+		defer updater.Done()
+		rng := rand.New(rand.NewSource(99))
+		for burst := 0; burst < 20; burst++ {
+			for i := 0; i < 100; i++ {
+				srv.Set(rng.Intn(keys), rng.Float64()*1000)
+			}
+			for _, c := range cs {
+				if err := c.Ping(); err != nil {
+					t.Errorf("drain ping: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for ci, c := range cs {
+		for g := 0; g < goroutinesPer; g++ {
+			wg.Add(1)
+			go func(c *Client, seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < opsPerG; i++ {
+					k := rng.Intn(keys)
+					switch rng.Intn(4) {
+					case 0:
+						c.Get(k)
+					case 1:
+						if _, err := c.ReadExact(k); err != nil {
+							t.Errorf("ReadExact: %v", err)
+							return
+						}
+					default:
+						qkeys := []int{rng.Intn(keys), rng.Intn(keys)}
+						if _, err := c.Query(Query{Kind: Sum, Keys: qkeys, Delta: rng.Float64() * 100}); err != nil {
+							t.Errorf("Query: %v", err)
+							return
+						}
+					}
+				}
+			}(c, int64(ci*10+g))
+		}
+	}
+	wg.Wait()
+	updater.Wait()
+
+	// Quiesce: all Sets have returned, so their refresh frames are enqueued;
+	// a Ping response is enqueued after them and the client processes frames
+	// in order, so once Ping returns the stream is drained.
+	for _, c := range cs {
+		if err := c.Ping(); err != nil {
+			t.Fatalf("Ping: %v", err)
+		}
+	}
+	for ci, c := range cs {
+		for k := 0; k < keys; k++ {
+			iv, cached := c.Get(k)
+			if !cached {
+				continue // evicted or a dropped refresh superseded; both legal
+			}
+			v, ok := srv.Value(k)
+			if !ok {
+				t.Fatalf("server lost key %d", k)
+			}
+			if !iv.Valid(v) {
+				t.Errorf("client %d key %d: interval %v does not contain exact value %g", ci, k, iv, v)
+			}
+		}
+	}
+}
