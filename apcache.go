@@ -46,6 +46,7 @@ import (
 	"apcache/internal/core"
 	"apcache/internal/hierarchy"
 	"apcache/internal/interval"
+	"apcache/internal/netproto"
 	"apcache/internal/query"
 	"apcache/internal/server"
 	"apcache/internal/shard"
@@ -358,6 +359,19 @@ func unlockShards(locked []*storeShard) {
 	}
 }
 
+// ShardOccupancy describes one shard's slice of the cache: how many entries
+// it holds against its share of the capacity split. Because the cap is
+// divided evenly while key popularity is not, a skewed distribution shows up
+// here as full shards evicting next to shards with slack — the observable
+// behind the per-shard eviction question in ROADMAP.md.
+type ShardOccupancy struct {
+	// Len and Capacity are the shard cache's current and maximum entry
+	// counts.
+	Len, Capacity int
+	// Evicts and Rejects count the shard's capacity-pressure events.
+	Evicts, Rejects int
+}
+
 // StoreStats reports a store's cumulative refresh activity.
 type StoreStats struct {
 	// ValueRefreshes and QueryRefreshes count refreshes by kind.
@@ -366,6 +380,8 @@ type StoreStats struct {
 	Cost float64
 	// Cache snapshots the cache counters, summed over all shards.
 	Cache cache.Stats
+	// PerShard breaks the cache occupancy down by shard.
+	PerShard []ShardOccupancy
 }
 
 // Stats snapshots the store's counters. The refresh counters are read from
@@ -377,10 +393,17 @@ func (s *Store) Stats() StoreStats {
 		ValueRefreshes: int(s.vir.Load()),
 		QueryRefreshes: int(s.qir.Load()),
 		Cost:           math.Float64frombits(s.costBits.Load()),
+		PerShard:       make([]ShardOccupancy, len(s.shards)),
 	}
-	for _, sh := range s.shards {
+	for i, sh := range s.shards {
 		sh.mu.Lock()
 		cs := sh.cache.Stats()
+		st.PerShard[i] = ShardOccupancy{
+			Len:      sh.cache.Len(),
+			Capacity: sh.cache.Capacity(),
+			Evicts:   cs.Evicts,
+			Rejects:  cs.Rejects,
+		}
 		sh.mu.Unlock()
 		st.Cache.Hits += cs.Hits
 		st.Cache.Misses += cs.Misses
@@ -411,9 +434,27 @@ func Serve(addr string, cfg ServerConfig) (*Server, net.Addr, error) {
 // Client is a networked approximate cache connected to a Server.
 type Client = client.Client
 
-// Dial connects a cache of the given capacity to a server.
+// ClientConfig parameterizes DialConfig: cache capacity plus the batched
+// protocol knobs (MaxBatch, ProtoVersion, Timeout).
+type ClientConfig = client.Config
+
+// Protocol versions for ServerConfig.ProtoVersion and
+// ClientConfig.ProtoVersion. The default (0) negotiates the batched v2
+// protocol and falls back to v1 when the peer declines.
+const (
+	ProtoVersion1 = netproto.Version1
+	ProtoVersion2 = netproto.Version2
+)
+
+// Dial connects a cache of the given capacity to a server, negotiating the
+// batched v2 protocol when the server supports it.
 func Dial(addr string, cacheSize int) (*Client, error) {
 	return client.Dial(addr, cacheSize)
+}
+
+// DialConfig connects a cache to a server with explicit protocol knobs.
+func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
+	return client.DialConfig(addr, cfg)
 }
 
 // Hierarchy is a multi-level cache chain over one source (the paper's

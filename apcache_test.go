@@ -280,3 +280,43 @@ func TestCacheSizeSplitIsExact(t *testing.T) {
 		t.Errorf("cached %d entries, want exactly 100", cached)
 	}
 }
+
+func TestStatsPerShardOccupancy(t *testing.T) {
+	// Per-shard occupancy makes cap-split skew observable: the totals must
+	// agree with the aggregate counters and the configured capacity split.
+	s, err := NewStore(Options{InitialWidth: 10, CacheSize: 32, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 200 // oversubscribe so eviction pressure appears
+	for k := 0; k < keys; k++ {
+		s.Track(k, float64(k))
+	}
+	st := s.Stats()
+	if len(st.PerShard) != 4 {
+		t.Fatalf("PerShard has %d entries, want 4", len(st.PerShard))
+	}
+	var totLen, totCap, totEvicts, totRejects int
+	for i, sh := range st.PerShard {
+		if sh.Len > sh.Capacity {
+			t.Errorf("shard %d: len %d exceeds capacity %d", i, sh.Len, sh.Capacity)
+		}
+		if sh.Capacity != 8 {
+			t.Errorf("shard %d: capacity %d, want 32/4 = 8", i, sh.Capacity)
+		}
+		totLen += sh.Len
+		totCap += sh.Capacity
+		totEvicts += sh.Evicts
+		totRejects += sh.Rejects
+	}
+	if totCap != 32 {
+		t.Errorf("total capacity %d, want 32", totCap)
+	}
+	if totLen != 32 {
+		t.Errorf("total occupancy %d with %d tracked keys, want full 32", totLen, keys)
+	}
+	if totEvicts != st.Cache.Evicts || totRejects != st.Cache.Rejects {
+		t.Errorf("per-shard evicts/rejects %d/%d disagree with aggregate %d/%d",
+			totEvicts, totRejects, st.Cache.Evicts, st.Cache.Rejects)
+	}
+}

@@ -31,6 +31,8 @@ func main() {
 		cvr      = flag.Float64("cvr", 1, "value-initiated refresh cost (for reporting)")
 		cqr      = flag.Float64("cqr", 2, "query-initiated refresh cost (for reporting)")
 		seed     = flag.Int64("seed", 1, "random seed")
+		maxBatch = flag.Int("maxbatch", 0, "max messages per batch frame (0 = default 128)")
+		protoVer = flag.Int("protover", 0, "pin the wire protocol: 1 = v1 single frames, 0/2 = negotiate batched v2")
 	)
 	flag.Parse()
 
@@ -38,17 +40,23 @@ func main() {
 	if size <= 0 {
 		size = *keys
 	}
-	c, err := client.Dial(*addr, size)
+	c, err := client.DialConfig(*addr, client.Config{
+		CacheSize:    size,
+		MaxBatch:     *maxBatch,
+		ProtoVersion: *protoVer,
+	})
 	if err != nil {
 		log.Fatalf("apcache-client: %v", err)
 	}
 	defer c.Close()
-	for k := 0; k < *keys; k++ {
-		if err := c.Subscribe(k); err != nil {
-			log.Fatalf("apcache-client: subscribe %d: %v", k, err)
-		}
+	all := make([]int, *keys)
+	for k := range all {
+		all[k] = k
 	}
-	log.Printf("subscribed to %d keys; querying every %v", *keys, *tq)
+	if err := c.SubscribeMulti(all); err != nil {
+		log.Fatalf("apcache-client: subscribe: %v", err)
+	}
+	log.Printf("subscribed to %d keys (protocol v%d); querying every %v", *keys, c.Proto(), *tq)
 
 	kind := workload.Sum
 	if *useMax {
@@ -86,7 +94,8 @@ func main() {
 	}
 	st := c.Stats()
 	cost := float64(st.ValueRefreshes)*(*cvr) + float64(st.QueryRefreshes)*(*cqr)
-	log.Printf("done: VIR=%d QIR=%d total-cost=%.4g hit-rate=%.2f",
+	log.Printf("done: VIR=%d QIR=%d total-cost=%.4g hit-rate=%.2f frames-sent=%d frames-recv=%d",
 		st.ValueRefreshes, st.QueryRefreshes, cost,
-		float64(st.Cache.Hits)/float64(st.Cache.Hits+st.Cache.Misses+1))
+		float64(st.Cache.Hits)/float64(st.Cache.Hits+st.Cache.Misses+1),
+		st.FramesSent, st.FramesReceived)
 }

@@ -39,6 +39,9 @@ func main() {
 		width     = flag.Float64("width", 10, "initial interval width")
 		seed      = flag.Int64("seed", 1, "random seed")
 		shards    = flag.Int("shards", 0, "lock shards for the key space (0 = GOMAXPROCS-scaled, rounded to a power of two)")
+		maxBatch  = flag.Int("maxbatch", 0, "max messages per batch frame (0 = default 128)")
+		flush     = flag.Duration("flush", 2*time.Millisecond, "push-coalescing window per connection (0 = flush immediately)")
+		protoVer  = flag.Int("protover", 0, "pin the wire protocol: 1 = v1 single frames, 0/2 = negotiate batched v2")
 	)
 	flag.Parse()
 
@@ -47,10 +50,13 @@ func main() {
 			Cvr: *cvr, Cqr: *cqr, Alpha: *alpha,
 			Lambda0: *lambda0, Lambda1: math.Inf(1),
 		},
-		InitialWidth: *width,
-		Seed:         *seed,
-		Shards:       *shards,
-		Logf:         log.Printf,
+		InitialWidth:  *width,
+		Seed:          *seed,
+		Shards:        *shards,
+		MaxBatch:      *maxBatch,
+		FlushInterval: *flush,
+		ProtoVersion:  *protoVer,
+		Logf:          log.Printf,
 	})
 
 	var updates []workload.UpdateSource

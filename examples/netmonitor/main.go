@@ -9,6 +9,11 @@
 // (full adaptive precision) — and prints the refresh-cost comparison, the
 // shape behind Figures 7-11 of the paper.
 //
+// A third run replays the adaptive-precision scenario over loopback TCP
+// with the batched v2 wire protocol (Hello handshake, ReadMulti query
+// fetches, coalesced push batches), printing the frame counts so the
+// batching is visible: frames stay far below the refresh/fetch totals.
+//
 // Run with:
 //
 //	go run ./examples/netmonitor
@@ -18,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"apcache"
 	"apcache/internal/trace"
@@ -53,6 +59,9 @@ func main() {
 		fmt.Printf("%-40s cost rate %.4g per second\n", setting.name, cost)
 	}
 	fmt.Println("\nwith davg > 0 the adaptive-precision setting should win (paper Figs 10-11)")
+
+	fmt.Println()
+	runNetworked(top)
 }
 
 // runScenario replays the trace against one cache configuration and returns
@@ -96,4 +105,72 @@ func runScenario(tr *trace.Trace, lambda1 float64) float64 {
 	}
 	st := store.Stats()
 	return st.Cost / float64(tr.Duration())
+}
+
+// runNetworked replays the adaptive-precision scenario with the monitoring
+// station and the hosts on opposite ends of a TCP connection, using the
+// batched v2 protocol: one SubscribeMulti registers every host, each query's
+// refresh set travels as one ReadMulti, and bursts of value-initiated pushes
+// coalesce into RefreshBatch frames inside the flush window.
+func runNetworked(tr *trace.Trace) {
+	srv, addr, err := apcache.Serve("127.0.0.1:0", apcache.ServerConfig{
+		Params: apcache.Params{
+			Cvr: cvr, Cqr: cqr, Alpha: 1,
+			Lambda0: 1000, Lambda1: math.Inf(1),
+		},
+		InitialWidth:  10_000,
+		Seed:          3,
+		MaxBatch:      128,
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	for h := 0; h < tr.Hosts(); h++ {
+		srv.SetInitial(h, tr.Host(h)[0])
+	}
+
+	c, err := apcache.DialConfig(addr.String(), apcache.ClientConfig{
+		CacheSize: tr.Hosts(),
+		MaxBatch:  128,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	all := make([]int, tr.Hosts())
+	for h := range all {
+		all[h] = h
+	}
+	if err := c.SubscribeMulti(all); err != nil {
+		panic(err)
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	queries := 0
+	for t := 1; t < tr.Duration(); t++ {
+		for h := 0; h < tr.Hosts(); h++ {
+			srv.Set(h, tr.Host(h)[t])
+		}
+		if t%tq == 0 {
+			keys := rng.Perm(tr.Hosts())[:10]
+			kind := apcache.Sum
+			if queries%2 == 1 {
+				kind = apcache.Max
+			}
+			delta := davg * (0.5 + rng.Float64())
+			if _, err := c.Query(apcache.Query{Kind: kind, Keys: keys, Delta: delta}); err != nil {
+				panic(err)
+			}
+			queries++
+		}
+	}
+	st := c.Stats()
+	cost := float64(st.ValueRefreshes)*cvr + float64(st.QueryRefreshes)*cqr
+	fmt.Printf("networked (batched v%d protocol)          cost rate %.4g per second\n",
+		c.Proto(), cost/float64(tr.Duration()))
+	fmt.Printf("  %d refreshes (%d pushed, %d fetched) crossed the wire in %d frames received / %d sent\n",
+		st.ValueRefreshes+st.QueryRefreshes, st.ValueRefreshes, st.QueryRefreshes,
+		st.FramesReceived, st.FramesSent)
 }

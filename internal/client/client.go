@@ -3,6 +3,18 @@
 // (value-initiated refreshes), fetches exact values on demand
 // (query-initiated refreshes), and executes bounded-aggregate queries
 // against the combination, mirroring the simulator's cache but over TCP.
+//
+// The client core is pipelined: requests are enqueued onto a send queue and
+// matched to responses through a correlation table keyed by request ID, so
+// any number of calls may be in flight on the one connection at a time. A
+// dedicated writer goroutine drains the queue, coalescing backed-up requests
+// into Batch frames (protocol v2) and flushing once per drain. Queries
+// collect every key needing refinement in one pass and fetch them with a
+// single ReadMulti instead of one blocking round trip per key.
+//
+// The protocol version is negotiated at Dial time: the client offers v2 with
+// a Hello frame and falls back to v1 single-message frames if the server
+// declines, so it interoperates with v1-pinned servers.
 package client
 
 import (
@@ -11,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"apcache/internal/cache"
@@ -23,14 +36,49 @@ import (
 // ErrClosed is returned by operations on a closed client.
 var ErrClosed = errors.New("client: closed")
 
-// Stats counts the refreshes a client has processed.
+// ServerError is a request failure reported by the server, as opposed to a
+// transport failure. The Dial handshake uses the distinction to fall back to
+// protocol v1 when a server declines Hello.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "client: server error: " + e.Msg }
+
+// Stats counts the refreshes and frames a client has processed.
 type Stats struct {
 	// ValueRefreshes counts server pushes (value-initiated).
 	ValueRefreshes int
 	// QueryRefreshes counts exact reads (query-initiated).
 	QueryRefreshes int
+	// FramesSent and FramesReceived count wire frames in each direction; a
+	// Batch or RefreshBatch is one frame however many messages it carries.
+	FramesSent, FramesReceived int
 	// Cache snapshots the local store's counters.
 	Cache cache.Stats
+}
+
+// Config parameterizes DialConfig.
+type Config struct {
+	// CacheSize caps the local store of interval approximations. Required
+	// (must be positive).
+	CacheSize int
+	// MaxBatch caps the messages the client coalesces into one Batch frame
+	// and the keys per ReadMulti/SubscribeMulti chunk; it is also offered
+	// to the server as the largest batch the client will accept. 0 selects
+	// 128; values are clamped to [1, netproto.MaxBatchItems].
+	MaxBatch int
+	// ProtoVersion pins the protocol: 0 or netproto.Version2 offer v2 with
+	// a Hello at Dial time (falling back to v1 if the server declines);
+	// netproto.Version1 skips the handshake and speaks v1 only.
+	ProtoVersion int
+	// Timeout is the per-request timeout (default 10s).
+	Timeout time.Duration
+}
+
+// callResult resolves one in-flight request: the matching response message,
+// or the error the server reported for it.
+type callResult struct {
+	msg netproto.Message
+	err error
 }
 
 // Client is a networked approximate cache. All methods are safe for
@@ -38,45 +86,109 @@ type Stats struct {
 type Client struct {
 	conn net.Conn
 
-	// wmu serializes frame writes to conn: net.Conn permits concurrent
-	// Write calls but may split a large buffer across several, so two
-	// goroutines writing frames (a call racing an Unsubscribe) could
-	// interleave partial frames and corrupt the stream. wmu is never held
-	// together with mu.
-	wmu sync.Mutex
-
+	// mu guards the local store, the correlation table, and the counters.
+	// It is never held across a network operation.
 	mu      sync.Mutex
 	store   *cache.Cache
-	pending map[uint64]chan *netproto.Refresh
-	errs    map[uint64]chan string
+	pending map[uint64]chan callResult
 	nextID  uint64
 	closed  bool
 	vir     int
 	qir     int
-
-	readErr  error
-	readDone chan struct{}
-
+	readErr error
 	timeout time.Duration
+
+	// sendq feeds the writer goroutine; readDone/writeDone close when the
+	// respective loop exits (readDone doubles as the connection-dead
+	// signal for enqueuers).
+	sendq     chan netproto.Message
+	readDone  chan struct{}
+	writeDone chan struct{}
+
+	// proto is the negotiated protocol version, maxBatch the negotiated
+	// batch limit. Written during the Dial handshake, read by the writer
+	// goroutine and the multi-key paths, hence atomics.
+	proto    atomic.Int32
+	maxBatch atomic.Int32
+
+	framesSent atomic.Int64
+	framesRecv atomic.Int64
 }
 
-// Dial connects to a server and returns a cache of the given capacity.
+// Dial connects to a server and returns a cache of the given capacity,
+// negotiating the batched v2 protocol when the server supports it.
 func Dial(addr string, cacheSize int) (*Client, error) {
+	return DialConfig(addr, Config{CacheSize: cacheSize})
+}
+
+// DialConfig connects to a server with explicit protocol knobs.
+func DialConfig(addr string, cfg Config) (*Client, error) {
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 128
+	}
+	if maxBatch > netproto.MaxBatchItems {
+		maxBatch = netproto.MaxBatchItems
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
 	c := &Client{
-		conn:     conn,
-		store:    cache.New(cacheSize),
-		pending:  make(map[uint64]chan *netproto.Refresh),
-		errs:     make(map[uint64]chan string),
-		readDone: make(chan struct{}),
-		timeout:  10 * time.Second,
+		conn:      conn,
+		store:     cache.New(cfg.CacheSize),
+		pending:   make(map[uint64]chan callResult),
+		timeout:   timeout,
+		sendq:     make(chan netproto.Message, 256),
+		readDone:  make(chan struct{}),
+		writeDone: make(chan struct{}),
 	}
+	c.proto.Store(netproto.Version1)
+	c.maxBatch.Store(int32(maxBatch))
 	go c.readLoop()
+	go c.writeLoop()
+	if cfg.ProtoVersion != netproto.Version1 {
+		if err := c.handshake(maxBatch); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	return c, nil
 }
+
+// handshake offers protocol v2. A ServerError reply means the server
+// declined — the client stays on v1 frames; transport failures abort.
+func (c *Client) handshake(maxBatch int) error {
+	msg, err := c.call(func(id uint64) netproto.Message {
+		return &netproto.Hello{ID: id, Version: netproto.Version2, MaxBatch: uint16(maxBatch)}
+	})
+	if err != nil {
+		var se *ServerError
+		if errors.As(err, &se) {
+			return nil // declined: v1 fallback
+		}
+		return fmt.Errorf("client: handshake: %w", err)
+	}
+	ack, ok := msg.(*netproto.HelloAck)
+	if !ok || ack.Version < netproto.Version2 {
+		return nil // incoherent ack: stay on v1
+	}
+	limit := int(ack.MaxBatch)
+	if limit < 1 || limit > maxBatch {
+		limit = maxBatch
+	}
+	c.maxBatch.Store(int32(limit))
+	c.proto.Store(netproto.Version2)
+	return nil
+}
+
+// Proto returns the negotiated protocol version (netproto.Version1 or
+// netproto.Version2).
+func (c *Client) Proto() int { return int(c.proto.Load()) }
 
 // SetTimeout adjusts the per-request timeout (default 10s).
 func (c *Client) SetTimeout(d time.Duration) {
@@ -99,100 +211,238 @@ func (c *Client) readLoop() {
 			for _, ch := range c.pending {
 				close(ch)
 			}
-			for _, ch := range c.errs {
-				close(ch)
-			}
-			c.pending = map[uint64]chan *netproto.Refresh{}
-			c.errs = map[uint64]chan string{}
+			c.pending = map[uint64]chan callResult{}
 			c.mu.Unlock()
 			return
 		}
-		switch m := msg.(type) {
-		case *netproto.Refresh:
-			c.mu.Lock()
-			c.install(m)
-			if m.Kind == netproto.KindValueInitiated {
+		c.framesRecv.Add(1)
+		c.handleMsg(msg)
+	}
+}
+
+// handleMsg routes one inbound message. Batch frames recurse one level (the
+// decoder rejects deeper nesting).
+func (c *Client) handleMsg(msg netproto.Message) {
+	switch m := msg.(type) {
+	case *netproto.Batch:
+		for _, sub := range m.Msgs {
+			c.handleMsg(sub)
+		}
+	case *netproto.Refresh:
+		c.mu.Lock()
+		c.installLocked(m.Key, m.Lo, m.Hi, m.OriginalWidth)
+		if m.Kind == netproto.KindValueInitiated {
+			c.vir++
+		}
+		ch := c.takeLocked(m.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- callResult{msg: m}
+		}
+	case *netproto.RefreshBatch:
+		c.mu.Lock()
+		for _, it := range m.Items {
+			c.installLocked(it.Key, it.Lo, it.Hi, it.OriginalWidth)
+			if it.Kind == netproto.KindValueInitiated {
 				c.vir++
 			}
-			if ch, ok := c.pending[m.ID]; ok {
-				delete(c.pending, m.ID)
-				delete(c.errs, m.ID)
-				c.mu.Unlock()
-				ch <- m
-				continue
+		}
+		ch := c.takeLocked(m.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- callResult{msg: m}
+		}
+	case *netproto.Pong:
+		c.resolve(m.ID, callResult{msg: m})
+	case *netproto.HelloAck:
+		c.resolve(m.ID, callResult{msg: m})
+	case *netproto.ErrorMsg:
+		c.resolve(m.ID, callResult{err: &ServerError{Msg: m.Msg}})
+	}
+}
+
+// takeLocked removes and returns the waiter for id, nil if none (push
+// traffic uses ID 0; a late response whose call timed out has no waiter but
+// its interval is still installed). Caller holds mu.
+func (c *Client) takeLocked(id uint64) chan callResult {
+	if id == 0 {
+		return nil
+	}
+	ch, ok := c.pending[id]
+	if !ok {
+		return nil
+	}
+	delete(c.pending, id)
+	return ch
+}
+
+// resolve hands a result to the waiter for id, if any.
+func (c *Client) resolve(id uint64, res callResult) {
+	c.mu.Lock()
+	ch := c.takeLocked(id)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- res
+	}
+}
+
+// installLocked puts a refresh's interval into the local store. Caller
+// holds mu.
+func (c *Client) installLocked(key int64, lo, hi, originalWidth float64) {
+	c.store.Put(int(key), interval.Interval{Lo: lo, Hi: hi}, originalWidth)
+}
+
+// writeLoop drains the send queue onto the wire. Backed-up simple requests
+// are coalesced into one Batch frame on v2 connections; multi-key requests
+// are already batches and go out as their own frames. Either way one drain
+// is one bufio flush, so concurrent callers share syscalls.
+func (c *Client) writeLoop() {
+	defer close(c.writeDone)
+	w := bufio.NewWriter(c.conn)
+	var drained []netproto.Message
+	for {
+		var first netproto.Message
+		select {
+		case first = <-c.sendq:
+		case <-c.readDone:
+			return
+		}
+		drained = append(drained[:0], first)
+		max := int(c.maxBatch.Load())
+	drain:
+		for len(drained) < max {
+			select {
+			case m := <-c.sendq:
+				drained = append(drained, m)
+			default:
+				break drain
 			}
-			c.mu.Unlock()
-		case *netproto.ErrorMsg:
-			c.mu.Lock()
-			if ch, ok := c.errs[m.ID]; ok {
-				delete(c.pending, m.ID)
-				delete(c.errs, m.ID)
-				c.mu.Unlock()
-				ch <- m.Msg
-				continue
-			}
-			c.mu.Unlock()
-		case *netproto.Pong:
-			c.mu.Lock()
-			if ch, ok := c.pending[m.ID]; ok {
-				delete(c.pending, m.ID)
-				delete(c.errs, m.ID)
-				c.mu.Unlock()
-				ch <- nil
-				continue
-			}
-			c.mu.Unlock()
+		}
+		if err := c.writeFrames(w, drained); err != nil {
+			c.conn.Close() // wakes readLoop, which fails the pending calls
+			return
+		}
+		if err := w.Flush(); err != nil {
+			c.conn.Close()
+			return
 		}
 	}
 }
 
-// install puts a refresh's interval into the local store. Caller holds mu.
-func (c *Client) install(m *netproto.Refresh) {
-	c.store.Put(int(m.Key), interval.Interval{Lo: m.Lo, Hi: m.Hi}, m.OriginalWidth)
+// batchable reports whether m may ride inside a Batch frame (multi-key and
+// handshake messages are frames of their own).
+func batchable(m netproto.Message) bool {
+	switch m.(type) {
+	case *netproto.Subscribe, *netproto.Unsubscribe, *netproto.Read, *netproto.Ping:
+		return true
+	default:
+		return false
+	}
 }
 
-// call sends a request and waits for the matching Refresh/Pong.
-func (c *Client) call(build func(id uint64) netproto.Message) (*netproto.Refresh, error) {
+// writeFrames writes a drained run, preserving order: on v2, consecutive
+// batchable messages collapse into one Batch frame.
+func (c *Client) writeFrames(w *bufio.Writer, msgs []netproto.Message) error {
+	if c.proto.Load() < netproto.Version2 || len(msgs) == 1 {
+		for _, m := range msgs {
+			if err := netproto.Write(w, m); err != nil {
+				return err
+			}
+			c.framesSent.Add(1)
+		}
+		return nil
+	}
+	var run []netproto.Message
+	flushRun := func() error {
+		switch len(run) {
+		case 0:
+			return nil
+		case 1:
+			err := netproto.Write(w, run[0])
+			run = run[:0]
+			if err == nil {
+				c.framesSent.Add(1)
+			}
+			return err
+		default:
+			err := netproto.Write(w, &netproto.Batch{Msgs: run})
+			run = run[:0]
+			if err == nil {
+				c.framesSent.Add(1)
+			}
+			return err
+		}
+	}
+	for _, m := range msgs {
+		if batchable(m) {
+			run = append(run, m)
+			continue
+		}
+		if err := flushRun(); err != nil {
+			return err
+		}
+		if err := netproto.Write(w, m); err != nil {
+			return err
+		}
+		c.framesSent.Add(1)
+	}
+	return flushRun()
+}
+
+// startCall registers a waiter and enqueues the request, returning without
+// blocking on the network: the pipelined half of a call.
+func (c *Client) startCall(build func(id uint64) netproto.Message) (uint64, chan callResult, time.Duration, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, ErrClosed
+		return 0, nil, 0, ErrClosed
 	}
 	c.nextID++
 	id := c.nextID
-	ch := make(chan *netproto.Refresh, 1)
-	ech := make(chan string, 1)
+	ch := make(chan callResult, 1)
 	c.pending[id] = ch
-	c.errs[id] = ech
 	timeout := c.timeout
 	msg := build(id)
 	c.mu.Unlock()
 
-	if err := c.writeMsg(msg); err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		delete(c.errs, id)
-		c.mu.Unlock()
-		return nil, err
-	}
 	select {
-	case r, ok := <-ch:
+	case c.sendq <- msg:
+		return id, ch, timeout, nil
+	case <-c.readDone:
+		c.abandon(id)
+		return 0, nil, 0, c.closeReason()
+	}
+}
+
+// await blocks for a started call's response.
+func (c *Client) await(id uint64, ch chan callResult, timeout time.Duration) (netproto.Message, error) {
+	select {
+	case res, ok := <-ch:
 		if !ok {
 			return nil, c.closeReason()
 		}
-		return r, nil
-	case emsg, ok := <-ech:
-		if !ok {
-			return nil, c.closeReason()
-		}
-		return nil, fmt.Errorf("client: server error: %s", emsg)
+		return res.msg, res.err
 	case <-time.After(timeout):
-		c.mu.Lock()
-		delete(c.pending, id)
-		delete(c.errs, id)
-		c.mu.Unlock()
+		c.abandon(id)
 		return nil, fmt.Errorf("client: request timed out after %v", timeout)
 	}
+}
+
+// abandon forgets a request that will no longer be awaited. A response
+// arriving later is handled as unsolicited: its interval is still installed.
+func (c *Client) abandon(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// call sends a request and waits for the matching response.
+func (c *Client) call(build func(id uint64) netproto.Message) (netproto.Message, error) {
+	id, ch, timeout, err := c.startCall(build)
+	if err != nil {
+		return nil, err
+	}
+	return c.await(id, ch, timeout)
 }
 
 func (c *Client) closeReason() error {
@@ -213,6 +463,40 @@ func (c *Client) Subscribe(key int) error {
 	return err
 }
 
+// SubscribeMulti registers interest in all keys with one request per
+// MaxBatch chunk (all chunks in flight together), installing the initial
+// approximations. On a v1 connection it falls back to sequential Subscribe
+// calls, stopping at the first error.
+func (c *Client) SubscribeMulti(keys []int) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	if c.proto.Load() < netproto.Version2 {
+		for _, k := range keys {
+			if err := c.Subscribe(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	calls, err := c.startMulti(keys, func(id uint64, ks []int64) netproto.Message {
+		return &netproto.SubscribeMulti{ID: id, Keys: ks}
+	})
+	if err != nil {
+		return err
+	}
+	for _, cc := range calls {
+		msg, err := c.await(cc.id, cc.ch, cc.timeout)
+		if err != nil {
+			return err
+		}
+		if rb, ok := msg.(*netproto.RefreshBatch); !ok || len(rb.Items) != cc.n {
+			return fmt.Errorf("client: malformed SubscribeMulti response")
+		}
+	}
+	return nil
+}
+
 // Unsubscribe withdraws interest and drops the local entry.
 func (c *Client) Unsubscribe(key int) error {
 	c.mu.Lock()
@@ -222,14 +506,12 @@ func (c *Client) Unsubscribe(key int) error {
 	}
 	c.store.Drop(key)
 	c.mu.Unlock()
-	return c.writeMsg(&netproto.Unsubscribe{Key: int64(key)})
-}
-
-// writeMsg frames and writes one message under the write lock.
-func (c *Client) writeMsg(m netproto.Message) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	return netproto.Write(c.conn, m)
+	select {
+	case c.sendq <- &netproto.Unsubscribe{Key: int64(key)}:
+		return nil
+	case <-c.readDone:
+		return c.closeReason()
+	}
 }
 
 // Get returns the locally cached approximation.
@@ -243,16 +525,101 @@ func (c *Client) Get(key int) (interval.Interval, bool) {
 // query-initiated refresh. The accompanying fresh interval is installed
 // locally.
 func (c *Client) ReadExact(key int) (float64, error) {
-	r, err := c.call(func(id uint64) netproto.Message {
+	msg, err := c.call(func(id uint64) netproto.Message {
 		return &netproto.Read{ID: id, Key: int64(key)}
 	})
 	if err != nil {
 		return 0, err
 	}
+	r, ok := msg.(*netproto.Refresh)
+	if !ok {
+		return 0, fmt.Errorf("client: malformed Read response %T", msg)
+	}
 	c.mu.Lock()
 	c.qir++
 	c.mu.Unlock()
 	return r.Value, nil
+}
+
+// multiCall tracks one in-flight chunk of a multi-key request.
+type multiCall struct {
+	id      uint64
+	ch      chan callResult
+	timeout time.Duration
+	off, n  int
+}
+
+// startMulti pipelines a multi-key request as MaxBatch-sized chunks, issuing
+// every chunk before awaiting any: the round-trip cost is one RTT however
+// many chunks the key set spans.
+func (c *Client) startMulti(keys []int, build func(id uint64, ks []int64) netproto.Message) ([]multiCall, error) {
+	max := int(c.maxBatch.Load())
+	var calls []multiCall
+	for off := 0; off < len(keys); off += max {
+		end := off + max
+		if end > len(keys) {
+			end = len(keys)
+		}
+		ks := make([]int64, end-off)
+		for i, k := range keys[off:end] {
+			ks[i] = int64(k)
+		}
+		id, ch, timeout, err := c.startCall(func(id uint64) netproto.Message {
+			return build(id, ks)
+		})
+		if err != nil {
+			return nil, err
+		}
+		calls = append(calls, multiCall{id: id, ch: ch, timeout: timeout, off: off, n: end - off})
+	}
+	return calls, nil
+}
+
+// ReadMulti fetches the exact values of all keys — query-initiated
+// refreshes — in one pipelined round trip, installing the accompanying
+// fresh intervals. The result is in keys order. On a v1 connection it falls
+// back to sequential ReadExact calls, stopping at the first error.
+func (c *Client) ReadMulti(keys []int) ([]float64, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	if c.proto.Load() < netproto.Version2 {
+		out := make([]float64, len(keys))
+		for i, k := range keys {
+			v, err := c.ReadExact(k)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	calls, err := c.startMulti(keys, func(id uint64, ks []int64) netproto.Message {
+		return &netproto.ReadMulti{ID: id, Keys: ks}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(keys))
+	fetched := 0
+	for _, cc := range calls {
+		msg, err := c.await(cc.id, cc.ch, cc.timeout)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := msg.(*netproto.RefreshBatch)
+		if !ok || len(rb.Items) != cc.n {
+			return nil, fmt.Errorf("client: malformed ReadMulti response")
+		}
+		for j, it := range rb.Items {
+			out[cc.off+j] = it.Value
+		}
+		fetched += cc.n
+	}
+	c.mu.Lock()
+	c.qir += fetched
+	c.mu.Unlock()
+	return out, nil
 }
 
 // Ping round-trips a liveness probe.
@@ -264,20 +631,47 @@ func (c *Client) Ping() error {
 }
 
 // Query executes a bounded-aggregate query against the local cache,
-// fetching exact values from the server as needed to meet q.Delta. It
+// fetching exact values from the server as needed to meet q.Delta. On a v2
+// connection, all keys needing refinement within a fetch round are read with
+// one ReadMulti (SUM and AVG always need exactly one round), so the
+// round-trip count does not grow with the refresh-set size; on v1 the
+// sequential paper-minimal refinement runs unchanged (batching the extreme
+// aggregates' rounds would over-fetch with no round trips saved). It
 // returns the bounding answer and any network error encountered while
-// fetching.
+// fetching; after the first fetch error no further fetches are issued.
 func (c *Client) Query(q workload.Query) (query.Answer, error) {
 	var fetchErr error
-	ans := query.Execute(q,
-		func(key int) (interval.Interval, bool) { return c.Get(key) },
-		func(key int) float64 {
+	get := func(key int) (interval.Interval, bool) { return c.Get(key) }
+	var ans query.Answer
+	if c.proto.Load() < netproto.Version2 {
+		ans = query.Execute(q, get, func(key int) float64 {
+			if fetchErr != nil {
+				// Short-circuit: a failed connection would otherwise be
+				// retried once per remaining key.
+				return 0
+			}
 			v, err := c.ReadExact(key)
-			if err != nil && fetchErr == nil {
+			if err != nil {
 				fetchErr = err
+				return 0
 			}
 			return v
 		})
+	} else {
+		ans = query.ExecuteBatch(q, get, func(keys []int) []float64 {
+			if fetchErr != nil {
+				// Short-circuit: a failed connection would otherwise be
+				// retried once per remaining fetch round.
+				return make([]float64, len(keys))
+			}
+			vals, err := c.ReadMulti(keys)
+			if err != nil {
+				fetchErr = err
+				return make([]float64, len(keys))
+			}
+			return vals
+		})
+	}
 	if fetchErr != nil {
 		return query.Answer{}, fetchErr
 	}
@@ -288,19 +682,26 @@ func (c *Client) Query(q workload.Query) (query.Answer, error) {
 func (c *Client) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{ValueRefreshes: c.vir, QueryRefreshes: c.qir, Cache: c.store.Stats()}
+	return Stats{
+		ValueRefreshes: c.vir,
+		QueryRefreshes: c.qir,
+		FramesSent:     int(c.framesSent.Load()),
+		FramesReceived: int(c.framesRecv.Load()),
+		Cache:          c.store.Stats(),
+	}
 }
 
-// Close tears down the connection.
+// Close tears down the connection and waits for the client's goroutines.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil
-	}
+	already := c.closed
 	c.closed = true
 	c.mu.Unlock()
 	err := c.conn.Close()
 	<-c.readDone
+	<-c.writeDone
+	if already {
+		return nil
+	}
 	return err
 }

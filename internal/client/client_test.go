@@ -5,11 +5,13 @@ package client
 import (
 	"math"
 	"math/rand"
+	"net"
 	"sync"
 	"testing"
 	"time"
 
 	"apcache/internal/core"
+	"apcache/internal/netproto"
 	"apcache/internal/server"
 	"apcache/internal/workload"
 )
@@ -427,5 +429,353 @@ func TestEndToEndQuerySoundnessAfterChurn(t *testing.T) {
 		if ans.Result.Width() > delta+1e-9 {
 			t.Fatalf("trial %d: width %g > delta %g", trial, ans.Result.Width(), delta)
 		}
+	}
+}
+
+func dialCfg(t *testing.T, addr string, cfg Config) *Client {
+	t.Helper()
+	c, err := DialConfig(addr, cfg)
+	if err != nil {
+		t.Fatalf("DialConfig: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestHandshakeNegotiatesV2(t *testing.T) {
+	_, addr := newServer(t)
+	c := dial(t, addr, 10)
+	if c.Proto() != netproto.Version2 {
+		t.Errorf("negotiated proto %d, want v2", c.Proto())
+	}
+}
+
+func TestHandshakeFallbackToV1Server(t *testing.T) {
+	// A server pinned to v1 declines Hello; the client must fall back and
+	// still serve subscriptions, reads, and queries on v1 frames.
+	srv := server.New(server.Config{
+		Params:       core.Params{Cvr: 1, Cqr: 2, Alpha: 1, Lambda0: 0, Lambda1: math.Inf(1)},
+		InitialWidth: 10,
+		Seed:         1,
+		ProtoVersion: netproto.Version1,
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	for k := 0; k < 4; k++ {
+		srv.SetInitial(k, float64(k*10))
+	}
+	c := dialCfg(t, addr.String(), Config{CacheSize: 10})
+	if c.Proto() != netproto.Version1 {
+		t.Fatalf("proto %d after decline, want v1", c.Proto())
+	}
+	if err := c.SubscribeMulti([]int{0, 1, 2, 3}); err != nil {
+		t.Fatalf("SubscribeMulti on v1: %v", err)
+	}
+	vals, err := c.ReadMulti([]int{3, 1})
+	if err != nil {
+		t.Fatalf("ReadMulti on v1: %v", err)
+	}
+	if vals[0] != 30 || vals[1] != 10 {
+		t.Errorf("values %v, want [30 10]", vals)
+	}
+	ans, err := c.Query(workload.Query{Kind: workload.Sum, Keys: []int{0, 1, 2, 3}, Delta: 0})
+	if err != nil {
+		t.Fatalf("Query on v1: %v", err)
+	}
+	if !ans.Result.IsExact() || ans.Result.Lo != 60 {
+		t.Errorf("result %v, want [60, 60]", ans.Result)
+	}
+}
+
+func TestClientPinnedToV1(t *testing.T) {
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 7)
+	c := dialCfg(t, addr, Config{CacheSize: 10, ProtoVersion: netproto.Version1})
+	if c.Proto() != netproto.Version1 {
+		t.Fatalf("proto %d, want pinned v1", c.Proto())
+	}
+	v, err := c.ReadExact(0)
+	if err != nil || v != 7 {
+		t.Errorf("ReadExact = %g, %v", v, err)
+	}
+}
+
+func TestSubscribeMultiInstallsAll(t *testing.T) {
+	srv, addr := newServer(t)
+	const keys = 300 // forces chunking past MaxBatch
+	want := make([]int, keys)
+	for k := 0; k < keys; k++ {
+		want[k] = k
+		srv.SetInitial(k, float64(k))
+	}
+	c := dialCfg(t, addr, Config{CacheSize: keys, MaxBatch: 128})
+	if err := c.SubscribeMulti(want); err != nil {
+		t.Fatalf("SubscribeMulti: %v", err)
+	}
+	for k := 0; k < keys; k++ {
+		iv, ok := c.Get(k)
+		if !ok || !iv.Valid(float64(k)) {
+			t.Fatalf("key %d: cached %v %v", k, iv, ok)
+		}
+	}
+}
+
+func TestSubscribeMultiUnknownKey(t *testing.T) {
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 1)
+	c := dial(t, addr, 10)
+	if err := c.SubscribeMulti([]int{0, 42}); err == nil {
+		t.Fatalf("SubscribeMulti with unknown key succeeded")
+	}
+}
+
+func TestReadMultiInstallsIntervals(t *testing.T) {
+	srv, addr := newServer(t)
+	for k := 0; k < 5; k++ {
+		srv.SetInitial(k, float64(k*2))
+	}
+	c := dial(t, addr, 10)
+	vals, err := c.ReadMulti([]int{4, 0, 2})
+	if err != nil {
+		t.Fatalf("ReadMulti: %v", err)
+	}
+	if vals[0] != 8 || vals[1] != 0 || vals[2] != 4 {
+		t.Errorf("values %v, want [8 0 4]", vals)
+	}
+	if st := c.Stats(); st.QueryRefreshes != 3 {
+		t.Errorf("QIR count %d, want 3", st.QueryRefreshes)
+	}
+	for _, k := range []int{0, 2, 4} {
+		if iv, ok := c.Get(k); !ok || !iv.Valid(float64(k*2)) {
+			t.Errorf("key %d interval %v %v", k, iv, ok)
+		}
+	}
+}
+
+func TestQuerySingleRoundTrip(t *testing.T) {
+	// The acceptance property of the batched protocol: a bounded-aggregate
+	// query refining K keys costs one request frame and one response frame,
+	// not K round trips.
+	srv, addr := newServer(t)
+	const keys = 24
+	all := make([]int, keys)
+	var sum float64
+	for k := 0; k < keys; k++ {
+		all[k] = k
+		srv.SetInitial(k, float64(k))
+		sum += float64(k)
+	}
+	c := dial(t, addr, keys)
+	if err := c.SubscribeMulti(all); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Stats()
+	ans, err := c.Query(workload.Query{Kind: workload.Sum, Keys: all, Delta: 0})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !ans.Result.IsExact() || ans.Result.Lo != sum {
+		t.Fatalf("result %v, want exact %g", ans.Result, sum)
+	}
+	if len(ans.Refreshed) != keys {
+		t.Fatalf("refreshed %d keys, want all %d", len(ans.Refreshed), keys)
+	}
+	after := c.Stats()
+	if sent := after.FramesSent - before.FramesSent; sent != 1 {
+		t.Errorf("query refining %d keys sent %d frames, want 1 (single ReadMulti)", keys, sent)
+	}
+	if recv := after.FramesReceived - before.FramesReceived; recv != 1 {
+		t.Errorf("query received %d frames, want 1 (single RefreshBatch)", recv)
+	}
+}
+
+func TestQueryErrorShortCircuits(t *testing.T) {
+	// After the first fetch error the query must stop issuing reads for the
+	// remaining keys instead of burning a timeout per key. Pin the client
+	// to v1 so fetches are sequential ReadExact calls, the shape the old
+	// bug lived in.
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 1)
+	srv.SetInitial(2, 3) // key 1 is unknown: its fetch fails
+	c := dialCfg(t, addr, Config{CacheSize: 10, ProtoVersion: netproto.Version1})
+	_, err := c.Query(workload.Query{Kind: workload.Sum, Keys: []int{0, 1, 2}, Delta: 0})
+	if err == nil {
+		t.Fatalf("query over unknown key succeeded")
+	}
+	if st := c.Stats(); st.QueryRefreshes != 1 {
+		t.Errorf("QIR count %d after failed fetch, want 1 (no fetches past the error)", st.QueryRefreshes)
+	}
+}
+
+// stubServer speaks raw netproto for timeout tests: it answers Read frames
+// only after being released, and Pongs immediately.
+type stubServer struct {
+	ln       net.Listener
+	release  chan struct{}
+	accepted chan net.Conn
+}
+
+func newStubServer(t *testing.T) (*stubServer, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &stubServer{ln: ln, release: make(chan struct{}), accepted: make(chan net.Conn, 1)}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.accepted <- conn
+		for {
+			msg, err := netproto.ReadMsg(conn)
+			if err != nil {
+				conn.Close()
+				return
+			}
+			switch m := msg.(type) {
+			case *netproto.Ping:
+				netproto.Write(conn, &netproto.Pong{ID: m.ID})
+			case *netproto.Read:
+				go func(m *netproto.Read) {
+					<-s.release
+					netproto.Write(conn, &netproto.Refresh{
+						ID: m.ID, Key: m.Key, Kind: netproto.KindQueryInitiated,
+						Value: 42, Lo: 41, Hi: 43, OriginalWidth: 2,
+					})
+				}(m)
+			}
+		}
+	}()
+	return s, ln.Addr().String()
+}
+
+func TestLateResponseAfterTimeout(t *testing.T) {
+	s, addr := newStubServer(t)
+	c := dialCfg(t, addr, Config{CacheSize: 4, ProtoVersion: netproto.Version1, Timeout: 50 * time.Millisecond})
+	if _, err := c.ReadExact(9); err == nil {
+		t.Fatalf("read against stalled server succeeded")
+	}
+	// Release the stalled response; it arrives with no waiter. The client
+	// must treat it as unsolicited — no panic, no stuck correlation state —
+	// and still install the (valid) interval.
+	close(s.release)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if iv, ok := c.Get(9); ok && iv.Valid(42) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("late response's interval never installed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The connection still works.
+	c.SetTimeout(5 * time.Second)
+	if err := c.Ping(); err != nil {
+		t.Errorf("Ping after late response: %v", err)
+	}
+}
+
+func TestCloseRacesInflightCalls(t *testing.T) {
+	srv, addr := newServer(t)
+	for k := 0; k < 8; k++ {
+		srv.SetInitial(k, float64(k))
+	}
+	c, err := DialConfig(addr, Config{CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var err error
+				switch g % 3 {
+				case 0:
+					_, err = c.ReadExact(g)
+				case 1:
+					_, err = c.ReadMulti([]int{0, 1, 2, 3})
+				default:
+					_, err = c.Query(workload.Query{Kind: workload.Sum, Keys: []int{4, 5, 6}, Delta: 0})
+				}
+				if err != nil {
+					return // closed underneath us: expected
+				}
+			}
+		}(g)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	// Every post-close call fails fast.
+	if _, err := c.ReadMulti([]int{0}); err == nil {
+		t.Errorf("ReadMulti after close succeeded")
+	}
+}
+
+func TestWriterCoalescesBackedUpRequests(t *testing.T) {
+	// The writer coalesces only when the queue backs up — blocking callers
+	// on an idle loopback never outpace it, so build the backlog with
+	// fire-and-forget Unsubscribe enqueues: a tight enqueue loop is orders
+	// of magnitude faster than the writer's per-frame syscalls, so most
+	// messages must leave in shared Batch frames.
+	srv, addr := newServer(t)
+	const keys = 200
+	all := make([]int, keys)
+	for k := 0; k < keys; k++ {
+		all[k] = k
+		srv.SetInitial(k, float64(k))
+	}
+	c := dial(t, addr, keys)
+	if err := c.SubscribeMulti(all); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Stats()
+	for k := 0; k < keys; k++ {
+		if err := c.Unsubscribe(k); err != nil {
+			t.Fatalf("Unsubscribe(%d): %v", k, err)
+		}
+	}
+	// A final Ping drains the queue (its response proves everything ahead
+	// of it was written).
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Stats()
+	sent := after.FramesSent - before.FramesSent
+	if sent >= keys {
+		t.Errorf("%d enqueued messages used %d frames; expected Batch coalescing", keys+1, sent)
+	}
+	// The batched unsubscribes all took effect server-side.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		subs := 0
+		for _, sh := range srv.Stats().PerShard {
+			subs += sh.Subscriptions
+		}
+		if subs == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d subscriptions survived the batched unsubscribes", subs)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

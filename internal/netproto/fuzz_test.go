@@ -18,6 +18,23 @@ func FuzzReadMsg(f *testing.F) {
 		&Refresh{ID: 8, Key: 9, Kind: KindValueInitiated, Value: 1, Lo: 0, Hi: 2, OriginalWidth: 2},
 		&Pong{ID: 10},
 		&ErrorMsg{ID: 11, Msg: "nope"},
+		&Hello{ID: 12, Version: Version2, MaxBatch: 128},
+		&HelloAck{ID: 13, Version: Version2, MaxBatch: 64},
+		&ReadMulti{ID: 14, Keys: []int64{1, 2, 3}},
+		&SubscribeMulti{ID: 15, Keys: []int64{-7, 0}},
+		&RefreshBatch{ID: 16, Items: []RefreshItem{
+			{Key: 1, Kind: KindInitial, Value: 1, Lo: 0, Hi: 2, OriginalWidth: 2},
+			{Key: 2, Kind: KindQueryInitiated, Value: 5, Lo: 5, Hi: 5, OriginalWidth: 0},
+		}},
+		&Batch{Msgs: []Message{
+			&Subscribe{ID: 17, Key: 1},
+			&Read{ID: 18, Key: 2},
+			&Ping{ID: 19},
+		}},
+		// Pushes coalesced under ID 0, the writer's hot frame.
+		&RefreshBatch{ID: 0, Items: []RefreshItem{
+			{Key: 3, Kind: KindValueInitiated, Value: 9, Lo: 8, Hi: 10, OriginalWidth: 2},
+		}},
 	}
 	for _, m := range seeds {
 		var buf bytes.Buffer
@@ -29,6 +46,19 @@ func FuzzReadMsg(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x05})
 	f.Add([]byte{0x01, 0x00, 0x00, 0x00, 0x00})
+	// Zero-length batch: header + type TBatch + u16 count 0 (must be rejected).
+	f.Add([]byte{0x03, 0x00, 0x00, 0x00, byte(TBatch), 0x00, 0x00})
+	// Nested batch: an outer Batch whose single sub-message is itself a Batch
+	// (must be rejected, not recursed into).
+	{
+		inner := &Batch{Msgs: []Message{&Ping{ID: 1}}}
+		outer := &Batch{Msgs: []Message{inner}}
+		var buf bytes.Buffer
+		if err := Write(&buf, outer); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := ReadMsg(bytes.NewReader(data))

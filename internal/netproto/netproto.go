@@ -8,6 +8,18 @@
 // query needs more precision sends Read and receives the exact value plus a
 // fresh interval (query-initiated). Requests carry an ID echoed by the
 // matching response; server-initiated pushes use ID 0.
+//
+// # Protocol versions
+//
+// Version 1 is strictly one message per frame. Version 2 adds batching on
+// top of the same frame format: a Hello/HelloAck handshake negotiates the
+// version and batch limit, ReadMulti/SubscribeMulti carry many keys under
+// one request ID and are answered by a single RefreshBatch, Batch wraps
+// several independent sub-messages into one frame (the pipelining container
+// both endpoints use to amortize framing and syscalls), and RefreshBatch
+// with ID 0 coalesces value-initiated pushes. A peer that never sends Hello
+// is a v1 peer and must only ever be sent v1 frames. Batches are never
+// nested and never empty; both are rejected at decode time.
 package netproto
 
 import (
@@ -20,7 +32,8 @@ import (
 // MsgType identifies a frame's payload.
 type MsgType uint8
 
-// Message types. Client-to-server types come first.
+// Message types. Client-to-server types come first; the v2 batching types
+// extend the v1 set without renumbering it.
 const (
 	TSubscribe MsgType = iota + 1
 	TUnsubscribe
@@ -29,7 +42,24 @@ const (
 	TRefresh
 	TPong
 	TError
+	THello
+	THelloAck
+	TReadMulti
+	TSubscribeMulti
+	TRefreshBatch
+	TBatch
 )
+
+// Protocol versions negotiated by Hello/HelloAck.
+const (
+	Version1 = 1
+	Version2 = 2
+)
+
+// MaxBatchItems caps the sub-messages in a Batch frame and the entries in a
+// ReadMulti/SubscribeMulti/RefreshBatch; larger counts are rejected at
+// decode time (with MaxFrame this bounds decoder allocations).
+const MaxBatchItems = 1024
 
 // String returns the type name.
 func (t MsgType) String() string {
@@ -48,6 +78,18 @@ func (t MsgType) String() string {
 		return "Pong"
 	case TError:
 		return "Error"
+	case THello:
+		return "Hello"
+	case THelloAck:
+		return "HelloAck"
+	case TReadMulti:
+		return "ReadMulti"
+	case TSubscribeMulti:
+		return "SubscribeMulti"
+	case TRefreshBatch:
+		return "RefreshBatch"
+	case TBatch:
+		return "Batch"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -118,14 +160,103 @@ type ErrorMsg struct {
 	Msg string
 }
 
+// Hello opens a v2 session: it must be the first frame a v2 client sends.
+// Version is the highest protocol version the client speaks; MaxBatch is the
+// largest batch it is willing to receive. A server answers with HelloAck
+// (accept) or ErrorMsg (decline; the client then stays on v1 frames).
+type Hello struct {
+	ID       uint64
+	Version  uint8
+	MaxBatch uint16
+}
+
+// HelloAck accepts a Hello. Version and MaxBatch carry the negotiated
+// protocol version and batch limit (the min of both peers' offers).
+type HelloAck struct {
+	ID       uint64
+	Version  uint8
+	MaxBatch uint16
+}
+
+// ReadMulti requests the exact values of Keys under one request ID; the
+// server answers with a single RefreshBatch whose items are in Keys order,
+// or one ErrorMsg for the whole request. v2 only.
+type ReadMulti struct {
+	ID   uint64
+	Keys []int64
+}
+
+// SubscribeMulti registers interest in Keys under one request ID; the server
+// answers with a single RefreshBatch of initial approximations in Keys
+// order, or one ErrorMsg for the whole request. v2 only.
+type SubscribeMulti struct {
+	ID   uint64
+	Keys []int64
+}
+
+// RefreshItem is one approximation inside a RefreshBatch: a Refresh without
+// the per-message ID (the batch carries one ID for all items).
+type RefreshItem struct {
+	Key           int64
+	Kind          RefreshKind
+	Value         float64
+	Lo, Hi        float64
+	OriginalWidth float64
+}
+
+// RefreshBatch delivers several approximations in one frame: the response to
+// a ReadMulti/SubscribeMulti (echoing its ID) or, with ID 0, a coalesced run
+// of value-initiated pushes. v2 only.
+type RefreshBatch struct {
+	ID    uint64
+	Items []RefreshItem
+}
+
+// Batch wraps several independent sub-messages into one frame, preserving
+// order. Batches never nest and are never empty. v2 only.
+type Batch struct {
+	Msgs []Message
+}
+
 // MaxFrame bounds accepted frame sizes; real frames are tiny, so anything
 // larger indicates a corrupt or hostile stream.
 const MaxFrame = 1 << 16
 
 const headerLen = 5 // uint32 length + uint8 type
 
-// Write encodes m as one frame on w.
+// batchLen returns the item count of batch-carrying messages (0 for plain
+// messages), so Write can reject counts the decoder would refuse.
+func batchLen(m Message) int {
+	switch b := m.(type) {
+	case *ReadMulti:
+		return len(b.Keys)
+	case *SubscribeMulti:
+		return len(b.Keys)
+	case *RefreshBatch:
+		return len(b.Items)
+	case *Batch:
+		return len(b.Msgs)
+	default:
+		return 0
+	}
+}
+
+// Write encodes m as one frame on w. Batch-carrying messages larger than
+// MaxBatchItems — including ones nested inside a Batch — are rejected here
+// rather than silently truncating their uint16 counts (every decoder would
+// reject them anyway, tearing down the peer's connection instead of
+// surfacing the error at the sender).
 func Write(w io.Writer, m Message) error {
+	if n := batchLen(m); n > MaxBatchItems {
+		return fmt.Errorf("netproto: %s of %d items exceeds limit %d", m.msgType(), n, MaxBatchItems)
+	}
+	if b, ok := m.(*Batch); ok {
+		for _, sub := range b.Msgs {
+			if n := batchLen(sub); n > MaxBatchItems {
+				return fmt.Errorf("netproto: %s of %d items exceeds limit %d", sub.msgType(), n, MaxBatchItems)
+			}
+		}
+	}
 	body := m.encode(make([]byte, 0, 64))
 	if len(body) > MaxFrame {
 		return fmt.Errorf("netproto: frame too large (%d bytes)", len(body))
@@ -158,29 +289,48 @@ func ReadMsg(r io.Reader) (Message, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, fmt.Errorf("netproto: short frame body: %w", err)
 	}
-	var m Message
-	switch MsgType(hdr[4]) {
-	case TSubscribe:
-		m = &Subscribe{}
-	case TUnsubscribe:
-		m = &Unsubscribe{}
-	case TRead:
-		m = &Read{}
-	case TPing:
-		m = &Ping{}
-	case TRefresh:
-		m = &Refresh{}
-	case TPong:
-		m = &Pong{}
-	case TError:
-		m = &ErrorMsg{}
-	default:
-		return nil, fmt.Errorf("netproto: unknown message type %d", hdr[4])
+	m, err := newMessage(MsgType(hdr[4]))
+	if err != nil {
+		return nil, err
 	}
 	if err := m.decode(body); err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// newMessage returns a zero message of the given type.
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case TSubscribe:
+		return &Subscribe{}, nil
+	case TUnsubscribe:
+		return &Unsubscribe{}, nil
+	case TRead:
+		return &Read{}, nil
+	case TPing:
+		return &Ping{}, nil
+	case TRefresh:
+		return &Refresh{}, nil
+	case TPong:
+		return &Pong{}, nil
+	case TError:
+		return &ErrorMsg{}, nil
+	case THello:
+		return &Hello{}, nil
+	case THelloAck:
+		return &HelloAck{}, nil
+	case TReadMulti:
+		return &ReadMulti{}, nil
+	case TSubscribeMulti:
+		return &SubscribeMulti{}, nil
+	case TRefreshBatch:
+		return &RefreshBatch{}, nil
+	case TBatch:
+		return &Batch{}, nil
+	default:
+		return nil, fmt.Errorf("netproto: unknown message type %d", uint8(t))
+	}
 }
 
 // --- encoding helpers ---
@@ -192,6 +342,12 @@ func putU64(b []byte, v uint64) []byte {
 }
 
 func putF64(b []byte, v float64) []byte { return putU64(b, math.Float64bits(v)) }
+
+func putU16(b []byte, v uint16) []byte {
+	var tmp [2]byte
+	binary.LittleEndian.PutUint16(tmp[:], v)
+	return append(b, tmp[:]...)
+}
 
 type reader struct {
 	b   []byte
@@ -223,6 +379,33 @@ func (r *reader) u8() uint8 {
 	}
 	v := r.b[0]
 	r.b = r.b[1:]
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 2 {
+		r.err = fmt.Errorf("netproto: truncated field")
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[:2])
+	r.b = r.b[2:]
+	return v
+}
+
+// take slices off the next n bytes.
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.err = fmt.Errorf("netproto: truncated field")
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
 	return v
 }
 
@@ -331,5 +514,207 @@ func (m *ErrorMsg) decode(b []byte) error {
 	r := reader{b: b}
 	m.ID = r.u64()
 	m.Msg = string(r.rest())
+	return r.done()
+}
+
+func (m *Hello) msgType() MsgType { return THello }
+func (m *Hello) encode(b []byte) []byte {
+	b = putU64(b, m.ID)
+	b = append(b, m.Version)
+	return putU16(b, m.MaxBatch)
+}
+func (m *Hello) decode(b []byte) error {
+	r := reader{b: b}
+	m.ID = r.u64()
+	m.Version = r.u8()
+	m.MaxBatch = r.u16()
+	if err := r.done(); err != nil {
+		return err
+	}
+	if m.Version == 0 {
+		return fmt.Errorf("netproto: hello with version 0")
+	}
+	return nil
+}
+
+func (m *HelloAck) msgType() MsgType { return THelloAck }
+func (m *HelloAck) encode(b []byte) []byte {
+	b = putU64(b, m.ID)
+	b = append(b, m.Version)
+	return putU16(b, m.MaxBatch)
+}
+func (m *HelloAck) decode(b []byte) error {
+	r := reader{b: b}
+	m.ID = r.u64()
+	m.Version = r.u8()
+	m.MaxBatch = r.u16()
+	if err := r.done(); err != nil {
+		return err
+	}
+	if m.Version == 0 {
+		return fmt.Errorf("netproto: hello ack with version 0")
+	}
+	return nil
+}
+
+// encodeKeys/decodeKeys implement the shared u16-count + keys layout of
+// ReadMulti and SubscribeMulti. Empty and oversized key sets are rejected:
+// an empty multi-request has no meaningful response frame.
+func encodeKeys(b []byte, id uint64, keys []int64) []byte {
+	b = putU64(b, id)
+	b = putU16(b, uint16(len(keys)))
+	for _, k := range keys {
+		b = putU64(b, uint64(k))
+	}
+	return b
+}
+
+func decodeKeys(b []byte, what string) (id uint64, keys []int64, err error) {
+	r := reader{b: b}
+	id = r.u64()
+	n := int(r.u16())
+	if r.err == nil {
+		if n == 0 {
+			return 0, nil, fmt.Errorf("netproto: empty %s", what)
+		}
+		if n > MaxBatchItems {
+			return 0, nil, fmt.Errorf("netproto: %s of %d keys exceeds limit %d", what, n, MaxBatchItems)
+		}
+	}
+	keys = make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		keys = append(keys, int64(r.u64()))
+	}
+	if err := r.done(); err != nil {
+		return 0, nil, err
+	}
+	return id, keys, nil
+}
+
+func (m *ReadMulti) msgType() MsgType       { return TReadMulti }
+func (m *ReadMulti) encode(b []byte) []byte { return encodeKeys(b, m.ID, m.Keys) }
+func (m *ReadMulti) decode(b []byte) error {
+	id, keys, err := decodeKeys(b, "ReadMulti")
+	if err != nil {
+		return err
+	}
+	m.ID, m.Keys = id, keys
+	return nil
+}
+
+func (m *SubscribeMulti) msgType() MsgType       { return TSubscribeMulti }
+func (m *SubscribeMulti) encode(b []byte) []byte { return encodeKeys(b, m.ID, m.Keys) }
+func (m *SubscribeMulti) decode(b []byte) error {
+	id, keys, err := decodeKeys(b, "SubscribeMulti")
+	if err != nil {
+		return err
+	}
+	m.ID, m.Keys = id, keys
+	return nil
+}
+
+func (m *RefreshBatch) msgType() MsgType { return TRefreshBatch }
+func (m *RefreshBatch) encode(b []byte) []byte {
+	b = putU64(b, m.ID)
+	b = putU16(b, uint16(len(m.Items)))
+	for _, it := range m.Items {
+		b = putU64(b, uint64(it.Key))
+		b = append(b, byte(it.Kind))
+		b = putF64(b, it.Value)
+		b = putF64(b, it.Lo)
+		b = putF64(b, it.Hi)
+		b = putF64(b, it.OriginalWidth)
+	}
+	return b
+}
+func (m *RefreshBatch) decode(b []byte) error {
+	r := reader{b: b}
+	m.ID = r.u64()
+	n := int(r.u16())
+	if r.err == nil {
+		if n == 0 {
+			return fmt.Errorf("netproto: empty RefreshBatch")
+		}
+		if n > MaxBatchItems {
+			return fmt.Errorf("netproto: RefreshBatch of %d items exceeds limit %d", n, MaxBatchItems)
+		}
+	}
+	m.Items = make([]RefreshItem, 0, n)
+	for i := 0; i < n; i++ {
+		it := RefreshItem{
+			Key:  int64(r.u64()),
+			Kind: RefreshKind(r.u8()),
+		}
+		it.Value = r.f64()
+		it.Lo = r.f64()
+		it.Hi = r.f64()
+		it.OriginalWidth = r.f64()
+		if r.err == nil && it.Kind > KindQueryInitiated {
+			return fmt.Errorf("netproto: bad refresh kind %d in batch item %d", it.Kind, i)
+		}
+		m.Items = append(m.Items, it)
+	}
+	return r.done()
+}
+
+// Refresh converts item i into a standalone Refresh carrying the batch's ID.
+func (m *RefreshBatch) Refresh(i int) *Refresh {
+	it := m.Items[i]
+	return &Refresh{
+		ID: m.ID, Key: it.Key, Kind: it.Kind,
+		Value: it.Value, Lo: it.Lo, Hi: it.Hi, OriginalWidth: it.OriginalWidth,
+	}
+}
+
+// Item converts a standalone Refresh into a batch item (dropping the ID).
+func (m *Refresh) Item() RefreshItem {
+	return RefreshItem{
+		Key: m.Key, Kind: m.Kind,
+		Value: m.Value, Lo: m.Lo, Hi: m.Hi, OriginalWidth: m.OriginalWidth,
+	}
+}
+
+func (m *Batch) msgType() MsgType { return TBatch }
+func (m *Batch) encode(b []byte) []byte {
+	b = putU16(b, uint16(len(m.Msgs)))
+	for _, sub := range m.Msgs {
+		body := sub.encode(make([]byte, 0, 64))
+		b = append(b, byte(sub.msgType()))
+		b = putU16(b, uint16(len(body)))
+		b = append(b, body...)
+	}
+	return b
+}
+func (m *Batch) decode(b []byte) error {
+	r := reader{b: b}
+	n := int(r.u16())
+	if r.err == nil {
+		if n == 0 {
+			return fmt.Errorf("netproto: empty Batch")
+		}
+		if n > MaxBatchItems {
+			return fmt.Errorf("netproto: Batch of %d messages exceeds limit %d", n, MaxBatchItems)
+		}
+	}
+	m.Msgs = make([]Message, 0, n)
+	for i := 0; i < n; i++ {
+		t := MsgType(r.u8())
+		bodyLen := int(r.u16())
+		body := r.take(bodyLen)
+		if r.err != nil {
+			break
+		}
+		if t == TBatch {
+			return fmt.Errorf("netproto: nested Batch rejected")
+		}
+		sub, err := newMessage(t)
+		if err != nil {
+			return err
+		}
+		if err := sub.decode(body); err != nil {
+			return err
+		}
+		m.Msgs = append(m.Msgs, sub)
+	}
 	return r.done()
 }

@@ -184,10 +184,214 @@ func TestBadRefreshKindRejected(t *testing.T) {
 	}
 }
 
+func TestRoundTripHello(t *testing.T) {
+	got := roundTrip(t, &Hello{ID: 4, Version: Version2, MaxBatch: 128}).(*Hello)
+	if got.ID != 4 || got.Version != Version2 || got.MaxBatch != 128 {
+		t.Errorf("got %+v", got)
+	}
+	ack := roundTrip(t, &HelloAck{ID: 4, Version: Version2, MaxBatch: 64}).(*HelloAck)
+	if ack.ID != 4 || ack.Version != Version2 || ack.MaxBatch != 64 {
+		t.Errorf("got %+v", ack)
+	}
+}
+
+func TestHelloVersionZeroRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Hello{ID: 1, Version: 0, MaxBatch: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMsg(&buf); err == nil {
+		t.Errorf("hello with version 0 accepted")
+	}
+}
+
+func TestRoundTripReadMulti(t *testing.T) {
+	in := &ReadMulti{ID: 11, Keys: []int64{3, -1, 7}}
+	got := roundTrip(t, in).(*ReadMulti)
+	if got.ID != 11 || len(got.Keys) != 3 || got.Keys[0] != 3 || got.Keys[1] != -1 || got.Keys[2] != 7 {
+		t.Errorf("got %+v", got)
+	}
+	sub := roundTrip(t, &SubscribeMulti{ID: 12, Keys: []int64{5}}).(*SubscribeMulti)
+	if sub.ID != 12 || len(sub.Keys) != 1 || sub.Keys[0] != 5 {
+		t.Errorf("got %+v", sub)
+	}
+}
+
+func TestEmptyMultiRejected(t *testing.T) {
+	for _, m := range []Message{
+		&ReadMulti{ID: 1},
+		&SubscribeMulti{ID: 2},
+		&RefreshBatch{ID: 3},
+	} {
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadMsg(&buf); err == nil {
+			t.Errorf("empty %T accepted", m)
+		}
+	}
+}
+
+func TestRoundTripRefreshBatch(t *testing.T) {
+	in := &RefreshBatch{ID: 9, Items: []RefreshItem{
+		{Key: 1, Kind: KindInitial, Value: 5, Lo: 4, Hi: 6, OriginalWidth: 2},
+		{Key: 2, Kind: KindValueInitiated, Value: -1, Lo: math.Inf(-1), Hi: math.Inf(1), OriginalWidth: math.Inf(1)},
+		{Key: 3, Kind: KindQueryInitiated, Value: 7, Lo: 7, Hi: 7, OriginalWidth: 0},
+	}}
+	got := roundTrip(t, in).(*RefreshBatch)
+	if got.ID != 9 || len(got.Items) != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	for i := range in.Items {
+		a, b := got.Items[i], in.Items[i]
+		if a.Key != b.Key || a.Kind != b.Kind ||
+			math.Float64bits(a.Value) != math.Float64bits(b.Value) ||
+			math.Float64bits(a.Lo) != math.Float64bits(b.Lo) ||
+			math.Float64bits(a.Hi) != math.Float64bits(b.Hi) ||
+			math.Float64bits(a.OriginalWidth) != math.Float64bits(b.OriginalWidth) {
+			t.Errorf("item %d: got %+v, want %+v", i, a, b)
+		}
+	}
+	// Item/Refresh conversions round-trip too.
+	r := got.Refresh(0)
+	if r.ID != 9 || r.Key != 1 || r.Item() != got.Items[0] {
+		t.Errorf("Refresh(0) = %+v", r)
+	}
+}
+
+func TestRefreshBatchBadKindRejected(t *testing.T) {
+	in := &RefreshBatch{ID: 1, Items: []RefreshItem{{Key: 1, Kind: 7, Value: 1, Lo: 0, Hi: 2, OriginalWidth: 2}}}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMsg(&buf); err == nil {
+		t.Errorf("bad kind in batch item accepted")
+	}
+}
+
+func TestRoundTripBatch(t *testing.T) {
+	in := &Batch{Msgs: []Message{
+		&Subscribe{ID: 1, Key: 10},
+		&Read{ID: 2, Key: 11},
+		&Ping{ID: 3},
+		&ErrorMsg{ID: 4, Msg: "nope"},
+		&Refresh{ID: 5, Key: 12, Kind: KindQueryInitiated, Value: 1, Lo: 0, Hi: 2, OriginalWidth: 2},
+	}}
+	got := roundTrip(t, in).(*Batch)
+	if len(got.Msgs) != len(in.Msgs) {
+		t.Fatalf("batch of %d, want %d", len(got.Msgs), len(in.Msgs))
+	}
+	for i := range in.Msgs {
+		if got.Msgs[i].msgType() != in.Msgs[i].msgType() {
+			t.Errorf("msg %d type %v, want %v", i, got.Msgs[i].msgType(), in.Msgs[i].msgType())
+		}
+	}
+	if r := got.Msgs[1].(*Read); r.ID != 2 || r.Key != 11 {
+		t.Errorf("inner read %+v", r)
+	}
+	if e := got.Msgs[3].(*ErrorMsg); e.Msg != "nope" {
+		t.Errorf("inner error %+v", e)
+	}
+}
+
+func TestEmptyBatchRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Batch{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMsg(&buf); err == nil {
+		t.Errorf("empty batch accepted")
+	}
+}
+
+func TestNestedBatchRejected(t *testing.T) {
+	inner := &Batch{Msgs: []Message{&Ping{ID: 1}}}
+	outer := &Batch{Msgs: []Message{inner}}
+	var buf bytes.Buffer
+	if err := Write(&buf, outer); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMsg(&buf); err == nil || !strings.Contains(err.Error(), "nested") {
+		t.Errorf("nested batch: %v", err)
+	}
+}
+
+func TestOversizedBatchCountRejected(t *testing.T) {
+	// Hand-build a Batch frame claiming MaxBatchItems+1 sub-messages.
+	var body []byte
+	body = putU16(body, uint16(MaxBatchItems+1))
+	frame := make([]byte, 5+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(len(body)+1))
+	frame[4] = byte(TBatch)
+	copy(frame[5:], body)
+	if _, err := ReadMsg(bytes.NewReader(frame)); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("oversized batch count: %v", err)
+	}
+	// Same for a ReadMulti key count.
+	body = body[:0]
+	body = putU64(body, 1)
+	body = putU16(body, uint16(MaxBatchItems+1))
+	frame = make([]byte, 5+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(len(body)+1))
+	frame[4] = byte(TReadMulti)
+	copy(frame[5:], body)
+	if _, err := ReadMsg(bytes.NewReader(frame)); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("oversized readmulti count: %v", err)
+	}
+}
+
+func TestQuickBatchRoundTrip(t *testing.T) {
+	f := func(ids []uint64, keys []int64) bool {
+		if len(ids) == 0 || len(ids) > 64 {
+			return true
+		}
+		in := &Batch{}
+		for i, id := range ids {
+			var k int64
+			if len(keys) > 0 {
+				k = keys[i%len(keys)]
+			}
+			switch i % 3 {
+			case 0:
+				in.Msgs = append(in.Msgs, &Read{ID: id, Key: k})
+			case 1:
+				in.Msgs = append(in.Msgs, &Ping{ID: id})
+			default:
+				in.Msgs = append(in.Msgs, &Subscribe{ID: id, Key: k})
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		got, err := ReadMsg(&buf)
+		if err != nil {
+			return false
+		}
+		out, ok := got.(*Batch)
+		if !ok || len(out.Msgs) != len(in.Msgs) {
+			return false
+		}
+		for i := range in.Msgs {
+			if out.Msgs[i].msgType() != in.Msgs[i].msgType() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestMsgTypeString(t *testing.T) {
 	names := map[MsgType]string{
 		TSubscribe: "Subscribe", TUnsubscribe: "Unsubscribe", TRead: "Read",
 		TPing: "Ping", TRefresh: "Refresh", TPong: "Pong", TError: "Error",
+		THello: "Hello", THelloAck: "HelloAck", TReadMulti: "ReadMulti",
+		TSubscribeMulti: "SubscribeMulti", TRefreshBatch: "RefreshBatch", TBatch: "Batch",
 	}
 	for ty, want := range names {
 		if got := ty.String(); got != want {
@@ -249,5 +453,24 @@ func TestQuickErrorMsgRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestWriteRejectsOversizedBatches(t *testing.T) {
+	var buf bytes.Buffer
+	keys := make([]int64, MaxBatchItems+1)
+	if err := Write(&buf, &ReadMulti{ID: 1, Keys: keys}); err == nil {
+		t.Errorf("oversized ReadMulti encoded (uint16 count would mislead the peer)")
+	}
+	msgs := make([]Message, MaxBatchItems+1)
+	for i := range msgs {
+		msgs[i] = &Ping{ID: uint64(i)}
+	}
+	if err := Write(&buf, &Batch{Msgs: msgs}); err == nil {
+		t.Errorf("oversized Batch encoded")
+	}
+	items := make([]RefreshItem, MaxBatchItems+1)
+	if err := Write(&buf, &RefreshBatch{ID: 1, Items: items}); err == nil {
+		t.Errorf("oversized RefreshBatch encoded")
 	}
 }

@@ -35,6 +35,12 @@ type Lookup func(key int) (iv interval.Interval, ok bool)
 // processor uses the returned exact value directly.
 type Fetch func(key int) float64
 
+// BatchFetch performs query-initiated refreshes for a set of keys in one
+// round trip, returning the exact values in key order (len(result) ==
+// len(keys)). The networked client backs it with a single ReadMulti frame;
+// like Fetch, the callee handles cost accounting and interval installation.
+type BatchFetch func(keys []int) []float64
+
 // Answer is the result of executing a bounded-aggregate query.
 type Answer struct {
 	// Result bounds the aggregate; its width is <= the query's Delta.
@@ -51,11 +57,43 @@ func (a Answer) Estimate() float64 { return a.Result.Center() }
 // cached intervals, fetches exact values until the precision constraint is
 // guaranteed, and returns the bounding answer. It panics on an unsupported
 // aggregate kind or empty key set (programming errors, not data errors).
+//
+// Execute fetches strictly one key at a time and refreshes the paper's
+// minimal sets; ExecuteBatch is the round-trip-efficient variant for remote
+// sources.
 func Execute(q workload.Query, get Lookup, fetch Fetch) Answer {
+	if fetch == nil {
+		panic("query: nil Lookup or Fetch")
+	}
+	one := func(keys []int) []float64 {
+		out := make([]float64, len(keys))
+		for i, k := range keys {
+			out[i] = fetch(k)
+		}
+		return out
+	}
+	return execute(q, get, one, false)
+}
+
+// ExecuteBatch is Execute against a batched fetch path: it groups the
+// refresh set into as few BatchFetch calls as possible. SUM and AVG decide
+// their whole refresh set from the cached widths upfront, so they issue at
+// most one call. MAX and MIN are inherently iterative (each exact value can
+// eliminate remaining candidates), so they fetch in geometrically growing
+// rounds — 1, 2, 4, ... top candidates per round — which bounds the number
+// of rounds by O(log K) while fetching at most about twice the minimal set.
+func ExecuteBatch(q workload.Query, get Lookup, fetch BatchFetch) Answer {
+	if fetch == nil {
+		panic("query: nil Lookup or Fetch")
+	}
+	return execute(q, get, fetch, true)
+}
+
+func execute(q workload.Query, get Lookup, fetch BatchFetch, ramp bool) Answer {
 	if len(q.Keys) == 0 {
 		panic("query: empty key set")
 	}
-	if get == nil || fetch == nil {
+	if get == nil {
 		panic("query: nil Lookup or Fetch")
 	}
 	switch q.Kind {
@@ -64,9 +102,9 @@ func Execute(q workload.Query, get Lookup, fetch Fetch) Answer {
 	case workload.Avg:
 		return executeSum(q.Keys, q.Delta, 1/float64(len(q.Keys)), get, fetch)
 	case workload.Max:
-		return executeExtreme(q.Keys, q.Delta, false, get, fetch)
+		return executeExtreme(q.Keys, q.Delta, false, get, fetch, ramp)
 	case workload.Min:
-		return executeExtreme(q.Keys, q.Delta, true, get, fetch)
+		return executeExtreme(q.Keys, q.Delta, true, get, fetch, ramp)
 	default:
 		panic(fmt.Sprintf("query: unsupported aggregate %v", q.Kind))
 	}
@@ -94,8 +132,10 @@ func load(keys []int, get Lookup) []entry {
 // executeSum handles SUM (scale 1) and AVG (scale 1/n). The result width is
 // scale * sum of widths, so the minimal refresh set is the widest intervals:
 // sort by width descending and refresh until the residual width meets the
-// constraint.
-func executeSum(keys []int, delta, scale float64, get Lookup, fetch Fetch) Answer {
+// constraint. The whole refresh set is known before any value is fetched, so
+// it always costs exactly one BatchFetch call (one network round trip on the
+// batched client).
+func executeSum(keys []int, delta, scale float64, get Lookup, fetch BatchFetch) Answer {
 	entries := load(keys, get)
 	// Order indices by width descending; unbounded first.
 	order := make([]int, len(entries))
@@ -112,18 +152,28 @@ func executeSum(keys []int, delta, scale float64, get Lookup, fetch Fetch) Answe
 			residual += w
 		}
 	}
-	var refreshed []int
+	// Collect the refresh set, widest first, then fetch it in one pass.
+	var toFetch []int // indices into entries
 	for _, i := range order {
 		w := entries[i].iv.Width()
 		if !math.IsInf(w, 1) && residual*scale <= delta {
 			break
 		}
-		v := fetch(entries[i].key)
-		refreshed = append(refreshed, entries[i].key)
+		toFetch = append(toFetch, i)
 		if !math.IsInf(w, 1) {
 			residual -= w
 		}
-		entries[i].iv = interval.Exact(v)
+	}
+	var refreshed []int
+	if len(toFetch) > 0 {
+		refreshed = make([]int, len(toFetch))
+		for j, i := range toFetch {
+			refreshed[j] = entries[i].key
+		}
+		vals := fetch(refreshed)
+		for j, i := range toFetch {
+			entries[i].iv = interval.Exact(vals[j])
+		}
 	}
 	sum := interval.Exact(0)
 	for _, e := range entries {
@@ -148,7 +198,13 @@ func widthRank(iv interval.Interval) float64 {
 // the lower bound, and intervals wholly below the current lower bound are
 // never fetched — the candidate-elimination property that makes interval
 // caching profitable for MAX queries even under exact-answer constraints.
-func executeExtreme(keys []int, delta float64, minimize bool, get Lookup, fetch Fetch) Answer {
+//
+// With ramp false each round fetches exactly one key, reproducing the
+// paper's minimal refresh sequence. With ramp true (the batched client)
+// round r fetches the top min(2^r, candidates) keys in one BatchFetch call:
+// the refresh set may exceed the minimal one by at most its own size, but
+// the number of round trips drops from O(K) to O(log K).
+func executeExtreme(keys []int, delta float64, minimize bool, get Lookup, fetch BatchFetch, ramp bool) Answer {
 	entries := load(keys, get)
 	if minimize {
 		for i := range entries {
@@ -156,6 +212,8 @@ func executeExtreme(keys []int, delta float64, minimize bool, get Lookup, fetch 
 		}
 	}
 	var refreshed []int
+	var roundBuf []int // reused across rounds; fetch does not retain it
+	batchSize := 1
 	for {
 		bound := entries[0].iv
 		for _, e := range entries[1:] {
@@ -168,19 +226,43 @@ func executeExtreme(keys []int, delta float64, minimize bool, get Lookup, fetch 
 			}
 			return Answer{Result: result, Refreshed: refreshed}
 		}
-		// Fetch the non-exact entry with the greatest upper endpoint; ties
-		// broken by wider interval to maximize information gained.
-		best := -1
-		for i, e := range entries {
-			if e.iv.IsExact() {
-				continue
+		// Candidates: non-exact entries that can still move either bound,
+		// i.e. whose upper endpoint is not below the collective lower
+		// bound. Ties broken by wider interval to maximize information
+		// gained.
+		var cands []int
+		if !ramp {
+			// One fetch per round: a single linear scan for the greatest
+			// upper endpoint, the sequential hot path (Store.Do, simulator).
+			best := -1
+			for i, e := range entries {
+				if e.iv.IsExact() {
+					continue
+				}
+				if best == -1 || e.iv.Hi > entries[best].iv.Hi ||
+					(e.iv.Hi == entries[best].iv.Hi && widthRank(e.iv) > widthRank(entries[best].iv)) {
+					best = i
+				}
 			}
-			if best == -1 || e.iv.Hi > entries[best].iv.Hi ||
-				(e.iv.Hi == entries[best].iv.Hi && widthRank(e.iv) > widthRank(entries[best].iv)) {
-				best = i
+			if best != -1 {
+				cands = append(cands, best)
 			}
+		} else {
+			for i, e := range entries {
+				if e.iv.IsExact() || e.iv.Hi < bound.Lo {
+					continue
+				}
+				cands = append(cands, i)
+			}
+			sort.SliceStable(cands, func(a, b int) bool {
+				ia, ib := entries[cands[a]].iv, entries[cands[b]].iv
+				if ia.Hi != ib.Hi {
+					return ia.Hi > ib.Hi
+				}
+				return widthRank(ia) > widthRank(ib)
+			})
 		}
-		if best == -1 {
+		if len(cands) == 0 {
 			// All entries exact: the bound width is 0 <= delta; cannot
 			// happen unless delta < 0.
 			result := bound
@@ -189,12 +271,28 @@ func executeExtreme(keys []int, delta float64, minimize bool, get Lookup, fetch 
 			}
 			return Answer{Result: result, Refreshed: refreshed}
 		}
-		v := fetch(entries[best].key)
-		refreshed = append(refreshed, entries[best].key)
-		if minimize {
-			v = -v
+		n := 1
+		if ramp {
+			n = batchSize
+			if n > len(cands) {
+				n = len(cands)
+			}
+			batchSize *= 2
 		}
-		entries[best].iv = interval.Exact(v)
+		round := roundBuf[:0]
+		for _, i := range cands[:n] {
+			round = append(round, entries[i].key)
+		}
+		roundBuf = round
+		vals := fetch(round)
+		refreshed = append(refreshed, round...)
+		for j, i := range cands[:n] {
+			v := vals[j]
+			if minimize {
+				v = -v
+			}
+			entries[i].iv = interval.Exact(v)
+		}
 	}
 }
 
@@ -208,6 +306,6 @@ func negate(iv interval.Interval) interval.Interval {
 // analysis used by tests and by capacity planning; Execute remains the
 // operational path.
 func PlanSum(keys []int, delta float64, get Lookup) []int {
-	ans := executeSum(keys, delta, 1, get, func(int) float64 { return 0 })
+	ans := executeSum(keys, delta, 1, get, func(ks []int) []float64 { return make([]float64, len(ks)) })
 	return ans.Refreshed
 }

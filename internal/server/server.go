@@ -13,7 +13,19 @@
 // (never the reverse), so the ordering is deadlock-free. Refresh frames for
 // a key are enqueued while its shard lock is held, which guarantees each
 // client observes that key's intervals in generation order — installing them
-// in arrival order preserves the validity invariant.
+// in arrival order preserves the validity invariant. Multi-key requests
+// (ReadMulti, SubscribeMulti, Batch) hold all their shards' locks, acquired
+// in ascending index order, while the single response frame is enqueued, so
+// the same ordering guarantee extends to batches.
+//
+// Protocol v2 (negotiated by a Hello/HelloAck handshake, see
+// internal/netproto) batches at both ends of a connection: the request loop
+// decodes a Batch or multi-key frame, fans its sub-requests out across the
+// shards they hash to, and replies with one frame; the writer goroutine
+// coalesces queued value-initiated pushes into RefreshBatch frames, flushing
+// on size (the negotiated batch limit) or after Config.FlushInterval of
+// accumulation. Peers that never send Hello speak v1 — one message per
+// frame — and are never sent v2 frames.
 package server
 
 import (
@@ -22,13 +34,19 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"apcache/internal/core"
 	"apcache/internal/netproto"
 	"apcache/internal/shard"
 	"apcache/internal/source"
 )
+
+// DefaultMaxBatch is the batch limit offered when Config.MaxBatch is 0.
+const DefaultMaxBatch = 128
 
 // Config parameterizes a server.
 type Config struct {
@@ -43,6 +61,21 @@ type Config struct {
 	// over. 0 selects a default scaled to GOMAXPROCS; any value is rounded
 	// up to a power of two and capped at 256.
 	Shards int
+	// MaxBatch caps the messages coalesced into one Batch/RefreshBatch
+	// frame. 0 selects DefaultMaxBatch; any value is clamped to
+	// [1, netproto.MaxBatchItems]. The per-connection limit is the min of
+	// this and the client's Hello offer.
+	MaxBatch int
+	// FlushInterval bounds how long the per-connection writer may hold a
+	// value-initiated push to coalesce it with successors. 0 flushes as
+	// soon as the queue drains; responses to requests always flush
+	// immediately regardless.
+	FlushInterval time.Duration
+	// ProtoVersion pins the protocol the server speaks: 0 or
+	// netproto.Version2 negotiate v2 with clients that send Hello;
+	// netproto.Version1 declines every Hello, forcing all clients onto v1
+	// single-message frames (the compatibility/testing escape hatch).
+	ProtoVersion int
 	// Logf, when non-nil, receives diagnostic messages.
 	Logf func(format string, args ...interface{})
 }
@@ -57,8 +90,9 @@ type srcShard struct {
 
 // Server hosts values and serves cache clients.
 type Server struct {
-	cfg    Config
-	shards []*srcShard
+	cfg      Config
+	maxBatch int
+	shards   []*srcShard
 
 	// connMu guards the connection registry and listener lifecycle. It is
 	// only ever acquired after a shard lock, never before one.
@@ -76,7 +110,17 @@ type clientConn struct {
 	conn net.Conn
 	out  chan netproto.Message
 	done chan struct{}
+
+	// proto is the negotiated protocol version: netproto.Version1 until a
+	// Hello is accepted, netproto.Version2 after. batchLimit is the
+	// negotiated per-frame batch cap. Both are written by the read loop and
+	// read by the writer, hence atomics.
+	proto      atomic.Int32
+	batchLimit atomic.Int32
 }
+
+// v2 reports whether the connection completed the v2 handshake.
+func (c *clientConn) v2() bool { return c.proto.Load() >= netproto.Version2 }
 
 // lockedRand adapts a shard's mutex-guarded RNG to core.Rand. The shard
 // mutex is always held when its controllers run, so plain access is safe;
@@ -93,11 +137,22 @@ func New(cfg Config) *Server {
 	if cfg.InitialWidth < 0 {
 		panic("server: negative initial width")
 	}
+	if cfg.ProtoVersion != 0 && cfg.ProtoVersion != netproto.Version1 && cfg.ProtoVersion != netproto.Version2 {
+		panic(fmt.Sprintf("server: unsupported protocol version %d", cfg.ProtoVersion))
+	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	if maxBatch > netproto.MaxBatchItems {
+		maxBatch = netproto.MaxBatchItems
+	}
 	n := shard.Count(cfg.Shards)
 	s := &Server{
-		cfg:    cfg,
-		shards: make([]*srcShard, n),
-		conns:  make(map[int]*clientConn),
+		cfg:      cfg,
+		maxBatch: maxBatch,
+		shards:   make([]*srcShard, n),
+		conns:    make(map[int]*clientConn),
 	}
 	for i := range s.shards {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
@@ -176,6 +231,32 @@ func (s *Server) Clients() int {
 	return len(s.conns)
 }
 
+// ShardStats describes one shard's occupancy: how many keys it hosts and how
+// many live (client, key) subscriptions it maintains. Skew across shards is
+// the signal the per-shard eviction question in ROADMAP.md needs.
+type ShardStats struct {
+	Keys          int
+	Subscriptions int
+}
+
+// Stats is a snapshot of the server's occupancy.
+type Stats struct {
+	Clients  int
+	PerShard []ShardStats
+}
+
+// Stats reports per-shard occupancy. Each shard lock is taken briefly in
+// turn, so the snapshot is per-shard-consistent rather than global.
+func (s *Server) Stats() Stats {
+	st := Stats{Clients: s.Clients(), PerShard: make([]ShardStats, len(s.shards))}
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		st.PerShard[i] = ShardStats{Keys: sh.src.Keys(), Subscriptions: sh.src.Subscriptions()}
+		sh.mu.Unlock()
+	}
+	return st
+}
+
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
 // returns the bound address.
 func (s *Server) Listen(addr string) (net.Addr, error) {
@@ -208,9 +289,11 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		c := &clientConn{
 			id:   s.nextID,
 			conn: conn,
-			out:  make(chan netproto.Message, 256),
+			out:  make(chan netproto.Message, 1024),
 			done: make(chan struct{}),
 		}
+		c.proto.Store(netproto.Version1)
+		c.batchLimit.Store(int32(s.maxBatch))
 		s.conns[c.id] = c
 		s.connMu.Unlock()
 		s.serveWG.Add(2)
@@ -219,51 +302,164 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// send enqueues a message; a slow client's queue overflowing drops the
-// message (the next refresh supersedes it anyway).
+// replyHeadroom is the slice of the out queue reserved for request
+// responses: pushes stop enqueuing before the queue is completely full so a
+// burst of value-initiated traffic cannot starve replies.
+const replyHeadroom = 128
+
+// fanoutThreshold is the minimum sub-request count before a multi-key or
+// batch request is fanned out across per-shard goroutines; below it the
+// spawn/join overhead exceeds the per-key source work and the sequential
+// loop wins.
+const fanoutThreshold = 32
+
+// send enqueues a value-initiated push; a slow client's queue filling up
+// drops the message (the next refresh supersedes it anyway).
 func (c *clientConn) send(m netproto.Message) {
+	if len(c.out) >= cap(c.out)-replyHeadroom {
+		// Queue (nearly) full: drop. Validity is preserved because a
+		// dropped value-initiated refresh is followed by another as soon as
+		// the value escapes the (still-stored) interval again — or, in the
+		// worst case, the client's next query fetches the exact value.
+		return
+	}
 	select {
 	case c.out <- m:
 	case <-c.done:
 	default:
-		// Queue full: drop. Validity is preserved because a dropped
-		// value-initiated refresh is followed by another as soon as the
-		// value escapes the (still-stored) interval again — or, in the
-		// worst case, the client's next query fetches the exact value.
 	}
+}
+
+// reply enqueues the response to a request. Unlike pushes, responses must
+// never be silently dropped — the client would stall a pipelined call until
+// its timeout while the server's subscription/controller state has already
+// advanced. The queue has headroom reserved past the push watermark, and
+// the writer drains it without ever taking shard locks; if it is full
+// anyway the peer's TCP stream is wedged, so the connection is severed —
+// the client sees a clean connection loss instead of silent divergence.
+// reply never blocks, because callers hold shard locks.
+func (s *Server) reply(c *clientConn, m netproto.Message) {
+	select {
+	case c.out <- m:
+	case <-c.done:
+	default:
+		s.logf("client %d: reply queue overflow, dropping connection", c.id)
+		c.conn.Close()
+	}
+}
+
+// isPush reports whether m is a value-initiated push (as opposed to the
+// response to a request), the only traffic the writer may hold back to
+// coalesce.
+func isPush(m netproto.Message) bool {
+	r, ok := m.(*netproto.Refresh)
+	return ok && r.ID == 0 && r.Kind == netproto.KindValueInitiated
 }
 
 func (s *Server) writeLoop(c *clientConn) {
 	defer s.serveWG.Done()
 	w := bufio.NewWriter(c.conn)
+	var batch []netproto.Message
 	for {
+		var first netproto.Message
 		select {
-		case m := <-c.out:
-			if err := netproto.Write(w, m); err != nil {
-				c.conn.Close()
-				return
-			}
-			// Drain anything queued before flushing.
-			for {
-				select {
-				case m := <-c.out:
-					if err := netproto.Write(w, m); err != nil {
-						c.conn.Close()
-						return
-					}
-					continue
-				default:
-				}
-				break
-			}
-			if err := w.Flush(); err != nil {
-				c.conn.Close()
-				return
-			}
+		case first = <-c.out:
 		case <-c.done:
 			return
 		}
+		batch = append(batch[:0], first)
+		max := int(c.batchLimit.Load())
+		// While everything pending is a push, a configured FlushInterval
+		// keeps the window open so bursts coalesce into one RefreshBatch.
+		// The first response to arrive ends the window: request-reply
+		// latency is never traded for batching.
+		if s.cfg.FlushInterval > 0 && c.v2() && isPush(first) {
+			timer := time.NewTimer(s.cfg.FlushInterval)
+		window:
+			for len(batch) < max {
+				select {
+				case m := <-c.out:
+					batch = append(batch, m)
+					if !isPush(m) {
+						break window
+					}
+				case <-timer.C:
+					break window
+				case <-c.done:
+					timer.Stop()
+					return
+				}
+			}
+			timer.Stop()
+		}
+		// Drain whatever else is already queued, without blocking.
+	drain:
+		for len(batch) < max {
+			select {
+			case m := <-c.out:
+				batch = append(batch, m)
+			default:
+				break drain
+			}
+		}
+		if err := s.writeFrames(w, c, batch); err != nil {
+			c.conn.Close()
+			return
+		}
+		if err := w.Flush(); err != nil {
+			c.conn.Close()
+			return
+		}
 	}
+}
+
+// writeFrames writes a drained run of messages. On a v1 connection every
+// message is its own frame. On a v2 connection consecutive value-initiated
+// pushes are coalesced into RefreshBatch frames; everything else passes
+// through unchanged. Message order — in particular per-key refresh order —
+// is preserved exactly.
+func (s *Server) writeFrames(w *bufio.Writer, c *clientConn, msgs []netproto.Message) error {
+	if !c.v2() {
+		for _, m := range msgs {
+			if err := netproto.Write(w, m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var run []netproto.RefreshItem
+	flushRun := func() error {
+		switch len(run) {
+		case 0:
+			return nil
+		case 1:
+			// A lone push is cheaper as a plain Refresh frame.
+			one := run[0]
+			run = run[:0]
+			return netproto.Write(w, &netproto.Refresh{
+				ID: 0, Key: one.Key, Kind: one.Kind,
+				Value: one.Value, Lo: one.Lo, Hi: one.Hi, OriginalWidth: one.OriginalWidth,
+			})
+		default:
+			rb := &netproto.RefreshBatch{ID: 0, Items: run}
+			err := netproto.Write(w, rb)
+			run = nil
+			return err
+		}
+	}
+	for _, m := range msgs {
+		if r, ok := m.(*netproto.Refresh); ok && isPush(r) {
+			run = append(run, r.Item())
+			continue
+		}
+		if err := flushRun(); err != nil {
+			return err
+		}
+		if err := netproto.Write(w, m); err != nil {
+			return err
+		}
+	}
+	return flushRun()
 }
 
 func (s *Server) readLoop(c *clientConn) {
@@ -280,62 +476,268 @@ func (s *Server) readLoop(c *clientConn) {
 		}
 		switch m := msg.(type) {
 		case *netproto.Subscribe:
-			s.handleSubscribe(c, m)
+			s.handleKeyed(c, m, int(m.Key))
 		case *netproto.Unsubscribe:
-			sh := s.shardFor(int(m.Key))
-			sh.mu.Lock()
-			sh.src.Unsubscribe(c.id, int(m.Key))
-			sh.mu.Unlock()
+			s.handleKeyed(c, m, int(m.Key))
 		case *netproto.Read:
-			s.handleRead(c, m)
+			s.handleKeyed(c, m, int(m.Key))
 		case *netproto.Ping:
-			c.send(&netproto.Pong{ID: m.ID})
+			s.reply(c, &netproto.Pong{ID: m.ID})
+		case *netproto.Hello:
+			s.handleHello(c, m)
+		case *netproto.ReadMulti:
+			s.handleMulti(c, m.ID, m.Keys, true)
+		case *netproto.SubscribeMulti:
+			s.handleMulti(c, m.ID, m.Keys, false)
+		case *netproto.Batch:
+			s.handleBatch(c, m)
 		default:
-			c.send(&netproto.ErrorMsg{Msg: fmt.Sprintf("unexpected %T", msg)})
+			s.reply(c, &netproto.ErrorMsg{Msg: fmt.Sprintf("unexpected %T", msg)})
 		}
 	}
 }
 
-func (s *Server) handleSubscribe(c *clientConn, m *netproto.Subscribe) {
-	sh := s.shardFor(int(m.Key))
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if _, ok := sh.src.Value(int(m.Key)); !ok {
-		c.send(&netproto.ErrorMsg{ID: m.ID, Msg: fmt.Sprintf("unknown key %d", m.Key)})
+// handleHello negotiates the protocol version. A server pinned to v1
+// declines; the client then stays on single-message frames.
+func (s *Server) handleHello(c *clientConn, m *netproto.Hello) {
+	if s.cfg.ProtoVersion == netproto.Version1 || m.Version < netproto.Version2 {
+		s.reply(c, &netproto.ErrorMsg{ID: m.ID, Msg: "protocol v2 unsupported"})
 		return
 	}
-	r := sh.src.Subscribe(c.id, int(m.Key))
-	// Enqueued under the shard lock: a concurrent Set on this key cannot
-	// slip its (newer) refresh frame ahead of this one.
-	c.send(&netproto.Refresh{
-		ID:            m.ID,
-		Key:           m.Key,
-		Kind:          netproto.KindInitial,
-		Value:         r.Value,
-		Lo:            r.Interval.Lo,
-		Hi:            r.Interval.Hi,
-		OriginalWidth: r.OriginalWidth,
-	})
+	limit := s.maxBatch
+	if int(m.MaxBatch) > 0 && int(m.MaxBatch) < limit {
+		limit = int(m.MaxBatch)
+	}
+	c.batchLimit.Store(int32(limit))
+	c.proto.Store(netproto.Version2)
+	s.reply(c, &netproto.HelloAck{ID: m.ID, Version: netproto.Version2, MaxBatch: uint16(limit)})
 }
 
-func (s *Server) handleRead(c *clientConn, m *netproto.Read) {
-	sh := s.shardFor(int(m.Key))
+// handleKeyed serves a single-key request: lock the key's shard, compute the
+// response, and enqueue it under the lock (per-key refresh order).
+func (s *Server) handleKeyed(c *clientConn, m netproto.Message, key int) {
+	sh := s.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if _, ok := sh.src.Value(int(m.Key)); !ok {
-		c.send(&netproto.ErrorMsg{ID: m.ID, Msg: fmt.Sprintf("unknown key %d", m.Key)})
+	if resp := s.respondLocked(c, m); resp != nil {
+		s.reply(c, resp)
+	}
+}
+
+// respondLocked computes the response for one simple sub-request. The
+// caller holds the lock of the shard the request's key hashes to (Ping needs
+// no shard). A nil return means the request has no response (Unsubscribe).
+func (s *Server) respondLocked(c *clientConn, msg netproto.Message) netproto.Message {
+	switch m := msg.(type) {
+	case *netproto.Subscribe:
+		sh := s.shardFor(int(m.Key))
+		if _, ok := sh.src.Value(int(m.Key)); !ok {
+			return &netproto.ErrorMsg{ID: m.ID, Msg: fmt.Sprintf("unknown key %d", m.Key)}
+		}
+		r := sh.src.Subscribe(c.id, int(m.Key))
+		return &netproto.Refresh{
+			ID:            m.ID,
+			Key:           m.Key,
+			Kind:          netproto.KindInitial,
+			Value:         r.Value,
+			Lo:            r.Interval.Lo,
+			Hi:            r.Interval.Hi,
+			OriginalWidth: r.OriginalWidth,
+		}
+	case *netproto.Read:
+		sh := s.shardFor(int(m.Key))
+		if _, ok := sh.src.Value(int(m.Key)); !ok {
+			return &netproto.ErrorMsg{ID: m.ID, Msg: fmt.Sprintf("unknown key %d", m.Key)}
+		}
+		r := sh.src.Read(c.id, int(m.Key))
+		return &netproto.Refresh{
+			ID:            m.ID,
+			Key:           m.Key,
+			Kind:          netproto.KindQueryInitiated,
+			Value:         r.Value,
+			Lo:            r.Interval.Lo,
+			Hi:            r.Interval.Hi,
+			OriginalWidth: r.OriginalWidth,
+		}
+	case *netproto.Unsubscribe:
+		s.shardFor(int(m.Key)).src.Unsubscribe(c.id, int(m.Key))
+		return nil
+	case *netproto.Ping:
+		return &netproto.Pong{ID: m.ID}
+	default:
+		return &netproto.ErrorMsg{Msg: fmt.Sprintf("unexpected %T", msg)}
+	}
+}
+
+// lockShardSet locks the distinct shards in idx order. idx must be sorted
+// ascending — the global lock order that keeps overlapping multi-key
+// requests deadlock-free.
+func (s *Server) lockShardSet(idx []int) {
+	for _, i := range idx {
+		s.shards[i].mu.Lock()
+	}
+}
+
+func (s *Server) unlockShardSet(idx []int) {
+	for _, i := range idx {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// shardSetFor returns the sorted distinct shard indices the keys hash to,
+// plus the key positions grouped by shard (so per-shard workers touch each
+// key exactly once).
+func (s *Server) shardSetFor(keys []int64) (sorted []int, byShard map[int][]int) {
+	n := len(s.shards)
+	byShard = make(map[int][]int)
+	for pos, k := range keys {
+		i := shard.Index(int(k), n)
+		if _, ok := byShard[i]; !ok {
+			sorted = append(sorted, i)
+		}
+		byShard[i] = append(byShard[i], pos)
+	}
+	sort.Ints(sorted)
+	return sorted, byShard
+}
+
+// handleMulti serves ReadMulti (read=true) and SubscribeMulti (read=false):
+// it locks every involved shard in ascending order, validates the whole key
+// set, fans the per-shard work out across goroutines, and enqueues a single
+// RefreshBatch — still under the locks, so no concurrent Set can interleave
+// a newer push before this response for any of the keys.
+func (s *Server) handleMulti(c *clientConn, id uint64, keys []int64, read bool) {
+	if !c.v2() {
+		s.reply(c, &netproto.ErrorMsg{ID: id, Msg: "batched request before handshake"})
 		return
 	}
-	r := sh.src.Read(c.id, int(m.Key))
-	c.send(&netproto.Refresh{
-		ID:            m.ID,
-		Key:           m.Key,
-		Kind:          netproto.KindQueryInitiated,
-		Value:         r.Value,
-		Lo:            r.Interval.Lo,
-		Hi:            r.Interval.Hi,
-		OriginalWidth: r.OriginalWidth,
-	})
+	shardSet, byShard := s.shardSetFor(keys)
+	s.lockShardSet(shardSet)
+	defer s.unlockShardSet(shardSet)
+	for _, k := range keys {
+		if _, ok := s.shardFor(int(k)).src.Value(int(k)); !ok {
+			s.reply(c, &netproto.ErrorMsg{ID: id, Msg: fmt.Sprintf("unknown key %d", k)})
+			return
+		}
+	}
+	items := make([]netproto.RefreshItem, len(keys))
+	fill := func(shardIdx int) {
+		sh := s.shards[shardIdx]
+		for _, pos := range byShard[shardIdx] {
+			k := keys[pos]
+			var r source.Refresh
+			kind := netproto.KindInitial
+			if read {
+				r = sh.src.Read(c.id, int(k))
+				kind = netproto.KindQueryInitiated
+			} else {
+				r = sh.src.Subscribe(c.id, int(k))
+			}
+			items[pos] = netproto.RefreshItem{
+				Key:           k,
+				Kind:          kind,
+				Value:         r.Value,
+				Lo:            r.Interval.Lo,
+				Hi:            r.Interval.Hi,
+				OriginalWidth: r.OriginalWidth,
+			}
+		}
+	}
+	if len(shardSet) == 1 || len(keys) < fanoutThreshold {
+		for _, i := range shardSet {
+			fill(i)
+		}
+	} else {
+		// Fan out: each goroutine works one shard's slice of the key set.
+		// The shard locks are already held, so the goroutines touch
+		// disjoint state; items positions are disjoint by construction.
+		var wg sync.WaitGroup
+		for _, i := range shardSet {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				fill(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	s.reply(c, &netproto.RefreshBatch{ID: id, Items: items})
+}
+
+// handleBatch serves a Batch of independent simple sub-requests: it locks
+// the union of their shards in ascending order, fans the sub-requests out
+// across per-shard goroutines, and replies with one Batch frame carrying the
+// responses in request order. Multi-key and handshake frames do not nest
+// inside a Batch; such sub-requests get per-message errors.
+func (s *Server) handleBatch(c *clientConn, b *netproto.Batch) {
+	if !c.v2() {
+		s.reply(c, &netproto.ErrorMsg{Msg: "batched request before handshake"})
+		return
+	}
+	resp := make([]netproto.Message, len(b.Msgs))
+	// Partition sub-requests: keyed ones by shard, keyless ones inline.
+	byShard := make(map[int][]int)
+	var shardSet []int
+	for i, sub := range b.Msgs {
+		var key int
+		switch m := sub.(type) {
+		case *netproto.Subscribe:
+			key = int(m.Key)
+		case *netproto.Read:
+			key = int(m.Key)
+		case *netproto.Unsubscribe:
+			key = int(m.Key)
+		case *netproto.Ping:
+			resp[i] = &netproto.Pong{ID: m.ID}
+			continue
+		default:
+			resp[i] = &netproto.ErrorMsg{Msg: fmt.Sprintf("unexpected %T in batch", sub)}
+			continue
+		}
+		idx := shard.Index(key, len(s.shards))
+		if _, ok := byShard[idx]; !ok {
+			shardSet = append(shardSet, idx)
+		}
+		byShard[idx] = append(byShard[idx], i)
+	}
+	sort.Ints(shardSet)
+	s.lockShardSet(shardSet)
+	if len(shardSet) <= 1 || len(b.Msgs) < fanoutThreshold {
+		for _, idx := range shardSet {
+			for _, i := range byShard[idx] {
+				resp[i] = s.respondLocked(c, b.Msgs[i])
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for _, idx := range shardSet {
+			positions := byShard[idx]
+			wg.Add(1)
+			go func(positions []int) {
+				defer wg.Done()
+				for _, i := range positions {
+					resp[i] = s.respondLocked(c, b.Msgs[i])
+				}
+			}(positions)
+		}
+		wg.Wait()
+	}
+	// Assemble the reply while the shard locks are still held, preserving
+	// per-key refresh order against concurrent Sets.
+	out := resp[:0]
+	for _, m := range resp {
+		if m != nil {
+			out = append(out, m)
+		}
+	}
+	switch len(out) {
+	case 0: // all sub-requests were fire-and-forget (Unsubscribe)
+	case 1:
+		s.reply(c, out[0])
+	default:
+		s.reply(c, &netproto.Batch{Msgs: out})
+	}
+	s.unlockShardSet(shardSet)
 }
 
 // dropClient removes a disconnected client and its subscriptions.

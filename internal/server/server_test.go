@@ -316,3 +316,330 @@ func TestLogfGoesToConfiguredSink(t *testing.T) {
 	s2 := New(testConfig())
 	s2.logf("dropped")
 }
+
+// hello performs the v2 handshake on a raw connection.
+func hello(t *testing.T, conn net.Conn, maxBatch uint16) *netproto.HelloAck {
+	t.Helper()
+	if err := netproto.Write(conn, &netproto.Hello{ID: 1, Version: netproto.Version2, MaxBatch: maxBatch}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := netproto.ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, ok := msg.(*netproto.HelloAck)
+	if !ok {
+		t.Fatalf("handshake response %#v", msg)
+	}
+	return ack
+}
+
+func TestHelloHandshakeNegotiatesBatchLimit(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxBatch = 64
+	s := New(cfg)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn := rawDial(t, addr.String())
+	ack := hello(t, conn, 16)
+	if ack.Version != netproto.Version2 {
+		t.Errorf("negotiated version %d", ack.Version)
+	}
+	if ack.MaxBatch != 16 {
+		t.Errorf("negotiated batch %d, want min(64, 16) = 16", ack.MaxBatch)
+	}
+	// A second connection offering more than the server's cap gets capped.
+	conn2 := rawDial(t, addr.String())
+	if ack2 := hello(t, conn2, 1000); ack2.MaxBatch != 64 {
+		t.Errorf("negotiated batch %d, want 64", ack2.MaxBatch)
+	}
+}
+
+func TestHelloDeclinedWhenPinnedToV1(t *testing.T) {
+	cfg := testConfig()
+	cfg.ProtoVersion = netproto.Version1
+	s := New(cfg)
+	s.SetInitial(0, 5)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn := rawDial(t, addr.String())
+	if err := netproto.Write(conn, &netproto.Hello{ID: 7, Version: netproto.Version2, MaxBatch: 8}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := netproto.ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := msg.(*netproto.ErrorMsg)
+	if !ok || e.ID != 7 {
+		t.Fatalf("expected decline ErrorMsg, got %#v", msg)
+	}
+	// The connection keeps working on v1 frames.
+	if err := netproto.Write(conn, &netproto.Read{ID: 8, Key: 0}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = netproto.ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := msg.(*netproto.Refresh); !ok || r.ID != 8 || r.Value != 5 {
+		t.Fatalf("v1 read after decline: %#v", msg)
+	}
+}
+
+func TestMultiBeforeHandshakeRejected(t *testing.T) {
+	s := New(testConfig())
+	s.SetInitial(0, 5)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn := rawDial(t, addr.String())
+	if err := netproto.Write(conn, &netproto.ReadMulti{ID: 3, Keys: []int64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := netproto.ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := msg.(*netproto.ErrorMsg); !ok || e.ID != 3 {
+		t.Fatalf("expected handshake-required error, got %#v", msg)
+	}
+}
+
+func TestReadMultiSingleResponseFrame(t *testing.T) {
+	s := New(testConfig())
+	const keys = 16 // spread across several shards
+	for k := 0; k < keys; k++ {
+		s.SetInitial(k, float64(k*10))
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn := rawDial(t, addr.String())
+	hello(t, conn, 128)
+
+	want := make([]int64, keys)
+	for k := range want {
+		want[k] = int64(keys - 1 - k) // deliberately not ascending
+	}
+	if err := netproto.Write(conn, &netproto.ReadMulti{ID: 5, Keys: want}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := netproto.ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, ok := msg.(*netproto.RefreshBatch)
+	if !ok || rb.ID != 5 {
+		t.Fatalf("expected RefreshBatch ID 5, got %#v", msg)
+	}
+	if len(rb.Items) != keys {
+		t.Fatalf("%d items, want %d", len(rb.Items), keys)
+	}
+	for i, it := range rb.Items {
+		if it.Key != want[i] {
+			t.Errorf("item %d key %d, want %d (request order must be preserved)", i, it.Key, want[i])
+		}
+		if it.Kind != netproto.KindQueryInitiated {
+			t.Errorf("item %d kind %v", i, it.Kind)
+		}
+		if it.Value != float64(want[i]*10) {
+			t.Errorf("item %d value %g, want %g", i, it.Value, float64(want[i]*10))
+		}
+		if it.Lo > it.Value || it.Hi < it.Value {
+			t.Errorf("item %d interval [%g, %g] excludes %g", i, it.Lo, it.Hi, it.Value)
+		}
+	}
+}
+
+func TestSubscribeMultiUnknownKeyWholeRequestErrors(t *testing.T) {
+	s := New(testConfig())
+	s.SetInitial(0, 1)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn := rawDial(t, addr.String())
+	hello(t, conn, 128)
+	if err := netproto.Write(conn, &netproto.SubscribeMulti{ID: 6, Keys: []int64{0, 999}}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := netproto.ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := msg.(*netproto.ErrorMsg); !ok || e.ID != 6 {
+		t.Fatalf("expected ErrorMsg 6, got %#v", msg)
+	}
+	// The failed request must not leave a half-subscribed state that
+	// pushes to this client.
+	s.SetInitial(0, 1)
+	if n := s.Set(0, 1e9); n != 0 {
+		t.Errorf("failed SubscribeMulti left %d live subscriptions", n)
+	}
+}
+
+func TestBatchRequestOneReplyFrame(t *testing.T) {
+	s := New(testConfig())
+	for k := 0; k < 4; k++ {
+		s.SetInitial(k, float64(k))
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn := rawDial(t, addr.String())
+	hello(t, conn, 128)
+
+	req := &netproto.Batch{Msgs: []netproto.Message{
+		&netproto.Subscribe{ID: 10, Key: 0},
+		&netproto.Read{ID: 11, Key: 1},
+		&netproto.Ping{ID: 12},
+		&netproto.Subscribe{ID: 13, Key: 999}, // unknown: per-message error
+	}}
+	if err := netproto.Write(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := netproto.ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := msg.(*netproto.Batch)
+	if !ok {
+		t.Fatalf("expected one Batch reply, got %#v", msg)
+	}
+	if len(b.Msgs) != 4 {
+		t.Fatalf("%d responses, want 4", len(b.Msgs))
+	}
+	if r, ok := b.Msgs[0].(*netproto.Refresh); !ok || r.ID != 10 || r.Kind != netproto.KindInitial {
+		t.Errorf("resp 0: %#v", b.Msgs[0])
+	}
+	if r, ok := b.Msgs[1].(*netproto.Refresh); !ok || r.ID != 11 || r.Kind != netproto.KindQueryInitiated || r.Value != 1 {
+		t.Errorf("resp 1: %#v", b.Msgs[1])
+	}
+	if p, ok := b.Msgs[2].(*netproto.Pong); !ok || p.ID != 12 {
+		t.Errorf("resp 2: %#v", b.Msgs[2])
+	}
+	if e, ok := b.Msgs[3].(*netproto.ErrorMsg); !ok || e.ID != 13 {
+		t.Errorf("resp 3: %#v", b.Msgs[3])
+	}
+}
+
+func TestWriterCoalescesPushesIntoRefreshBatch(t *testing.T) {
+	cfg := testConfig()
+	cfg.FlushInterval = 150 * time.Millisecond
+	s := New(cfg)
+	const keys = 8
+	for k := 0; k < keys; k++ {
+		s.SetInitial(k, 0)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn := rawDial(t, addr.String())
+	hello(t, conn, 128)
+	if err := netproto.Write(conn, &netproto.SubscribeMulti{ID: 2, Keys: []int64{0, 1, 2, 3, 4, 5, 6, 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netproto.ReadMsg(conn); err != nil {
+		t.Fatal(err)
+	}
+	// Escape every interval in a burst well inside the flush window.
+	for k := 0; k < keys; k++ {
+		if n := s.Set(k, 1e6); n != 1 {
+			t.Fatalf("Set(%d) pushed %d refreshes", k, n)
+		}
+	}
+	// Collect frames until all keys' pushes arrived; the coalescing writer
+	// must use fewer frames than pushes (the burst fits one window).
+	got := map[int64]bool{}
+	frames := 0
+	for len(got) < keys {
+		msg, err := netproto.ReadMsg(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames++
+		switch m := msg.(type) {
+		case *netproto.RefreshBatch:
+			if m.ID != 0 {
+				t.Fatalf("push batch with ID %d", m.ID)
+			}
+			for _, it := range m.Items {
+				if it.Kind != netproto.KindValueInitiated {
+					t.Fatalf("push item kind %v", it.Kind)
+				}
+				got[it.Key] = true
+			}
+		case *netproto.Refresh:
+			if m.ID != 0 {
+				t.Fatalf("push frame with ID %d", m.ID)
+			}
+			got[m.Key] = true
+		default:
+			t.Fatalf("unexpected frame %#v", msg)
+		}
+	}
+	if frames >= keys {
+		t.Errorf("%d pushes arrived in %d frames; expected coalescing", keys, frames)
+	}
+}
+
+func TestServerStatsPerShard(t *testing.T) {
+	cfg := testConfig()
+	cfg.Shards = 4
+	s := New(cfg)
+	const keys = 64
+	for k := 0; k < keys; k++ {
+		s.SetInitial(k, float64(k))
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn := rawDial(t, addr.String())
+	hello(t, conn, 128)
+	all := make([]int64, keys)
+	for k := range all {
+		all[k] = int64(k)
+	}
+	if err := netproto.Write(conn, &netproto.SubscribeMulti{ID: 1, Keys: all}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netproto.ReadMsg(conn); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Clients != 1 {
+		t.Errorf("Clients = %d", st.Clients)
+	}
+	if len(st.PerShard) != 4 {
+		t.Fatalf("PerShard has %d entries, want 4", len(st.PerShard))
+	}
+	var totKeys, totSubs int
+	for i, sh := range st.PerShard {
+		if sh.Keys == 0 {
+			t.Errorf("shard %d hosts no keys; splitmix spread should hit all 4 shards with 64 keys", i)
+		}
+		totKeys += sh.Keys
+		totSubs += sh.Subscriptions
+	}
+	if totKeys != keys || totSubs != keys {
+		t.Errorf("totals keys=%d subs=%d, want %d each", totKeys, totSubs, keys)
+	}
+}
