@@ -33,6 +33,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		maxBatch = flag.Int("maxbatch", 0, "max messages per batch frame (0 = default 128)")
 		protoVer = flag.Int("protover", 0, "pin the wire protocol: 1 = v1 single frames, 0/2 = negotiate batched v2")
+		timeout  = flag.Duration("timeout", 0, "per-request timeout (0 = default 10s)")
 	)
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func main() {
 		CacheSize:    size,
 		MaxBatch:     *maxBatch,
 		ProtoVersion: *protoVer,
+		Timeout:      *timeout,
 	})
 	if err != nil {
 		log.Fatalf("apcache-client: %v", err)

@@ -40,7 +40,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		shards    = flag.Int("shards", 0, "lock shards for the key space (0 = GOMAXPROCS-scaled, rounded to a power of two)")
 		maxBatch  = flag.Int("maxbatch", 0, "max messages per batch frame (0 = default 128)")
-		flush     = flag.Duration("flush", 2*time.Millisecond, "push-coalescing window per connection (0 = flush immediately)")
+		flush     = flag.Duration("maxflush", 2*time.Millisecond, "cap on the adaptive per-connection push-coalescing window (0 = always flush immediately)")
 		protoVer  = flag.Int("protover", 0, "pin the wire protocol: 1 = v1 single frames, 0/2 = negotiate batched v2")
 	)
 	flag.Parse()

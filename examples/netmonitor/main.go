@@ -111,7 +111,9 @@ func runScenario(tr *trace.Trace, lambda1 float64) float64 {
 // station and the hosts on opposite ends of a TCP connection, using the
 // batched v2 protocol: one SubscribeMulti registers every host, each query's
 // refresh set travels as one ReadMulti, and bursts of value-initiated pushes
-// coalesce into RefreshBatch frames inside the flush window.
+// coalesce into RefreshBatch frames inside the adaptive flush window
+// (FlushInterval caps the window; the per-connection EWMA of push gaps
+// shrinks it so sparse pushes flush immediately).
 func runNetworked(tr *trace.Trace) {
 	srv, addr, err := apcache.Serve("127.0.0.1:0", apcache.ServerConfig{
 		Params: apcache.Params{

@@ -8,9 +8,16 @@
 // matched to responses through a correlation table keyed by request ID, so
 // any number of calls may be in flight on the one connection at a time. A
 // dedicated writer goroutine drains the queue, coalescing backed-up requests
-// into Batch frames (protocol v2) and flushing once per drain. Queries
-// collect every key needing refinement in one pass and fetch them with a
-// single ReadMulti instead of one blocking round trip per key.
+// into Batch frames (protocol v2), encoding the whole drain into one reused
+// buffer, and flushing it with a single write. Queries collect every key
+// needing refinement in one pass and fetch them with a single ReadMulti
+// instead of one blocking round trip per key.
+//
+// The wire path is allocation-free in steady state: outbound requests and
+// inbound responses travel as pooled netproto messages (released by the
+// writer after encoding and by callers after reading), the read loop decodes
+// through a reusing netproto.Decoder, and per-call timers and result
+// channels are pooled.
 //
 // The protocol version is negotiated at Dial time: the client offers v2 with
 // a Hello frame and falls back to v1 single-message frames if the server
@@ -105,6 +112,10 @@ type Client struct {
 	readDone  chan struct{}
 	writeDone chan struct{}
 
+	// runBuf is the writer goroutine's scratch for collecting batchable
+	// runs; only writeLoop touches it.
+	runBuf []netproto.Message
+
 	// proto is the negotiated protocol version, maxBatch the negotiated
 	// batch limit. Written during the Dial handshake, read by the writer
 	// goroutine and the multi-key paths, hence atomics.
@@ -163,9 +174,7 @@ func DialConfig(addr string, cfg Config) (*Client, error) {
 // handshake offers protocol v2. A ServerError reply means the server
 // declined — the client stays on v1 frames; transport failures abort.
 func (c *Client) handshake(maxBatch int) error {
-	msg, err := c.call(func(id uint64) netproto.Message {
-		return &netproto.Hello{ID: id, Version: netproto.Version2, MaxBatch: uint16(maxBatch)}
-	})
+	msg, err := c.call(&netproto.Hello{Version: netproto.Version2, MaxBatch: uint16(maxBatch)})
 	if err != nil {
 		var se *ServerError
 		if errors.As(err, &se) {
@@ -198,12 +207,13 @@ func (c *Client) SetTimeout(d time.Duration) {
 }
 
 // readLoop dispatches inbound frames: responses to waiting requests, pushes
-// into the local store.
+// into the local store. It owns a reusing netproto.Decoder, so handleMsg
+// must never hand a decoded message itself to a waiter — waiters get copies.
 func (c *Client) readLoop() {
 	defer close(c.readDone)
-	r := bufio.NewReader(c.conn)
+	d := netproto.NewDecoder(bufio.NewReader(c.conn))
 	for {
-		msg, err := netproto.ReadMsg(r)
+		msg, err := d.Decode()
 		if err != nil {
 			c.mu.Lock()
 			c.readErr = err
@@ -221,7 +231,10 @@ func (c *Client) readLoop() {
 }
 
 // handleMsg routes one inbound message. Batch frames recurse one level (the
-// decoder rejects deeper nesting).
+// decoder rejects deeper nesting). msg is owned by the read loop's Decoder
+// and valid only for this call: a waiting request gets a copy — pooled for
+// the hot response types, released by the awaiting caller — never the
+// decoder's box. The push path (no waiter) installs and copies nothing.
 func (c *Client) handleMsg(msg netproto.Message) {
 	switch m := msg.(type) {
 	case *netproto.Batch:
@@ -237,7 +250,9 @@ func (c *Client) handleMsg(msg netproto.Message) {
 		ch := c.takeLocked(m.ID)
 		c.mu.Unlock()
 		if ch != nil {
-			ch <- callResult{msg: m}
+			cp := netproto.GetRefresh()
+			*cp = *m
+			ch <- callResult{msg: cp}
 		}
 	case *netproto.RefreshBatch:
 		c.mu.Lock()
@@ -250,12 +265,16 @@ func (c *Client) handleMsg(msg netproto.Message) {
 		ch := c.takeLocked(m.ID)
 		c.mu.Unlock()
 		if ch != nil {
-			ch <- callResult{msg: m}
+			cp := netproto.GetRefreshBatch()
+			cp.ID = m.ID
+			cp.Items = append(cp.Items[:0], m.Items...)
+			ch <- callResult{msg: cp}
 		}
 	case *netproto.Pong:
-		c.resolve(m.ID, callResult{msg: m})
+		c.resolve(m.ID, callResult{msg: &netproto.Pong{ID: m.ID}})
 	case *netproto.HelloAck:
-		c.resolve(m.ID, callResult{msg: m})
+		cp := *m
+		c.resolve(m.ID, callResult{msg: &cp})
 	case *netproto.ErrorMsg:
 		c.resolve(m.ID, callResult{err: &ServerError{Msg: m.Msg}})
 	}
@@ -295,10 +314,12 @@ func (c *Client) installLocked(key int64, lo, hi, originalWidth float64) {
 // writeLoop drains the send queue onto the wire. Backed-up simple requests
 // are coalesced into one Batch frame on v2 connections; multi-key requests
 // are already batches and go out as their own frames. Either way one drain
-// is one bufio flush, so concurrent callers share syscalls.
+// is encoded into one pooled buffer and flushed with a single write, so
+// concurrent callers share syscalls.
 func (c *Client) writeLoop() {
 	defer close(c.writeDone)
-	w := bufio.NewWriter(c.conn)
+	bp := netproto.GetBuf()
+	defer netproto.PutBuf(bp)
 	var drained []netproto.Message
 	for {
 		var first netproto.Message
@@ -318,13 +339,20 @@ func (c *Client) writeLoop() {
 				break drain
 			}
 		}
-		if err := c.writeFrames(w, drained); err != nil {
+		buf, err := c.appendFrames((*bp)[:0], drained)
+		*bp = buf
+		if err != nil {
 			c.conn.Close() // wakes readLoop, which fails the pending calls
 			return
 		}
-		if err := w.Flush(); err != nil {
+		if _, err := c.conn.Write(buf); err != nil {
 			c.conn.Close()
 			return
+		}
+		if cap(buf) > 1<<20 {
+			// Don't pin one exceptional drain's high-water mark for the
+			// connection's lifetime.
+			*bp = nil
 		}
 	}
 }
@@ -340,38 +368,45 @@ func batchable(m netproto.Message) bool {
 	}
 }
 
-// writeFrames writes a drained run, preserving order: on v2, consecutive
-// batchable messages collapse into one Batch frame.
-func (c *Client) writeFrames(w *bufio.Writer, msgs []netproto.Message) error {
+// appendFrames encodes a drained run into buf, preserving order: on v2,
+// consecutive batchable messages collapse into one Batch frame. Every
+// message is released back to its pool once encoded (the writer owns
+// enqueued messages outright).
+func (c *Client) appendFrames(buf []byte, msgs []netproto.Message) ([]byte, error) {
+	var err error
 	if c.proto.Load() < netproto.Version2 || len(msgs) == 1 {
 		for _, m := range msgs {
-			if err := netproto.Write(w, m); err != nil {
-				return err
+			buf, err = netproto.AppendFrame(buf, m)
+			netproto.Release(m)
+			if err != nil {
+				return buf, err
 			}
 			c.framesSent.Add(1)
 		}
-		return nil
+		return buf, nil
 	}
-	var run []netproto.Message
+	run := c.runBuf[:0]
 	flushRun := func() error {
+		var err error
 		switch len(run) {
 		case 0:
 			return nil
 		case 1:
-			err := netproto.Write(w, run[0])
-			run = run[:0]
-			if err == nil {
-				c.framesSent.Add(1)
-			}
-			return err
+			buf, err = netproto.AppendFrame(buf, run[0])
+			netproto.Release(run[0])
 		default:
-			err := netproto.Write(w, &netproto.Batch{Msgs: run})
-			run = run[:0]
-			if err == nil {
-				c.framesSent.Add(1)
-			}
-			return err
+			// Wrap the run in a pooled Batch; releasing it releases the
+			// sub-messages too.
+			wrap := netproto.GetBatch()
+			wrap.Msgs = append(wrap.Msgs[:0], run...)
+			buf, err = netproto.AppendFrame(buf, wrap)
+			netproto.Release(wrap)
 		}
+		run = run[:0]
+		if err == nil {
+			c.framesSent.Add(1)
+		}
+		return err
 	}
 	for _, m := range msgs {
 		if batchable(m) {
@@ -379,19 +414,56 @@ func (c *Client) writeFrames(w *bufio.Writer, msgs []netproto.Message) error {
 			continue
 		}
 		if err := flushRun(); err != nil {
-			return err
+			c.runBuf = run
+			return buf, err
 		}
-		if err := netproto.Write(w, m); err != nil {
-			return err
+		buf, err = netproto.AppendFrame(buf, m)
+		netproto.Release(m)
+		if err != nil {
+			c.runBuf = run
+			return buf, err
 		}
 		c.framesSent.Add(1)
 	}
-	return flushRun()
+	err = flushRun()
+	c.runBuf = run
+	return buf, err
 }
 
-// startCall registers a waiter and enqueues the request, returning without
-// blocking on the network: the pipelined half of a call.
-func (c *Client) startCall(build func(id uint64) netproto.Message) (uint64, chan callResult, time.Duration, error) {
+// stampID assigns the request ID on an outbound request message.
+func stampID(m netproto.Message, id uint64) {
+	switch v := m.(type) {
+	case *netproto.Read:
+		v.ID = id
+	case *netproto.ReadMulti:
+		v.ID = id
+	case *netproto.Subscribe:
+		v.ID = id
+	case *netproto.SubscribeMulti:
+		v.ID = id
+	case *netproto.Ping:
+		v.ID = id
+	case *netproto.Hello:
+		v.ID = id
+	default:
+		panic(fmt.Sprintf("client: request %T cannot carry an ID", m))
+	}
+}
+
+// resultChanPool recycles the one-shot response channels. A channel is
+// returned to the pool only on the success path — after its single send was
+// received — so a pooled channel can never see a stray late send.
+var resultChanPool = sync.Pool{New: func() any { return make(chan callResult, 1) }}
+
+// timerPool recycles await's timeout timers. Pooled timers are stopped;
+// Reset is safe without draining under Go 1.23+ timer semantics.
+var timerPool sync.Pool
+
+// startCall registers a waiter, stamps m with a fresh request ID, and
+// enqueues it without blocking on the network: the pipelined half of a
+// call. Ownership of m passes to the writer goroutine, which releases
+// pooled messages after encoding — the caller must not touch m afterwards.
+func (c *Client) startCall(m netproto.Message) (uint64, chan callResult, time.Duration, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -399,14 +471,14 @@ func (c *Client) startCall(build func(id uint64) netproto.Message) (uint64, chan
 	}
 	c.nextID++
 	id := c.nextID
-	ch := make(chan callResult, 1)
+	ch := resultChanPool.Get().(chan callResult)
 	c.pending[id] = ch
 	timeout := c.timeout
-	msg := build(id)
 	c.mu.Unlock()
+	stampID(m, id)
 
 	select {
-	case c.sendq <- msg:
+	case c.sendq <- m:
 		return id, ch, timeout, nil
 	case <-c.readDone:
 		c.abandon(id)
@@ -416,14 +488,29 @@ func (c *Client) startCall(build func(id uint64) netproto.Message) (uint64, chan
 
 // await blocks for a started call's response.
 func (c *Client) await(id uint64, ch chan callResult, timeout time.Duration) (netproto.Message, error) {
+	t, _ := timerPool.Get().(*time.Timer)
+	if t == nil {
+		t = time.NewTimer(timeout)
+	} else {
+		t.Reset(timeout)
+	}
 	select {
 	case res, ok := <-ch:
+		// Go 1.23+ timer semantics: receives after Stop block and Reset
+		// discards stale fires, so no drain — it would deadlock when the
+		// response races the expiry.
+		t.Stop()
+		timerPool.Put(t)
 		if !ok {
+			// Closed by the read loop's teardown; the channel is dead.
 			return nil, c.closeReason()
 		}
+		resultChanPool.Put(ch)
 		return res.msg, res.err
-	case <-time.After(timeout):
+	case <-t.C:
+		timerPool.Put(t)
 		c.abandon(id)
+		// The channel is not pooled: a late response may still send into it.
 		return nil, fmt.Errorf("client: request timed out after %v", timeout)
 	}
 }
@@ -436,9 +523,11 @@ func (c *Client) abandon(id uint64) {
 	c.mu.Unlock()
 }
 
-// call sends a request and waits for the matching response.
-func (c *Client) call(build func(id uint64) netproto.Message) (netproto.Message, error) {
-	id, ch, timeout, err := c.startCall(build)
+// call sends a request and waits for the matching response. Ownership of m
+// passes to the writer; a returned hot-type response (Refresh/RefreshBatch)
+// is a pooled copy the caller should Release once read.
+func (c *Client) call(m netproto.Message) (netproto.Message, error) {
+	id, ch, timeout, err := c.startCall(m)
 	if err != nil {
 		return nil, err
 	}
@@ -457,10 +546,12 @@ func (c *Client) closeReason() error {
 // Subscribe registers interest in key; the initial approximation lands in
 // the local store.
 func (c *Client) Subscribe(key int) error {
-	_, err := c.call(func(id uint64) netproto.Message {
-		return &netproto.Subscribe{ID: id, Key: int64(key)}
-	})
-	return err
+	msg, err := c.call(&netproto.Subscribe{Key: int64(key)})
+	if err != nil {
+		return err
+	}
+	netproto.Release(msg)
+	return nil
 }
 
 // SubscribeMulti registers interest in all keys with one request per
@@ -479,8 +570,12 @@ func (c *Client) SubscribeMulti(keys []int) error {
 		}
 		return nil
 	}
-	calls, err := c.startMulti(keys, func(id uint64, ks []int64) netproto.Message {
-		return &netproto.SubscribeMulti{ID: id, Keys: ks}
+	calls, err := c.startMulti(keys, func(chunk []int) netproto.Message {
+		ks := make([]int64, len(chunk))
+		for i, k := range chunk {
+			ks[i] = int64(k)
+		}
+		return &netproto.SubscribeMulti{Keys: ks}
 	})
 	if err != nil {
 		return err
@@ -490,9 +585,11 @@ func (c *Client) SubscribeMulti(keys []int) error {
 		if err != nil {
 			return err
 		}
-		if rb, ok := msg.(*netproto.RefreshBatch); !ok || len(rb.Items) != cc.n {
+		rb, ok := msg.(*netproto.RefreshBatch)
+		if !ok || len(rb.Items) != cc.n {
 			return fmt.Errorf("client: malformed SubscribeMulti response")
 		}
+		netproto.Release(rb)
 	}
 	return nil
 }
@@ -525,9 +622,9 @@ func (c *Client) Get(key int) (interval.Interval, bool) {
 // query-initiated refresh. The accompanying fresh interval is installed
 // locally.
 func (c *Client) ReadExact(key int) (float64, error) {
-	msg, err := c.call(func(id uint64) netproto.Message {
-		return &netproto.Read{ID: id, Key: int64(key)}
-	})
+	m := netproto.GetRead()
+	m.Key = int64(key)
+	msg, err := c.call(m)
 	if err != nil {
 		return 0, err
 	}
@@ -535,10 +632,12 @@ func (c *Client) ReadExact(key int) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("client: malformed Read response %T", msg)
 	}
+	v := r.Value
+	netproto.Release(r)
 	c.mu.Lock()
 	c.qir++
 	c.mu.Unlock()
-	return r.Value, nil
+	return v, nil
 }
 
 // multiCall tracks one in-flight chunk of a multi-key request.
@@ -551,8 +650,9 @@ type multiCall struct {
 
 // startMulti pipelines a multi-key request as MaxBatch-sized chunks, issuing
 // every chunk before awaiting any: the round-trip cost is one RTT however
-// many chunks the key set spans.
-func (c *Client) startMulti(keys []int, build func(id uint64, ks []int64) netproto.Message) ([]multiCall, error) {
+// many chunks the key set spans. build turns one chunk of keys into the
+// request message (whose ownership passes to the writer).
+func (c *Client) startMulti(keys []int, build func(chunk []int) netproto.Message) ([]multiCall, error) {
 	max := int(c.maxBatch.Load())
 	var calls []multiCall
 	for off := 0; off < len(keys); off += max {
@@ -560,13 +660,7 @@ func (c *Client) startMulti(keys []int, build func(id uint64, ks []int64) netpro
 		if end > len(keys) {
 			end = len(keys)
 		}
-		ks := make([]int64, end-off)
-		for i, k := range keys[off:end] {
-			ks[i] = int64(k)
-		}
-		id, ch, timeout, err := c.startCall(func(id uint64) netproto.Message {
-			return build(id, ks)
-		})
+		id, ch, timeout, err := c.startCall(build(keys[off:end]))
 		if err != nil {
 			return nil, err
 		}
@@ -594,8 +688,12 @@ func (c *Client) ReadMulti(keys []int) ([]float64, error) {
 		}
 		return out, nil
 	}
-	calls, err := c.startMulti(keys, func(id uint64, ks []int64) netproto.Message {
-		return &netproto.ReadMulti{ID: id, Keys: ks}
+	calls, err := c.startMulti(keys, func(chunk []int) netproto.Message {
+		m := netproto.GetReadMulti()
+		for _, k := range chunk {
+			m.Keys = append(m.Keys, int64(k))
+		}
+		return m
 	})
 	if err != nil {
 		return nil, err
@@ -614,6 +712,7 @@ func (c *Client) ReadMulti(keys []int) ([]float64, error) {
 		for j, it := range rb.Items {
 			out[cc.off+j] = it.Value
 		}
+		netproto.Release(rb)
 		fetched += cc.n
 	}
 	c.mu.Lock()
@@ -624,9 +723,7 @@ func (c *Client) ReadMulti(keys []int) ([]float64, error) {
 
 // Ping round-trips a liveness probe.
 func (c *Client) Ping() error {
-	_, err := c.call(func(id uint64) netproto.Message {
-		return &netproto.Ping{ID: id}
-	})
+	_, err := c.call(&netproto.Ping{})
 	return err
 }
 

@@ -62,12 +62,29 @@ func FuzzReadMsg(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := ReadMsg(bytes.NewReader(data))
+		// The reusing Decoder must agree with ReadMsg on accept/reject and
+		// on the decoded type.
+		dmsg, derr := NewDecoder(bytes.NewReader(data)).Decode()
+		if (err == nil) != (derr == nil) {
+			t.Fatalf("ReadMsg err=%v but Decoder err=%v", err, derr)
+		}
 		if err != nil {
 			return // rejection is fine; panics are not
+		}
+		if msg.msgType() != dmsg.msgType() {
+			t.Fatalf("ReadMsg type %v but Decoder type %v", msg.msgType(), dmsg.msgType())
 		}
 		var buf bytes.Buffer
 		if err := Write(&buf, msg); err != nil {
 			t.Fatalf("re-encode of accepted message failed: %v", err)
+		}
+		// AppendFrame must produce the identical frame bytes.
+		frame, err := AppendFrame(nil, msg)
+		if err != nil {
+			t.Fatalf("AppendFrame of accepted message failed: %v", err)
+		}
+		if !bytes.Equal(frame, buf.Bytes()) {
+			t.Fatalf("AppendFrame bytes differ from Write")
 		}
 		if _, err := ReadMsg(&buf); err != nil {
 			t.Fatalf("re-decode of re-encoded message failed: %v", err)

@@ -225,7 +225,7 @@ const MaxFrame = 1 << 16
 const headerLen = 5 // uint32 length + uint8 type
 
 // batchLen returns the item count of batch-carrying messages (0 for plain
-// messages), so Write can reject counts the decoder would refuse.
+// messages), so frame encoders can reject counts the decoder would refuse.
 func batchLen(m Message) int {
 	switch b := m.(type) {
 	case *ReadMulti:
@@ -241,55 +241,112 @@ func batchLen(m Message) int {
 	}
 }
 
-// Write encodes m as one frame on w. Batch-carrying messages larger than
-// MaxBatchItems — including ones nested inside a Batch — are rejected here
-// rather than silently truncating their uint16 counts (every decoder would
-// reject them anyway, tearing down the peer's connection instead of
-// surfacing the error at the sender).
-func Write(w io.Writer, m Message) error {
-	if n := batchLen(m); n > MaxBatchItems {
-		return fmt.Errorf("netproto: %s of %d items exceeds limit %d", m.msgType(), n, MaxBatchItems)
+// checkBatchLimits validates every batch count carried by m — including the
+// sub-messages of a Batch — in a single pass over the message. Oversized
+// counts are rejected at the sender rather than silently truncating their
+// uint16 fields: every decoder would refuse them anyway, tearing down the
+// peer's connection instead of surfacing the error where it was made.
+func checkBatchLimits(m Message) error {
+	b, ok := m.(*Batch)
+	if !ok {
+		if n := batchLen(m); n > MaxBatchItems {
+			return fmt.Errorf("netproto: %s of %d items exceeds limit %d", m.msgType(), n, MaxBatchItems)
+		}
+		return nil
 	}
-	if b, ok := m.(*Batch); ok {
-		for _, sub := range b.Msgs {
-			if n := batchLen(sub); n > MaxBatchItems {
-				return fmt.Errorf("netproto: %s of %d items exceeds limit %d", sub.msgType(), n, MaxBatchItems)
-			}
+	if len(b.Msgs) > MaxBatchItems {
+		return fmt.Errorf("netproto: %s of %d items exceeds limit %d", b.msgType(), len(b.Msgs), MaxBatchItems)
+	}
+	for _, sub := range b.Msgs {
+		if n := batchLen(sub); n > MaxBatchItems {
+			return fmt.Errorf("netproto: %s of %d items exceeds limit %d", sub.msgType(), n, MaxBatchItems)
 		}
 	}
-	body := m.encode(make([]byte, 0, 64))
-	if len(body) > MaxFrame {
-		return fmt.Errorf("netproto: frame too large (%d bytes)", len(body))
+	return nil
+}
+
+// AppendFrame appends m's complete wire frame — header and body — to dst and
+// returns the extended slice. It is the hot-path encoder: a caller that
+// reuses dst across frames encodes without allocating, and a run of frames
+// appended to one buffer goes to the kernel in a single write. On error dst
+// is returned with its original length.
+func AppendFrame(dst []byte, m Message) ([]byte, error) {
+	if err := checkBatchLimits(m); err != nil {
+		return dst, err
 	}
-	frame := make([]byte, headerLen+len(body))
-	binary.LittleEndian.PutUint32(frame, uint32(len(body)+1))
-	frame[4] = byte(m.msgType())
-	copy(frame[headerLen:], body)
-	_, err := w.Write(frame)
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, byte(m.msgType()))
+	dst = m.encode(dst)
+	n := len(dst) - start - headerLen + 1 // body bytes plus the type byte
+	if n > MaxFrame {
+		return dst[:start], fmt.Errorf("netproto: frame too large (%d bytes)", n)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(n))
+	return dst, nil
+}
+
+// Write encodes m as one frame on w: the compatibility wrapper around
+// AppendFrame, using a pooled scratch buffer and a single w.Write call.
+func Write(w io.Writer, m Message) error {
+	bp := getBuf()
+	frame, err := AppendFrame((*bp)[:0], m)
+	*bp = frame[:0]
+	if err != nil {
+		putBuf(bp)
+		return err
+	}
+	_, err = w.Write(frame)
+	putBuf(bp)
 	if err != nil {
 		return fmt.Errorf("netproto: write %s: %w", m.msgType(), err)
 	}
 	return nil
 }
 
-// ReadMsg decodes the next frame from r.
-func ReadMsg(r io.Reader) (Message, error) {
-	var hdr [headerLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err // io.EOF passes through for clean shutdown
+// readFrame reads one frame from r, using scratch's storage for both the
+// header and the body so the read path allocates nothing when the caller
+// reuses the returned slice. Shared by ReadMsg and Decoder.Decode.
+func readFrame(r io.Reader, scratch []byte) (MsgType, []byte, error) {
+	scratch = grow(scratch, headerLen)
+	if _, err := io.ReadFull(r, scratch); err != nil {
+		return 0, scratch[:0], err // io.EOF passes through for clean shutdown
 	}
-	n := binary.LittleEndian.Uint32(hdr[:4])
+	n := binary.LittleEndian.Uint32(scratch[:4])
+	t := MsgType(scratch[4])
 	if n == 0 {
-		return nil, fmt.Errorf("netproto: zero-length frame")
+		return 0, scratch[:0], fmt.Errorf("netproto: zero-length frame")
 	}
 	if n > MaxFrame {
-		return nil, fmt.Errorf("netproto: frame of %d bytes exceeds limit", n)
+		return 0, scratch[:0], fmt.Errorf("netproto: frame of %d bytes exceeds limit", n)
 	}
-	body := make([]byte, n-1)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("netproto: short frame body: %w", err)
+	scratch = grow(scratch, int(n-1))
+	if _, err := io.ReadFull(r, scratch); err != nil {
+		return 0, scratch, fmt.Errorf("netproto: short frame body: %w", err)
 	}
-	m, err := newMessage(MsgType(hdr[4]))
+	return t, scratch, nil
+}
+
+// grow returns b resized to n bytes, reallocating only when capacity is
+// short.
+func grow(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]byte, n)
+}
+
+// ReadMsg decodes the next frame from r into a freshly allocated message the
+// caller may retain. Connection read loops should use a Decoder instead,
+// which reuses message and buffer storage across frames.
+func ReadMsg(r io.Reader) (Message, error) {
+	bp := getBuf()
+	defer putBuf(bp)
+	t, body, err := readFrame(r, (*bp)[:0])
+	*bp = body
+	if err != nil {
+		return nil, err
+	}
+	m, err := newMessage(t)
 	if err != nil {
 		return nil, err
 	}
@@ -569,24 +626,29 @@ func encodeKeys(b []byte, id uint64, keys []int64) []byte {
 	return b
 }
 
-func decodeKeys(b []byte, what string) (id uint64, keys []int64, err error) {
+// decodeKeys decodes into keys' backing array when its capacity suffices, so
+// a reused message decodes without allocating.
+func decodeKeys(b []byte, keys []int64, what string) (id uint64, out []int64, err error) {
 	r := reader{b: b}
 	id = r.u64()
 	n := int(r.u16())
 	if r.err == nil {
 		if n == 0 {
-			return 0, nil, fmt.Errorf("netproto: empty %s", what)
+			return 0, keys, fmt.Errorf("netproto: empty %s", what)
 		}
 		if n > MaxBatchItems {
-			return 0, nil, fmt.Errorf("netproto: %s of %d keys exceeds limit %d", what, n, MaxBatchItems)
+			return 0, keys, fmt.Errorf("netproto: %s of %d keys exceeds limit %d", what, n, MaxBatchItems)
 		}
 	}
-	keys = make([]int64, 0, n)
+	keys = keys[:0]
+	if cap(keys) < n {
+		keys = make([]int64, 0, n)
+	}
 	for i := 0; i < n; i++ {
 		keys = append(keys, int64(r.u64()))
 	}
 	if err := r.done(); err != nil {
-		return 0, nil, err
+		return 0, keys, err
 	}
 	return id, keys, nil
 }
@@ -594,22 +656,24 @@ func decodeKeys(b []byte, what string) (id uint64, keys []int64, err error) {
 func (m *ReadMulti) msgType() MsgType       { return TReadMulti }
 func (m *ReadMulti) encode(b []byte) []byte { return encodeKeys(b, m.ID, m.Keys) }
 func (m *ReadMulti) decode(b []byte) error {
-	id, keys, err := decodeKeys(b, "ReadMulti")
+	id, keys, err := decodeKeys(b, m.Keys, "ReadMulti")
+	m.Keys = keys
 	if err != nil {
 		return err
 	}
-	m.ID, m.Keys = id, keys
+	m.ID = id
 	return nil
 }
 
 func (m *SubscribeMulti) msgType() MsgType       { return TSubscribeMulti }
 func (m *SubscribeMulti) encode(b []byte) []byte { return encodeKeys(b, m.ID, m.Keys) }
 func (m *SubscribeMulti) decode(b []byte) error {
-	id, keys, err := decodeKeys(b, "SubscribeMulti")
+	id, keys, err := decodeKeys(b, m.Keys, "SubscribeMulti")
+	m.Keys = keys
 	if err != nil {
 		return err
 	}
-	m.ID, m.Keys = id, keys
+	m.ID = id
 	return nil
 }
 
@@ -639,7 +703,10 @@ func (m *RefreshBatch) decode(b []byte) error {
 			return fmt.Errorf("netproto: RefreshBatch of %d items exceeds limit %d", n, MaxBatchItems)
 		}
 	}
-	m.Items = make([]RefreshItem, 0, n)
+	m.Items = m.Items[:0]
+	if cap(m.Items) < n {
+		m.Items = make([]RefreshItem, 0, n)
+	}
 	for i := 0; i < n; i++ {
 		it := RefreshItem{
 			Key:  int64(r.u64()),
@@ -678,14 +745,23 @@ func (m *Batch) msgType() MsgType { return TBatch }
 func (m *Batch) encode(b []byte) []byte {
 	b = putU16(b, uint16(len(m.Msgs)))
 	for _, sub := range m.Msgs {
-		body := sub.encode(make([]byte, 0, 64))
+		// Encode each sub-message in place and backpatch its length, so a
+		// Batch costs no scratch buffer per sub. A sub body can never
+		// overflow the uint16 silently: AppendFrame's whole-frame cap
+		// (MaxFrame) is tighter and rejects the frame.
 		b = append(b, byte(sub.msgType()))
-		b = putU16(b, uint16(len(body)))
-		b = append(b, body...)
+		at := len(b)
+		b = putU16(b, 0)
+		b = sub.encode(b)
+		binary.LittleEndian.PutUint16(b[at:], uint16(len(b)-at-2))
 	}
 	return b
 }
-func (m *Batch) decode(b []byte) error {
+func (m *Batch) decode(b []byte) error { return m.decodeWith(b, newMessage) }
+
+// decodeWith decodes using newMsg to obtain sub-message boxes: newMessage on
+// the allocating ReadMsg path, a Decoder's arena on the reusing path.
+func (m *Batch) decodeWith(b []byte, newMsg func(MsgType) (Message, error)) error {
 	r := reader{b: b}
 	n := int(r.u16())
 	if r.err == nil {
@@ -696,7 +772,10 @@ func (m *Batch) decode(b []byte) error {
 			return fmt.Errorf("netproto: Batch of %d messages exceeds limit %d", n, MaxBatchItems)
 		}
 	}
-	m.Msgs = make([]Message, 0, n)
+	m.Msgs = m.Msgs[:0]
+	if cap(m.Msgs) < n {
+		m.Msgs = make([]Message, 0, n)
+	}
 	for i := 0; i < n; i++ {
 		t := MsgType(r.u8())
 		bodyLen := int(r.u16())
@@ -707,7 +786,7 @@ func (m *Batch) decode(b []byte) error {
 		if t == TBatch {
 			return fmt.Errorf("netproto: nested Batch rejected")
 		}
-		sub, err := newMessage(t)
+		sub, err := newMsg(t)
 		if err != nil {
 			return err
 		}

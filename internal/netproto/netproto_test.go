@@ -456,6 +456,35 @@ func TestQuickErrorMsgRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBatchLimitBoundary: exactly MaxBatchItems is the largest legal count
+// and must survive a full round trip for every batch-carrying type; one more
+// is rejected at the sender (exercised in TestWriteRejectsOversizedBatches).
+func TestBatchLimitBoundary(t *testing.T) {
+	keys := make([]int64, MaxBatchItems)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	msgs := make([]Message, MaxBatchItems)
+	for i := range msgs {
+		msgs[i] = &Ping{ID: uint64(i)}
+	}
+	items := make([]RefreshItem, MaxBatchItems)
+	for i := range items {
+		items[i] = RefreshItem{Key: int64(i), Kind: KindValueInitiated, Value: 1, Lo: 0, Hi: 2, OriginalWidth: 2}
+	}
+	for _, m := range []Message{
+		&ReadMulti{ID: 1, Keys: keys},
+		&SubscribeMulti{ID: 2, Keys: keys},
+		&Batch{Msgs: msgs},
+		&RefreshBatch{ID: 3, Items: items},
+	} {
+		got := roundTrip(t, m)
+		if n := batchLen(got); n != MaxBatchItems {
+			t.Errorf("%s round-tripped %d items, want %d", m.msgType(), n, MaxBatchItems)
+		}
+	}
+}
+
 func TestWriteRejectsOversizedBatches(t *testing.T) {
 	var buf bytes.Buffer
 	keys := make([]int64, MaxBatchItems+1)

@@ -1,0 +1,8 @@
+//go:build race
+
+package netproto
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// assertions are skipped under it (instrumentation and sync.Pool behavior
+// change the numbers).
+const raceEnabled = true

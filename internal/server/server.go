@@ -23,9 +23,18 @@
 // decodes a Batch or multi-key frame, fans its sub-requests out across the
 // shards they hash to, and replies with one frame; the writer goroutine
 // coalesces queued value-initiated pushes into RefreshBatch frames, flushing
-// on size (the negotiated batch limit) or after Config.FlushInterval of
-// accumulation. Peers that never send Hello speak v1 — one message per
-// frame — and are never sent v2 frames.
+// on size (the negotiated batch limit), when a response is waiting, or when
+// the per-connection adaptive flush window expires. Peers that never send
+// Hello speak v1 — one message per frame — and are never sent v2 frames.
+//
+// The wire path is allocation-free in steady state and syscall-minimal: the
+// read loop decodes through a netproto.Decoder (reused buffers and message
+// boxes), responses and pushes travel as pooled netproto messages that the
+// writer releases after encoding, and each flush encodes its entire batch
+// into one reused buffer written with a single conn.Write call. The flush
+// window adapts per connection: an EWMA of observed inter-push gaps shrinks
+// the configured FlushInterval so quiet connections flush immediately while
+// bursty ones coalesce aggressively.
 package server
 
 import (
@@ -66,10 +75,14 @@ type Config struct {
 	// [1, netproto.MaxBatchItems]. The per-connection limit is the min of
 	// this and the client's Hello offer.
 	MaxBatch int
-	// FlushInterval bounds how long the per-connection writer may hold a
-	// value-initiated push to coalesce it with successors. 0 flushes as
-	// soon as the queue drains; responses to requests always flush
-	// immediately regardless.
+	// FlushInterval caps how long the per-connection writer may hold a
+	// value-initiated push to coalesce it with successors. The actual
+	// window adapts per connection: it is FlushInterval shrunk by the
+	// EWMA of that connection's inter-push gaps (clamped to
+	// [0, FlushInterval]), so a connection receiving sparse pushes flushes
+	// immediately while a bursty one uses the whole window. 0 disables
+	// the window entirely (flush as soon as the queue drains); responses
+	// to requests always flush immediately regardless.
 	FlushInterval time.Duration
 	// ProtoVersion pins the protocol the server speaks: 0 or
 	// netproto.Version2 negotiate v2 with clients that send Hello;
@@ -117,10 +130,78 @@ type clientConn struct {
 	// read by the writer, hence atomics.
 	proto      atomic.Int32
 	batchLimit atomic.Int32
+
+	// lastPush and gapEWMA drive the adaptive flush window: the enqueue
+	// time of the last value-initiated push (UnixNano) and the EWMA of the
+	// gaps between successive enqueues. Written under connMu by Set's push
+	// loop, read lock-free by the writer goroutine.
+	lastPush atomic.Int64
+	gapEWMA  atomic.Int64
+
+	// scratch is the read loop's per-request working storage, reused
+	// across requests; only the read-loop goroutine touches it.
+	scratch reqScratch
+}
+
+// reqScratch groups a request's keys (or batch sub-requests) by the shard
+// they hash to without allocating: byShard is indexed by shard and holds key
+// positions, shardSet lists the touched shards, resp collects batch
+// responses by position.
+type reqScratch struct {
+	resp     []netproto.Message
+	shardSet []int
+	byShard  [][]int
 }
 
 // v2 reports whether the connection completed the v2 handshake.
 func (c *clientConn) v2() bool { return c.proto.Load() >= netproto.Version2 }
+
+// observePush feeds one push-enqueue timestamp into the connection's
+// inter-push gap EWMA (alpha = 1/8). Gaps are clamped to twice the flush
+// cap before entering the EWMA: beyond that a gap only means "quiet", and
+// an unclamped idle period (seconds) would swamp the average and keep the
+// window closed for dozens of pushes into the very burst coalescing exists
+// for. The clamp still lets sustained quiet drive the EWMA past the cap
+// (closing the window) within a handful of observations.
+func (c *clientConn) observePush(now int64, maxFlush time.Duration) {
+	last := c.lastPush.Swap(now)
+	if last == 0 {
+		return
+	}
+	gap := now - last
+	if gap < 0 {
+		gap = 0
+	}
+	if lim := 2 * int64(maxFlush); gap > lim {
+		gap = lim
+	}
+	old := c.gapEWMA.Load()
+	if old == 0 {
+		c.gapEWMA.Store(gap)
+		return
+	}
+	c.gapEWMA.Store(old + (gap-old)/8)
+}
+
+// flushWindow returns how long the writer may hold a pending push run to
+// coalesce successors: the static cap shrunk by the expected wait for the
+// next push (the gap EWMA), clamped to [0, max]. A bursty connection (gaps
+// near zero) keeps nearly the whole window; a quiet one (gaps at or beyond
+// the cap) flushes immediately and pays no added latency. Before any gap
+// has been observed the full cap applies, matching the static behavior.
+func (c *clientConn) flushWindow(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	ewma := time.Duration(c.gapEWMA.Load())
+	if ewma == 0 {
+		return max
+	}
+	if ewma >= max {
+		return 0
+	}
+	return max - ewma
+}
 
 // lockedRand adapts a shard's mutex-guarded RNG to core.Rand. The shard
 // mutex is always held when its controllers run, so plain access is safe;
@@ -196,6 +277,10 @@ func (s *Server) Set(key int, v float64) int {
 	// One connMu acquisition for the whole batch: taking it per refresh
 	// would put a global lock back on the sharded hot path. send is a
 	// non-blocking enqueue, so holding connMu across the loop is cheap.
+	var now int64
+	if s.cfg.FlushInterval > 0 {
+		now = time.Now().UnixNano()
+	}
 	s.connMu.Lock()
 	defer s.connMu.Unlock()
 	for _, r := range refreshes {
@@ -203,7 +288,11 @@ func (s *Server) Set(key int, v float64) int {
 		if !ok {
 			continue // client disconnected; subscription reaped below
 		}
-		c.send(&netproto.Refresh{
+		if now != 0 {
+			c.observePush(now, s.cfg.FlushInterval)
+		}
+		m := netproto.GetRefresh()
+		*m = netproto.Refresh{
 			ID:            0,
 			Key:           int64(r.Key),
 			Kind:          netproto.KindValueInitiated,
@@ -211,7 +300,8 @@ func (s *Server) Set(key int, v float64) int {
 			Lo:            r.Interval.Lo,
 			Hi:            r.Interval.Hi,
 			OriginalWidth: r.OriginalWidth,
-		})
+		}
+		c.send(m)
 	}
 	return len(refreshes)
 }
@@ -314,19 +404,23 @@ const replyHeadroom = 128
 const fanoutThreshold = 32
 
 // send enqueues a value-initiated push; a slow client's queue filling up
-// drops the message (the next refresh supersedes it anyway).
+// drops the message (the next refresh supersedes it anyway). Ownership of m
+// passes to the writer on enqueue; on a drop it is released here.
 func (c *clientConn) send(m netproto.Message) {
 	if len(c.out) >= cap(c.out)-replyHeadroom {
 		// Queue (nearly) full: drop. Validity is preserved because a
 		// dropped value-initiated refresh is followed by another as soon as
 		// the value escapes the (still-stored) interval again — or, in the
 		// worst case, the client's next query fetches the exact value.
+		netproto.Release(m)
 		return
 	}
 	select {
 	case c.out <- m:
 	case <-c.done:
+		netproto.Release(m)
 	default:
+		netproto.Release(m)
 	}
 }
 
@@ -342,7 +436,9 @@ func (s *Server) reply(c *clientConn, m netproto.Message) {
 	select {
 	case c.out <- m:
 	case <-c.done:
+		netproto.Release(m)
 	default:
+		netproto.Release(m)
 		s.logf("client %d: reply queue overflow, dropping connection", c.id)
 		c.conn.Close()
 	}
@@ -356,9 +452,38 @@ func isPush(m netproto.Message) bool {
 	return ok && r.ID == 0 && r.Kind == netproto.KindValueInitiated
 }
 
+// connWriter is a connection writer's reusable state: the frame-assembly
+// buffer, the scratch for coalescing push runs, and the flush timer. One
+// flush encodes the whole drained batch into buf and hands it to the kernel
+// with a single conn.Write; nothing here allocates in steady state.
+type connWriter struct {
+	buf   []byte
+	run   []netproto.RefreshItem
+	rb    netproto.RefreshBatch // reused RefreshBatch envelope for push runs
+	one   netproto.Refresh      // reused envelope for singleton pushes
+	timer *time.Timer           // reused flush timer, armed per window
+}
+
+// armWindow (re)arms the reused flush timer. Under Go 1.23+ timer
+// semantics Reset discards any pending fire, so no drain is needed between
+// windows (a drain would deadlock when the expiry races the window exit).
+func (w *connWriter) armWindow(d time.Duration) <-chan time.Time {
+	if w.timer == nil {
+		w.timer = time.NewTimer(d)
+	} else {
+		w.timer.Reset(d)
+	}
+	return w.timer.C
+}
+
 func (s *Server) writeLoop(c *clientConn) {
 	defer s.serveWG.Done()
-	w := bufio.NewWriter(c.conn)
+	var w connWriter
+	defer func() {
+		if w.timer != nil {
+			w.timer.Stop()
+		}
+	}()
 	var batch []netproto.Message
 	for {
 		var first netproto.Message
@@ -369,28 +494,31 @@ func (s *Server) writeLoop(c *clientConn) {
 		}
 		batch = append(batch[:0], first)
 		max := int(c.batchLimit.Load())
-		// While everything pending is a push, a configured FlushInterval
-		// keeps the window open so bursts coalesce into one RefreshBatch.
-		// The first response to arrive ends the window: request-reply
-		// latency is never traded for batching.
-		if s.cfg.FlushInterval > 0 && c.v2() && isPush(first) {
-			timer := time.NewTimer(s.cfg.FlushInterval)
-		window:
-			for len(batch) < max {
-				select {
-				case m := <-c.out:
-					batch = append(batch, m)
-					if !isPush(m) {
+		// While everything pending is a push, the adaptive flush window
+		// stays open so bursts coalesce into one RefreshBatch. The first
+		// response to arrive ends the window: request-reply latency is
+		// never traded for batching. A quiet connection's window is zero
+		// and skips the wait entirely.
+		if c.v2() && isPush(first) {
+			if win := c.flushWindow(s.cfg.FlushInterval); win > 0 {
+				expire := w.armWindow(win)
+			window:
+				for len(batch) < max {
+					select {
+					case m := <-c.out:
+						batch = append(batch, m)
+						if !isPush(m) {
+							break window
+						}
+					case <-expire:
 						break window
+					case <-c.done:
+						w.timer.Stop()
+						return
 					}
-				case <-timer.C:
-					break window
-				case <-c.done:
-					timer.Stop()
-					return
 				}
+				w.timer.Stop() // no-op if it fired; Reset needs no drain
 			}
-			timer.Stop()
 		}
 		// Drain whatever else is already queued, without blocking.
 	drain:
@@ -402,72 +530,95 @@ func (s *Server) writeLoop(c *clientConn) {
 				break drain
 			}
 		}
-		if err := s.writeFrames(w, c, batch); err != nil {
+		if err := s.appendFrames(c, &w, batch); err != nil {
 			c.conn.Close()
 			return
 		}
-		if err := w.Flush(); err != nil {
+		if _, err := c.conn.Write(w.buf); err != nil {
 			c.conn.Close()
 			return
+		}
+		if cap(w.buf) > 1<<20 {
+			// Don't pin one exceptional burst's high-water mark for the
+			// connection's lifetime.
+			w.buf = nil
 		}
 	}
 }
 
-// writeFrames writes a drained run of messages. On a v1 connection every
+// appendFrames encodes a drained run of messages into w.buf (reset first)
+// and releases each message back to its pool. On a v1 connection every
 // message is its own frame. On a v2 connection consecutive value-initiated
 // pushes are coalesced into RefreshBatch frames; everything else passes
 // through unchanged. Message order — in particular per-key refresh order —
 // is preserved exactly.
-func (s *Server) writeFrames(w *bufio.Writer, c *clientConn, msgs []netproto.Message) error {
+func (s *Server) appendFrames(c *clientConn, w *connWriter, msgs []netproto.Message) error {
+	w.buf = w.buf[:0]
+	var err error
 	if !c.v2() {
 		for _, m := range msgs {
-			if err := netproto.Write(w, m); err != nil {
+			w.buf, err = netproto.AppendFrame(w.buf, m)
+			netproto.Release(m)
+			if err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	var run []netproto.RefreshItem
+	w.run = w.run[:0]
 	flushRun := func() error {
-		switch len(run) {
+		switch len(w.run) {
 		case 0:
 			return nil
 		case 1:
-			// A lone push is cheaper as a plain Refresh frame.
-			one := run[0]
-			run = run[:0]
-			return netproto.Write(w, &netproto.Refresh{
+			// A lone push is cheaper as a plain Refresh frame. w.one and
+			// w.rb are writer-owned envelopes, never released to the pools.
+			one := w.run[0]
+			w.run = w.run[:0]
+			w.one = netproto.Refresh{
 				ID: 0, Key: one.Key, Kind: one.Kind,
 				Value: one.Value, Lo: one.Lo, Hi: one.Hi, OriginalWidth: one.OriginalWidth,
-			})
+			}
+			w.buf, err = netproto.AppendFrame(w.buf, &w.one)
+			return err
 		default:
-			rb := &netproto.RefreshBatch{ID: 0, Items: run}
-			err := netproto.Write(w, rb)
-			run = nil
+			w.rb.ID = 0
+			w.rb.Items = w.run
+			w.buf, err = netproto.AppendFrame(w.buf, &w.rb)
+			w.rb.Items = nil
+			w.run = w.run[:0]
 			return err
 		}
 	}
 	for _, m := range msgs {
 		if r, ok := m.(*netproto.Refresh); ok && isPush(r) {
-			run = append(run, r.Item())
+			w.run = append(w.run, r.Item())
+			netproto.Release(r)
 			continue
 		}
 		if err := flushRun(); err != nil {
 			return err
 		}
-		if err := netproto.Write(w, m); err != nil {
+		w.buf, err = netproto.AppendFrame(w.buf, m)
+		netproto.Release(m)
+		if err != nil {
 			return err
 		}
 	}
 	return flushRun()
 }
 
+// readLoop decodes and dispatches inbound frames. It owns a reusing
+// netproto.Decoder: every decoded message is valid only until the next
+// Decode call, which is safe because all handlers consume their request
+// synchronously (multi-key fan-out joins before returning) and responses
+// are built as separate pooled messages.
 func (s *Server) readLoop(c *clientConn) {
 	defer s.serveWG.Done()
 	defer s.dropClient(c)
-	r := bufio.NewReader(c.conn)
+	d := netproto.NewDecoder(bufio.NewReader(c.conn))
 	for {
-		msg, err := netproto.ReadMsg(r)
+		msg, err := d.Decode()
 		if err != nil {
 			if !errors.Is(err, net.ErrClosed) {
 				s.logf("client %d: read: %v", c.id, err)
@@ -535,7 +686,8 @@ func (s *Server) respondLocked(c *clientConn, msg netproto.Message) netproto.Mes
 			return &netproto.ErrorMsg{ID: m.ID, Msg: fmt.Sprintf("unknown key %d", m.Key)}
 		}
 		r := sh.src.Subscribe(c.id, int(m.Key))
-		return &netproto.Refresh{
+		resp := netproto.GetRefresh()
+		*resp = netproto.Refresh{
 			ID:            m.ID,
 			Key:           m.Key,
 			Kind:          netproto.KindInitial,
@@ -544,13 +696,15 @@ func (s *Server) respondLocked(c *clientConn, msg netproto.Message) netproto.Mes
 			Hi:            r.Interval.Hi,
 			OriginalWidth: r.OriginalWidth,
 		}
+		return resp
 	case *netproto.Read:
 		sh := s.shardFor(int(m.Key))
 		if _, ok := sh.src.Value(int(m.Key)); !ok {
 			return &netproto.ErrorMsg{ID: m.ID, Msg: fmt.Sprintf("unknown key %d", m.Key)}
 		}
 		r := sh.src.Read(c.id, int(m.Key))
-		return &netproto.Refresh{
+		resp := netproto.GetRefresh()
+		*resp = netproto.Refresh{
 			ID:            m.ID,
 			Key:           m.Key,
 			Kind:          netproto.KindQueryInitiated,
@@ -559,6 +713,7 @@ func (s *Server) respondLocked(c *clientConn, msg netproto.Message) netproto.Mes
 			Hi:            r.Interval.Hi,
 			OriginalWidth: r.OriginalWidth,
 		}
+		return resp
 	case *netproto.Unsubscribe:
 		s.shardFor(int(m.Key)).src.Unsubscribe(c.id, int(m.Key))
 		return nil
@@ -584,21 +739,36 @@ func (s *Server) unlockShardSet(idx []int) {
 	}
 }
 
-// shardSetFor returns the sorted distinct shard indices the keys hash to,
-// plus the key positions grouped by shard (so per-shard workers touch each
-// key exactly once).
-func (s *Server) shardSetFor(keys []int64) (sorted []int, byShard map[int][]int) {
+// shardScratch resets and returns c's shard-grouping scratch. Only the read
+// loop calls it, once per multi-key or batch request.
+func (s *Server) shardScratch(c *clientConn) *reqScratch {
+	sc := &c.scratch
+	if sc.byShard == nil {
+		sc.byShard = make([][]int, len(s.shards))
+	}
+	for _, i := range sc.shardSet {
+		sc.byShard[i] = sc.byShard[i][:0]
+	}
+	sc.shardSet = sc.shardSet[:0]
+	return sc
+}
+
+// shardSetFor fills c's scratch with the sorted distinct shard indices the
+// keys hash to, plus the key positions grouped by shard (so per-shard
+// workers touch each key exactly once). The returned slices are valid until
+// the connection's next multi-key or batch request.
+func (s *Server) shardSetFor(c *clientConn, keys []int64) (sorted []int, byShard [][]int) {
+	sc := s.shardScratch(c)
 	n := len(s.shards)
-	byShard = make(map[int][]int)
 	for pos, k := range keys {
 		i := shard.Index(int(k), n)
-		if _, ok := byShard[i]; !ok {
-			sorted = append(sorted, i)
+		if len(sc.byShard[i]) == 0 {
+			sc.shardSet = append(sc.shardSet, i)
 		}
-		byShard[i] = append(byShard[i], pos)
+		sc.byShard[i] = append(sc.byShard[i], pos)
 	}
-	sort.Ints(sorted)
-	return sorted, byShard
+	sort.Ints(sc.shardSet)
+	return sc.shardSet, sc.byShard
 }
 
 // handleMulti serves ReadMulti (read=true) and SubscribeMulti (read=false):
@@ -611,7 +781,7 @@ func (s *Server) handleMulti(c *clientConn, id uint64, keys []int64, read bool) 
 		s.reply(c, &netproto.ErrorMsg{ID: id, Msg: "batched request before handshake"})
 		return
 	}
-	shardSet, byShard := s.shardSetFor(keys)
+	shardSet, byShard := s.shardSetFor(c, keys)
 	s.lockShardSet(shardSet)
 	defer s.unlockShardSet(shardSet)
 	for _, k := range keys {
@@ -620,7 +790,14 @@ func (s *Server) handleMulti(c *clientConn, id uint64, keys []int64, read bool) 
 			return
 		}
 	}
-	items := make([]netproto.RefreshItem, len(keys))
+	rb := netproto.GetRefreshBatch()
+	rb.ID = id
+	if cap(rb.Items) < len(keys) {
+		rb.Items = make([]netproto.RefreshItem, len(keys))
+	} else {
+		rb.Items = rb.Items[:len(keys)]
+	}
+	items := rb.Items
 	fill := func(shardIdx int) {
 		sh := s.shards[shardIdx]
 		for _, pos := range byShard[shardIdx] {
@@ -661,7 +838,7 @@ func (s *Server) handleMulti(c *clientConn, id uint64, keys []int64, read bool) 
 		}
 		wg.Wait()
 	}
-	s.reply(c, &netproto.RefreshBatch{ID: id, Items: items})
+	s.reply(c, rb)
 }
 
 // handleBatch serves a Batch of independent simple sub-requests: it locks
@@ -674,10 +851,12 @@ func (s *Server) handleBatch(c *clientConn, b *netproto.Batch) {
 		s.reply(c, &netproto.ErrorMsg{Msg: "batched request before handshake"})
 		return
 	}
-	resp := make([]netproto.Message, len(b.Msgs))
+	sc := s.shardScratch(c)
+	if cap(sc.resp) < len(b.Msgs) {
+		sc.resp = make([]netproto.Message, len(b.Msgs))
+	}
+	resp := sc.resp[:len(b.Msgs)]
 	// Partition sub-requests: keyed ones by shard, keyless ones inline.
-	byShard := make(map[int][]int)
-	var shardSet []int
 	for i, sub := range b.Msgs {
 		var key int
 		switch m := sub.(type) {
@@ -695,12 +874,13 @@ func (s *Server) handleBatch(c *clientConn, b *netproto.Batch) {
 			continue
 		}
 		idx := shard.Index(key, len(s.shards))
-		if _, ok := byShard[idx]; !ok {
-			shardSet = append(shardSet, idx)
+		if len(sc.byShard[idx]) == 0 {
+			sc.shardSet = append(sc.shardSet, idx)
 		}
-		byShard[idx] = append(byShard[idx], i)
+		sc.byShard[idx] = append(sc.byShard[idx], i)
 	}
-	sort.Ints(shardSet)
+	sort.Ints(sc.shardSet)
+	shardSet, byShard := sc.shardSet, sc.byShard
 	s.lockShardSet(shardSet)
 	if len(shardSet) <= 1 || len(b.Msgs) < fanoutThreshold {
 		for _, idx := range shardSet {
@@ -723,19 +903,32 @@ func (s *Server) handleBatch(c *clientConn, b *netproto.Batch) {
 		wg.Wait()
 	}
 	// Assemble the reply while the shard locks are still held, preserving
-	// per-key refresh order against concurrent Sets.
-	out := resp[:0]
+	// per-key refresh order against concurrent Sets. The scratch resp slice
+	// stays with the connection; the responses move into a pooled Batch the
+	// writer releases after encoding.
+	n := 0
+	var only netproto.Message
 	for _, m := range resp {
 		if m != nil {
-			out = append(out, m)
+			n++
+			only = m
 		}
 	}
-	switch len(out) {
+	switch n {
 	case 0: // all sub-requests were fire-and-forget (Unsubscribe)
 	case 1:
-		s.reply(c, out[0])
+		s.reply(c, only)
 	default:
-		s.reply(c, &netproto.Batch{Msgs: out})
+		out := netproto.GetBatch()
+		for _, m := range resp {
+			if m != nil {
+				out.Msgs = append(out.Msgs, m)
+			}
+		}
+		s.reply(c, out)
+	}
+	for i := range resp {
+		resp[i] = nil // don't retain handed-off messages in the scratch
 	}
 	s.unlockShardSet(shardSet)
 }

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 )
 
 // checkStoreInvariant asserts, on a quiesced store, that every cached
@@ -186,6 +187,139 @@ func TestStoreSaveUnderLoad(t *testing.T) {
 type discardWriter struct{}
 
 func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestNetHammerPooledWire hammers the zero-allocation wire path: pooled
+// frame buffers, pooled messages, the reusing per-connection decoders, and
+// the adaptive flush window all churn concurrently across several clients
+// while the server pushes continuously. Unlike TestClientServerHammer it
+// does not pace the updater, so push-queue overflow (drops, legal) and
+// RefreshBatch coalescing under a live flush window are both exercised; the
+// assertions are therefore about race-cleanliness, query-width guarantees,
+// and counter sanity rather than end-state validity.
+func TestNetHammerPooledWire(t *testing.T) {
+	const (
+		keys          = 48
+		clients       = 3
+		goroutinesPer = 3
+		opsPerG       = 200
+	)
+	srv, addr, err := Serve("127.0.0.1:0", ServerConfig{
+		Params:        DefaultParams(1, 2, 0),
+		InitialWidth:  8,
+		Shards:        4,
+		MaxBatch:      32,
+		FlushInterval: 500 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	for k := 0; k < keys; k++ {
+		srv.SetInitial(k, float64(k))
+	}
+
+	cs := make([]*Client, clients)
+	for i := range cs {
+		c, err := DialConfig(addr.String(), ClientConfig{CacheSize: keys, MaxBatch: 16})
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		defer c.Close()
+		cs[i] = c
+		all := make([]int, keys)
+		for k := range all {
+			all[k] = k
+		}
+		if err := c.SubscribeMulti(all); err != nil {
+			t.Fatalf("SubscribeMulti: %v", err)
+		}
+	}
+
+	// Unpaced updater: continuous churn keeps the flush window busy and
+	// occasionally overflows push queues (drops are legal protocol
+	// behavior).
+	stop := make(chan struct{})
+	var updater sync.WaitGroup
+	updater.Add(1)
+	go func() {
+		defer updater.Done()
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				srv.Set(rng.Intn(keys), rng.Float64()*1e6)
+				if i%256 == 0 {
+					time.Sleep(100 * time.Microsecond) // sub-window gaps: keeps coalescing live without starving the workers
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for ci, c := range cs {
+		for g := 0; g < goroutinesPer; g++ {
+			wg.Add(1)
+			go func(c *Client, seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < opsPerG; i++ {
+					switch rng.Intn(6) {
+					case 0:
+						c.Get(rng.Intn(keys))
+					case 1:
+						if _, err := c.ReadExact(rng.Intn(keys)); err != nil {
+							t.Errorf("ReadExact: %v", err)
+							return
+						}
+					case 2:
+						qkeys := make([]int, 1+rng.Intn(8))
+						for j := range qkeys {
+							qkeys[j] = rng.Intn(keys)
+						}
+						if _, err := c.ReadMulti(qkeys); err != nil {
+							t.Errorf("ReadMulti: %v", err)
+							return
+						}
+					default:
+						qkeys := make([]int, 1+rng.Intn(8))
+						for j := range qkeys {
+							qkeys[j] = rng.Intn(keys)
+						}
+						kind := []AggKind{Sum, Max, Min, Avg}[rng.Intn(4)]
+						delta := rng.Float64() * 1000
+						ans, err := c.Query(Query{Kind: kind, Keys: qkeys, Delta: delta})
+						if err != nil {
+							t.Errorf("Query: %v", err)
+							return
+						}
+						if w := ans.Result.Width(); w > delta+1e-9 {
+							t.Errorf("answer width %g exceeds delta %g", w, delta)
+							return
+						}
+					}
+				}
+			}(c, int64(ci*100+g))
+		}
+	}
+	wg.Wait()
+	close(stop)
+	updater.Wait()
+
+	for ci, c := range cs {
+		if err := c.Ping(); err != nil {
+			t.Fatalf("client %d: Ping: %v", ci, err)
+		}
+		st := c.Stats()
+		if st.QueryRefreshes < 0 || st.ValueRefreshes < 0 {
+			t.Errorf("client %d: negative refresh counters: %+v", ci, st)
+		}
+		if st.FramesSent <= 0 || st.FramesReceived <= 0 {
+			t.Errorf("client %d: frame counters not advancing: %+v", ci, st)
+		}
+	}
+}
 
 // TestClientServerHammer runs a server with a concurrent updater thread and
 // several clients issuing Get/ReadExact/Query from multiple goroutines each.
