@@ -10,19 +10,33 @@
 // derived from the refresh cost ratio so the width converges to the
 // cost-rate optimum without workload monitoring.
 //
-// # Sharding
+// # Sharding and the contention-free read path
 //
 // The algorithm is inherently per-key — each cached value runs its own
 // independent width controller — so Store partitions its keys over a
 // power-of-two number of shards (Options.Shards, default scaled to
 // GOMAXPROCS). Each shard owns the exact values, controllers, cached
 // intervals, and random source for its slice of the key space behind its own
-// mutex, so Track/Set/Get/ReadExact on different shards never contend.
-// Cumulative refresh counters are atomics, read by Stats without touching
-// any shard lock. A bounded-aggregate query (Do) locks only the shards its
-// keys hash to, always in ascending shard order so concurrent queries with
-// overlapping key sets cannot deadlock, and holds them for the duration of
-// the query so the answer is computed against one consistent snapshot.
+// mutex, so Track/Set/ReadExact on different shards never contend.
+//
+// Reads go further: they take no lock at all, on any shard. Each cached
+// entry is a seqlock — an even/odd version counter beside the interval bits
+// — in a lock-free probe table (internal/cache.SeqCache), so Get and the
+// bound probes of a bounded-aggregate query (Do) run concurrently with
+// writers on the same shard and simply retry the rare torn sequence.
+// Writers update entries under the existing shard mutex; only misses and
+// the exact-value fetches fall back to it. A query's answer is therefore
+// computed from per-interval-consistent reads rather than a whole-query
+// snapshot: every interval it uses was individually valid when read, which
+// is exactly the guarantee the protocol gives a networked cache anyway.
+//
+// Cumulative refresh accounting lives in per-shard padded counter stripes
+// (internal/stats.Stripes) aggregated by Stats on read, so the hot path
+// never shares a counter cache line across shards and Stats takes no locks.
+// The cache capacity is likewise skew-aware: each shard reserves only half
+// its even split as a guaranteed base and borrows the remainder from a
+// shared admission budget on demand, so a hot shard grows at the expense of
+// idle ones instead of evicting while cold shards sit on slack.
 //
 // Three deployment shapes are provided:
 //
@@ -39,7 +53,6 @@ import (
 	"math/rand"
 	"net"
 	"sync"
-	"sync/atomic"
 
 	"apcache/internal/cache"
 	"apcache/internal/client"
@@ -51,6 +64,7 @@ import (
 	"apcache/internal/server"
 	"apcache/internal/shard"
 	"apcache/internal/source"
+	"apcache/internal/stats"
 	"apcache/internal/workload"
 )
 
@@ -101,11 +115,15 @@ type Options struct {
 	// DefaultParams(1, 2, 0).
 	Params Params
 	// CacheSize caps the number of cached approximations; 0 means
-	// unlimited growth up to the number of keys. The cap is divided evenly
-	// among the shards (each shard gets at least one slot, so the
-	// effective total is at most max(CacheSize, Shards)), and eviction
-	// competition (widest original width loses) is per shard rather than
-	// global.
+	// unlimited growth up to the number of keys. Each shard reserves half
+	// its even split as a guaranteed base (at least one slot, so the
+	// effective total is at most max(CacheSize, Shards)) and the remainder
+	// forms a shared admission budget: a full shard borrows budget slots
+	// before entering the eviction competition (widest original width
+	// loses, per shard), and returns them as entries are dropped. The
+	// aggregate never exceeds CacheSize, but under a skewed key
+	// distribution hot shards grow past their even share instead of
+	// evicting next to idle ones.
 	CacheSize int
 	// InitialWidth seeds each new controller (default 1).
 	InitialWidth float64
@@ -117,6 +135,10 @@ type Options struct {
 	// up to a power of two and capped at 256. Use 1 to recover the old
 	// global-lock behavior (useful as a benchmark baseline).
 	Shards int
+	// LockedReads routes Get through the shard mutex instead of the
+	// lock-free seqlock path. It exists, like Shards=1, purely as a
+	// benchmark baseline for the pre-seqlock architecture.
+	LockedReads bool
 }
 
 func (o Options) withDefaults() Options {
@@ -136,15 +158,17 @@ func (o Options) withDefaults() Options {
 
 // storeShard owns one slice of the key space: the exact values and width
 // controllers (src), the cached approximations (cache), and the random
-// stream feeding the controllers' probabilistic adjustments. All fields are
-// guarded by mu. The struct is padded to a full cache line so individually
+// stream feeding the controllers' probabilistic adjustments. src is guarded
+// by mu; cache writes require mu but cache reads are lock-free (see
+// cache.SeqCache). The struct is padded to a full cache line so individually
 // allocated shards never false-share, even when the allocator packs them
 // into adjacent slots of one size-class span.
 type storeShard struct {
 	mu    sync.Mutex
 	src   *source.Source
-	cache *cache.Cache
-	_     [64 - 24]byte // pad past one 64-byte cache line
+	cache *cache.SeqCache
+	idx   int // this shard's index: its stripe in the store's counters
+	_     [64 - 32]byte // pad past one 64-byte cache line
 }
 
 // Store is an in-process adaptive-precision cache: a source of exact values
@@ -154,15 +178,22 @@ type storeShard struct {
 type Store struct {
 	shards []*storeShard
 	prm    Params
+	budget *cache.Budget // shared admission slack the shard caches borrow from
+	locked bool          // Options.LockedReads
 
-	// Cumulative refresh accounting, updated atomically so Stats reads
-	// them without taking any shard lock. These are the one piece of
-	// cross-shard shared state on the hot path; they are touched only when
-	// a refresh actually fires, not on every operation. cost is stored as
-	// float64 bits and updated by CAS.
-	vir, qir atomic.Int64
-	costBits atomic.Uint64
+	// Cumulative refresh accounting in per-shard padded stripes: each
+	// shard's writers (who hold its mutex) touch only their own cache
+	// lines, and Stats aggregates across stripes without taking any lock.
+	counters *stats.Stripes
 }
+
+// Stripe counter indices in Store.counters.
+const (
+	cVIR  = iota // value-initiated refreshes
+	cQIR         // query-initiated refreshes
+	cCost        // cumulative refresh cost, as float64 bits
+	storeCounters
+)
 
 const storeCacheID = 0
 
@@ -179,23 +210,32 @@ func NewStore(opts Options) (*Store, error) {
 	if size <= 0 {
 		size = 1 << 20
 	}
-	s := &Store{shards: make([]*storeShard, opts.Shards), prm: opts.Params}
+	// Skew-aware capacity split: each shard keeps half its even share as a
+	// guaranteed base (floored at one slot so no shard is uncacheable) and
+	// the rest of the cap forms the shared admission budget the shards
+	// borrow from under pressure. The aggregate is exact: bases plus pool
+	// equal size whenever size >= 2*Shards, and for CacheSize < Shards the
+	// effective total is Shards, as with the old even split.
+	base := size / (2 * opts.Shards)
+	if base < 1 {
+		base = 1
+	}
+	pool := size - base*opts.Shards
+	if pool < 0 {
+		pool = 0
+	}
+	s := &Store{
+		shards:   make([]*storeShard, opts.Shards),
+		prm:      opts.Params,
+		budget:   cache.NewBudget(pool),
+		locked:   opts.LockedReads,
+		counters: stats.NewStripes(opts.Shards, storeCounters),
+	}
 	for i := range s.shards {
-		// Split the cap exactly: size/Shards per shard with the remainder
-		// spread over the first shards, floored at one slot each so no
-		// shard is uncacheable (for CacheSize < Shards the effective total
-		// is therefore Shards, not CacheSize).
-		perShard := size / opts.Shards
-		if i < size%opts.Shards {
-			perShard++
-		}
-		if perShard < 1 {
-			perShard = 1
-		}
 		// Each shard gets its own deterministic stream: the controllers it
 		// hosts draw only from it, under the shard lock.
 		rng := rand.New(rand.NewSource(opts.Seed + int64(i)))
-		sh := &storeShard{cache: cache.New(perShard)}
+		sh := &storeShard{cache: cache.NewSeq(base, s.budget), idx: i}
 		sh.src = source.New(func(cacheID, key int) core.WidthPolicy {
 			return core.NewController(opts.Params, opts.InitialWidth, rng)
 		})
@@ -212,15 +252,14 @@ func (s *Store) shardFor(key int) *storeShard {
 	return s.shards[shard.Index(key, len(s.shards))]
 }
 
-// addCost atomically accumulates refresh cost.
-func (s *Store) addCost(d float64) {
-	for {
-		old := s.costBits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + d)
-		if s.costBits.CompareAndSwap(old, next) {
-			return
-		}
-	}
+// chargeLocked accounts one refresh on the shard's counter stripe. The
+// caller holds the shard mutex, so the stripe has a single writer and the
+// float accumulation needs no CAS loop — the atomics exist only for the
+// lock-free Stats reader.
+func (s *Store) chargeLocked(sh *storeShard, counter int, cost float64) {
+	s.counters.Inc(sh.idx, counter)
+	old := math.Float64frombits(uint64(s.counters.Load(sh.idx, cCost)))
+	s.counters.Store(sh.idx, cCost, int64(math.Float64bits(old+cost)))
 }
 
 // Track registers a key with its initial exact value and caches the first
@@ -235,8 +274,7 @@ func (s *Store) Track(key int, v float64) {
 	if _, ok := sh.src.Value(key); ok && sh.src.Subscribed(storeCacheID, key) {
 		refreshes := sh.src.Set(key, v)
 		for _, r := range refreshes {
-			s.vir.Add(1)
-			s.addCost(s.prm.Cvr)
+			s.chargeLocked(sh, cVIR, s.prm.Cvr)
 			sh.cache.Put(r.Key, r.Interval, r.OriginalWidth)
 		}
 		if len(refreshes) == 0 {
@@ -265,18 +303,22 @@ func (s *Store) Set(key int, v float64) bool {
 	defer sh.mu.Unlock()
 	refreshes := sh.src.Set(key, v)
 	for _, r := range refreshes {
-		s.vir.Add(1)
-		s.addCost(s.prm.Cvr)
+		s.chargeLocked(sh, cVIR, s.prm.Cvr)
 		sh.cache.Put(r.Key, r.Interval, r.OriginalWidth)
 	}
 	return len(refreshes) > 0
 }
 
-// Get returns the cached approximation for key.
+// Get returns the cached approximation for key. It takes no lock: the entry
+// is read through its seqlock, so a concurrent refresh on the same shard is
+// retried rather than waited for, and the returned [Lo, Hi] pair is always
+// one self-consistent refresh, never a torn mix of two.
 func (s *Store) Get(key int) (Interval, bool) {
 	sh := s.shardFor(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	if s.locked {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+	}
 	return sh.cache.Get(key)
 }
 
@@ -296,47 +338,47 @@ func (s *Store) ReadExact(key int) (float64, error) {
 // shard.
 func (s *Store) readLocked(sh *storeShard, key int) float64 {
 	r := sh.src.Read(storeCacheID, key)
-	s.qir.Add(1)
-	s.addCost(s.prm.Cqr)
+	s.chargeLocked(sh, cQIR, s.prm.Cqr)
 	sh.cache.Put(r.Key, r.Interval, r.OriginalWidth)
 	return r.Value
 }
 
 // Do executes a bounded-aggregate query, fetching exact values as needed to
-// guarantee the precision constraint. Only the shards the query's keys hash
-// to are locked, in ascending shard order (so overlapping concurrent queries
-// cannot deadlock), and they stay locked for the duration so the answer is
-// computed against a consistent snapshot.
+// guarantee the precision constraint. The bound probes over cached intervals
+// take no locks — they read through the entries' seqlocks like Get — so a
+// query whose constraint is met from the cache alone never contends with
+// writers at all. Only the exact-value fetches (and the existence check for
+// keys that miss the cache; a cached key is proof of existence, since keys
+// are never deleted from the source) briefly lock the owning shard, one key
+// at a time.
+//
+// The answer is therefore computed from per-interval-consistent reads, not
+// one whole-query snapshot: each interval individually contained its exact
+// value when read, so the result interval's width guarantee (<= q.Delta)
+// holds exactly as before, while concurrent updates are no longer blocked
+// for the duration of the query.
 func (s *Store) Do(q Query) (Answer, error) {
-	locked := s.lockShardsFor(q.Keys)
-	defer unlockShards(locked)
 	for _, k := range q.Keys {
-		if _, ok := s.shardFor(k).src.Value(k); !ok {
+		sh := s.shardFor(k)
+		if sh.cache.Contains(k) {
+			continue
+		}
+		sh.mu.Lock()
+		_, ok := sh.src.Value(k)
+		sh.mu.Unlock()
+		if !ok {
 			return Answer{}, fmt.Errorf("apcache: unknown key %d", k)
 		}
 	}
 	ans := query.Execute(q,
 		func(key int) (Interval, bool) { return s.shardFor(key).cache.Get(key) },
-		func(key int) float64 { return s.readLocked(s.shardFor(key), key) })
+		func(key int) float64 {
+			sh := s.shardFor(key)
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			return s.readLocked(sh, key)
+		})
 	return ans, nil
-}
-
-// lockShardsFor locks the distinct shards the keys hash to in ascending
-// index order and returns them (still locked) for unlockShards.
-func (s *Store) lockShardsFor(keys []int) []*storeShard {
-	n := len(s.shards)
-	seen := make([]bool, n)
-	for _, k := range keys {
-		seen[shard.Index(k, n)] = true
-	}
-	locked := make([]*storeShard, 0, n)
-	for i, hit := range seen {
-		if hit {
-			s.shards[i].mu.Lock()
-			locked = append(locked, s.shards[i])
-		}
-	}
-	return locked
 }
 
 // lockAll locks every shard in ascending order (snapshot operations).
@@ -353,21 +395,20 @@ func (s *Store) unlockAll() {
 	}
 }
 
-func unlockShards(locked []*storeShard) {
-	for _, sh := range locked {
-		sh.mu.Unlock()
-	}
-}
-
 // ShardOccupancy describes one shard's slice of the cache: how many entries
-// it holds against its share of the capacity split. Because the cap is
-// divided evenly while key popularity is not, a skewed distribution shows up
-// here as full shards evicting next to shards with slack — the observable
-// behind the per-shard eviction question in ROADMAP.md.
+// it holds against its current capacity. Capacity is elastic — the
+// guaranteed base plus however many slots the shard has borrowed from the
+// shared admission budget — so under a skewed key distribution hot shards
+// report capacities well above their even share while cold ones stay at
+// base. The per-shard Evicts/Rejects counters show where capacity pressure
+// remains once the budget is exhausted.
 type ShardOccupancy struct {
-	// Len and Capacity are the shard cache's current and maximum entry
-	// counts.
+	// Len and Capacity are the shard cache's current entry count and its
+	// current (base + borrowed) capacity.
 	Len, Capacity int
+	// Borrowed is how many of the capacity slots are on loan from the
+	// store-wide admission budget.
+	Borrowed int
 	// Evicts and Rejects count the shard's capacity-pressure events.
 	Evicts, Rejects int
 }
@@ -384,27 +425,27 @@ type StoreStats struct {
 	PerShard []ShardOccupancy
 }
 
-// Stats snapshots the store's counters. The refresh counters are read from
-// atomics without contending with the hot path; the cache counters take each
-// shard lock briefly in turn, so they are per-shard-consistent rather than a
-// single global snapshot.
+// Stats snapshots the store's counters without taking any lock: the refresh
+// accounting is summed across the per-shard counter stripes and the cache
+// counters are read from each shard cache's atomics. The snapshot is
+// per-counter-consistent rather than global — concurrent operations may land
+// between stripe reads, exactly as with the per-shard locking it replaces.
 func (s *Store) Stats() StoreStats {
 	st := StoreStats{
-		ValueRefreshes: int(s.vir.Load()),
-		QueryRefreshes: int(s.qir.Load()),
-		Cost:           math.Float64frombits(s.costBits.Load()),
+		ValueRefreshes: int(s.counters.Sum(cVIR)),
+		QueryRefreshes: int(s.counters.Sum(cQIR)),
 		PerShard:       make([]ShardOccupancy, len(s.shards)),
 	}
 	for i, sh := range s.shards {
-		sh.mu.Lock()
+		st.Cost += math.Float64frombits(uint64(s.counters.Load(i, cCost)))
 		cs := sh.cache.Stats()
 		st.PerShard[i] = ShardOccupancy{
 			Len:      sh.cache.Len(),
 			Capacity: sh.cache.Capacity(),
+			Borrowed: sh.cache.Borrowed(),
 			Evicts:   cs.Evicts,
 			Rejects:  cs.Rejects,
 		}
-		sh.mu.Unlock()
 		st.Cache.Hits += cs.Hits
 		st.Cache.Misses += cs.Misses
 		st.Cache.Admits += cs.Admits

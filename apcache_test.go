@@ -282,8 +282,10 @@ func TestCacheSizeSplitIsExact(t *testing.T) {
 }
 
 func TestStatsPerShardOccupancy(t *testing.T) {
-	// Per-shard occupancy makes cap-split skew observable: the totals must
-	// agree with the aggregate counters and the configured capacity split.
+	// Per-shard occupancy makes capacity skew observable. With the shared
+	// admission budget each shard's capacity is elastic — a guaranteed base
+	// of CacheSize/(2*Shards) plus borrowed budget slots — but the
+	// aggregate bound stays exact: bases plus pool equal CacheSize.
 	s, err := NewStore(Options{InitialWidth: 10, CacheSize: 32, Shards: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -296,13 +298,14 @@ func TestStatsPerShardOccupancy(t *testing.T) {
 	if len(st.PerShard) != 4 {
 		t.Fatalf("PerShard has %d entries, want 4", len(st.PerShard))
 	}
+	const base = 32 / (2 * 4)
 	var totLen, totCap, totEvicts, totRejects int
 	for i, sh := range st.PerShard {
 		if sh.Len > sh.Capacity {
 			t.Errorf("shard %d: len %d exceeds capacity %d", i, sh.Len, sh.Capacity)
 		}
-		if sh.Capacity != 8 {
-			t.Errorf("shard %d: capacity %d, want 32/4 = 8", i, sh.Capacity)
+		if sh.Capacity != base+sh.Borrowed {
+			t.Errorf("shard %d: capacity %d != base %d + borrowed %d", i, sh.Capacity, base, sh.Borrowed)
 		}
 		totLen += sh.Len
 		totCap += sh.Capacity
@@ -310,7 +313,7 @@ func TestStatsPerShardOccupancy(t *testing.T) {
 		totRejects += sh.Rejects
 	}
 	if totCap != 32 {
-		t.Errorf("total capacity %d, want 32", totCap)
+		t.Errorf("total capacity %d, want 32 (pool fully borrowed under pressure)", totCap)
 	}
 	if totLen != 32 {
 		t.Errorf("total occupancy %d with %d tracked keys, want full 32", totLen, keys)

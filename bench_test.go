@@ -222,3 +222,83 @@ func BenchmarkStoreSet(b *testing.B) {
 		s.Set(i%16, rng.Float64()*100)
 	}
 }
+
+func BenchmarkStoreMix(b *testing.B) { runExperiment(b, "storemix") }
+
+// benchmarkStoreOpMix measures one of internal/bench's store op mixes at 1,
+// 4, and 8 shards, on both read paths: "lockedread" is the pre-seqlock
+// baseline (every Get takes the shard mutex), "seqlock" the contention-free
+// path. The 8-shard seqlock/lockedread ratio is the headline recorded in
+// BENCH_store.json.
+func benchmarkStoreOpMix(b *testing.B, mix bench.OpMix) {
+	for _, shards := range []int{1, 4, 8} {
+		for _, mode := range []struct {
+			name   string
+			locked bool
+		}{{"lockedread", true}, {"seqlock", false}} {
+			b.Run(fmt.Sprintf("shards=%d/%s", shards, mode.name), func(b *testing.B) {
+				s, err := NewStore(Options{InitialWidth: 10, Shards: shards, LockedReads: mode.locked})
+				if err != nil {
+					b.Fatal(err)
+				}
+				const keys = 1024
+				for k := 0; k < keys; k++ {
+					s.Track(k, 0)
+				}
+				// Pre-draw the key schedule so the timed loop measures the
+				// store, not the random number generator; goroutines walk it
+				// from staggered offsets. Ops follow the mix deterministically
+				// over each window of 100 (exact percentages).
+				const schedule = 8192
+				rng := rand.New(rand.NewSource(17))
+				var zipf *workload.ZipfKeys
+				if mix.ZipfS > 0 {
+					zipf = workload.NewZipfKeys(keys, mix.ZipfS)
+				}
+				sched := make([]int, schedule)
+				for i := range sched {
+					if zipf != nil {
+						sched[i] = zipf.Sample(rng)
+					} else {
+						sched[i] = rng.Intn(keys)
+					}
+				}
+				// Servers run far more client goroutines than cores; give the
+				// lock paths a realistic waiter population.
+				b.SetParallelism(4)
+				var seed atomic.Int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					// Stagger both the key walk and the op phase so the
+					// goroutines' Set windows do not align.
+					off := int(seed.Add(1)) * 911
+					j := off
+					for pb.Next() {
+						k := sched[(off+j)%schedule]
+						switch r := j % 100; {
+						case r < mix.SetPct:
+							s.Set(k, float64(j%1000))
+						case r < mix.SetPct+mix.GetPct:
+							s.Get(k)
+						default:
+							if _, err := s.ReadExact(k); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+						j++
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkStoreReadHeavy is the 90% Get / 10% Set regime the paper's cache
+// optimizes for: most reads answered from the cached interval.
+func BenchmarkStoreReadHeavy(b *testing.B) { benchmarkStoreOpMix(b, bench.ReadHeavy) }
+
+// BenchmarkStoreReadSkewed adds zipf-skewed key popularity, stacking shard
+// hot-spotting on top of the read-heavy mix.
+func BenchmarkStoreReadSkewed(b *testing.B) { benchmarkStoreOpMix(b, bench.ZipfReadHeavy) }

@@ -34,6 +34,7 @@ func main() {
 		maxBatch = flag.Int("maxbatch", 0, "max messages per batch frame (0 = default 128)")
 		protoVer = flag.Int("protover", 0, "pin the wire protocol: 1 = v1 single frames, 0/2 = negotiate batched v2")
 		timeout  = flag.Duration("timeout", 0, "per-request timeout (0 = default 10s)")
+		ramp     = flag.Float64("ramp", 0, "MAX/MIN batched refinement ramp factor (0 = default 2, 1 = paper-minimal)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 		MaxBatch:     *maxBatch,
 		ProtoVersion: *protoVer,
 		Timeout:      *timeout,
+		RampFactor:   *ramp,
 	})
 	if err != nil {
 		log.Fatalf("apcache-client: %v", err)

@@ -1,0 +1,52 @@
+package cache
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Budget is a shared pool of spare cache slots that a group of shard caches
+// draws on before resorting to eviction. Splitting a capacity cap evenly
+// across shards wastes it under skew: a hot shard evicts at its static cap
+// while a cold shard's share sits idle. With a Budget, each shard reserves
+// only a small guaranteed base and borrows the rest from the pool on demand
+// (TryAcquire, one slot per admission beyond the base), returning slots as
+// entries are dropped (Release). The aggregate bound — sum of bases plus the
+// pool — is exact: the group can never hold more entries than the configured
+// total, but any single shard may grow far past its even share if the others
+// leave slack.
+//
+// All operations are single atomic RMWs; a Budget is safe for concurrent use
+// from every shard.
+type Budget struct {
+	slack atomic.Int64
+}
+
+// NewBudget returns a pool of the given number of slots (non-negative).
+func NewBudget(slots int) *Budget {
+	if slots < 0 {
+		panic(fmt.Sprintf("cache: negative budget %d", slots))
+	}
+	b := &Budget{}
+	b.slack.Store(int64(slots))
+	return b
+}
+
+// TryAcquire claims one slot, reporting whether one was available.
+func (b *Budget) TryAcquire() bool {
+	for {
+		cur := b.slack.Load()
+		if cur <= 0 {
+			return false
+		}
+		if b.slack.CompareAndSwap(cur, cur-1) {
+			return true
+		}
+	}
+}
+
+// Release returns one slot to the pool.
+func (b *Budget) Release() { b.slack.Add(1) }
+
+// Slack returns the number of currently unclaimed slots.
+func (b *Budget) Slack() int { return int(b.slack.Load()) }

@@ -1,0 +1,226 @@
+package cache
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"apcache/internal/interval"
+)
+
+func TestSeqCachePutGetParity(t *testing.T) {
+	c := NewSeq(2, nil)
+	if c.Capacity() != 2 || c.Len() != 0 {
+		t.Fatalf("fresh cache cap/len = %d/%d", c.Capacity(), c.Len())
+	}
+	if _, ok := c.Get(1); ok {
+		t.Errorf("empty cache hit")
+	}
+	c.Put(1, interval.Centered(10, 4), 4)
+	c.Put(2, interval.Centered(20, 8), 8)
+	iv, ok := c.Get(1)
+	if !ok || iv != interval.Centered(10, 4) {
+		t.Errorf("Get(1) = %v, %v", iv, ok)
+	}
+	// Replacement in place.
+	c.Put(1, interval.Centered(11, 2), 2)
+	if iv, _ = c.Get(1); iv != interval.Centered(11, 2) {
+		t.Errorf("replaced Get(1) = %v", iv)
+	}
+	// Full: a narrower candidate evicts the widest resident (key 2).
+	evicted, did := c.Put(3, interval.Centered(30, 1), 1)
+	if !did || evicted != 2 {
+		t.Errorf("Put(3) evicted %d, %v; want 2, true", evicted, did)
+	}
+	if c.Contains(2) {
+		t.Errorf("evicted key still cached")
+	}
+	// A wider candidate is rejected.
+	if _, did := c.Put(4, interval.Centered(40, 50), 50); did {
+		t.Errorf("widest candidate evicted a resident")
+	}
+	if c.Contains(4) {
+		t.Errorf("rejected candidate admitted")
+	}
+	st := c.Stats()
+	if st.Admits != 3 || st.Evicts != 1 || st.Rejects != 1 {
+		t.Errorf("stats %+v, want 3 admits, 1 evict, 1 reject", st)
+	}
+	if got := c.Keys(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("Keys() = %v, want [1 3]", got)
+	}
+	es := c.Entries()
+	if len(es) != 2 || es[0].Key != 1 || es[1].Key != 3 || es[1].OriginalWidth != 1 {
+		t.Errorf("Entries() = %+v", es)
+	}
+}
+
+func TestSeqCacheDrop(t *testing.T) {
+	c := NewSeq(4, nil)
+	c.Put(7, interval.Exact(1), 0)
+	if !c.Drop(7) || c.Drop(7) {
+		t.Errorf("Drop semantics wrong")
+	}
+	if c.Len() != 0 || c.Contains(7) {
+		t.Errorf("dropped key lingers")
+	}
+	// The tombstoned slot is reusable.
+	c.Put(7, interval.Exact(2), 0)
+	if iv, ok := c.Get(7); !ok || iv != interval.Exact(2) {
+		t.Errorf("re-added key Get = %v, %v", iv, ok)
+	}
+}
+
+func TestSeqCacheGrowsPastTableSize(t *testing.T) {
+	// Base far beyond the initial probe table forces several rebuilds.
+	c := NewSeq(10000, nil)
+	for k := 0; k < 10000; k++ {
+		c.Put(k, interval.Centered(float64(k), 2), 2)
+	}
+	if c.Len() != 10000 {
+		t.Fatalf("Len = %d, want 10000", c.Len())
+	}
+	for k := 0; k < 10000; k += 97 {
+		if iv, ok := c.Get(k); !ok || !iv.Valid(float64(k)) {
+			t.Fatalf("key %d: Get = %v, %v", k, iv, ok)
+		}
+	}
+}
+
+func TestSeqCacheBudgetBorrowing(t *testing.T) {
+	pool := NewBudget(3)
+	a := NewSeq(1, pool)
+	b := NewSeq(1, pool)
+	// Shard a grows past its base by borrowing the whole pool.
+	for k := 0; k < 4; k++ {
+		a.Put(k, interval.Centered(float64(k), 1), 1)
+	}
+	if a.Len() != 4 || a.Borrowed() != 3 || a.Capacity() != 4 {
+		t.Fatalf("a len/borrowed/cap = %d/%d/%d, want 4/3/4", a.Len(), a.Borrowed(), a.Capacity())
+	}
+	if pool.Slack() != 0 {
+		t.Fatalf("pool slack %d, want 0", pool.Slack())
+	}
+	// Shard b is now capped at its base: admission falls back to eviction.
+	b.Put(100, interval.Centered(0, 8), 8)
+	if evicted, did := b.Put(101, interval.Centered(0, 2), 2); !did || evicted != 100 {
+		t.Errorf("b.Put(101) = %d, %v; want eviction of 100", evicted, did)
+	}
+	if b.Borrowed() != 0 {
+		t.Errorf("b borrowed %d slots from an empty pool", b.Borrowed())
+	}
+	// Dropping from a returns slots for b to claim.
+	a.Drop(0)
+	if pool.Slack() != 1 || a.Borrowed() != 2 {
+		t.Fatalf("after drop: slack %d, a borrowed %d; want 1, 2", pool.Slack(), a.Borrowed())
+	}
+	b.Put(102, interval.Centered(0, 9), 9)
+	if b.Len() != 2 || b.Borrowed() != 1 {
+		t.Errorf("b len/borrowed = %d/%d, want 2/1 after reclaiming slack", b.Len(), b.Borrowed())
+	}
+}
+
+func TestSeqCacheBadWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("negative width did not panic")
+		}
+	}()
+	NewSeq(1, nil).Put(0, interval.Exact(0), -1)
+}
+
+// TestSeqCacheTornReads hammers one writer (serialized, as the shard mutex
+// would) against many readers. Every interval ever written has Lo = -Hi, so
+// any torn read — mixing endpoints of two refreshes — is detectable.
+func TestSeqCacheTornReads(t *testing.T) {
+	const keys, readers, writes = 64, 4, 20000
+	c := NewSeq(keys, nil)
+	for k := 0; k < keys; k++ {
+		c.Put(k, interval.Interval{Lo: -1, Hi: 1}, 2)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Intn(keys)
+				if iv, ok := c.Get(k); ok && iv.Lo != -iv.Hi {
+					t.Errorf("torn read on key %d: %v", k, iv)
+					return
+				}
+			}
+		}(r)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < writes; i++ {
+		h := rng.Float64() * 1e9
+		c.Put(rng.Intn(keys), interval.Interval{Lo: -h, Hi: h}, 2*h)
+		if i%1024 == 0 {
+			runtime.Gosched() // give single-P runs a chance to interleave readers
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSeqCacheConcurrentMembership races readers against a writer that
+// churns membership (inserts, evictions, drops, rebuilds). Readers must
+// never crash, block, or observe an interval under an impossible key.
+func TestSeqCacheConcurrentMembership(t *testing.T) {
+	const keySpace = 256
+	pool := NewBudget(16)
+	c := NewSeq(8, pool)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r) + 7))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Intn(keySpace)
+				if iv, ok := c.Get(k); ok {
+					// Every write for key k centers on k with width <= 4.
+					if !iv.Valid(float64(k)) || iv.Width() > 4 || math.IsNaN(iv.Width()) {
+						t.Errorf("key %d: impossible interval %v", k, iv)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 30000; i++ {
+		k := rng.Intn(keySpace)
+		switch rng.Intn(4) {
+		case 0:
+			c.Drop(k)
+		default:
+			c.Put(k, interval.Centered(float64(k), rng.Float64()*4), rng.Float64()*4)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if c.Len() > c.Capacity() {
+		t.Errorf("len %d exceeds capacity %d", c.Len(), c.Capacity())
+	}
+	st := c.Stats()
+	if got := st.Admits - st.Evicts; got != c.Len() {
+		t.Errorf("admits-evicts = %d disagrees with len %d", got, c.Len())
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -79,6 +80,14 @@ type Config struct {
 	ProtoVersion int
 	// Timeout is the per-request timeout (default 10s).
 	Timeout time.Duration
+	// RampFactor sets the geometric growth of the batched MAX/MIN
+	// refinement rounds (see query.ExecuteBatchRamp): round r fetches
+	// ceil(RampFactor^r) top candidates, so larger factors spend fewer
+	// round trips and more over-fetching. 0 selects query.DefaultRamp (2);
+	// 1 reproduces the paper's minimal one-key-per-round elimination.
+	// Values below 1 (other than 0), NaN, and +Inf are rejected by
+	// DialConfig.
+	RampFactor float64
 }
 
 // callResult resolves one in-flight request: the matching response message,
@@ -104,6 +113,7 @@ type Client struct {
 	qir     int
 	readErr error
 	timeout time.Duration
+	ramp    float64 // MAX/MIN refinement ramp factor, fixed at Dial time
 
 	// sendq feeds the writer goroutine; readDone/writeDone close when the
 	// respective loop exits (readDone doubles as the connection-dead
@@ -145,6 +155,13 @@ func DialConfig(addr string, cfg Config) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
+	ramp := cfg.RampFactor
+	if ramp == 0 {
+		ramp = query.DefaultRamp
+	}
+	if ramp < 1 || math.IsNaN(ramp) || math.IsInf(ramp, 1) {
+		return nil, fmt.Errorf("client: ramp factor %g outside [1, +Inf)", ramp)
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
@@ -154,6 +171,7 @@ func DialConfig(addr string, cfg Config) (*Client, error) {
 		store:     cache.New(cfg.CacheSize),
 		pending:   make(map[uint64]chan callResult),
 		timeout:   timeout,
+		ramp:      ramp,
 		sendq:     make(chan netproto.Message, 256),
 		readDone:  make(chan struct{}),
 		writeDone: make(chan struct{}),
@@ -755,7 +773,7 @@ func (c *Client) Query(q workload.Query) (query.Answer, error) {
 			return v
 		})
 	} else {
-		ans = query.ExecuteBatch(q, get, func(keys []int) []float64 {
+		ans = query.ExecuteBatchRamp(q, get, func(keys []int) []float64 {
 			if fetchErr != nil {
 				// Short-circuit: a failed connection would otherwise be
 				// retried once per remaining fetch round.
@@ -767,7 +785,7 @@ func (c *Client) Query(q workload.Query) (query.Answer, error) {
 				return make([]float64, len(keys))
 			}
 			return vals
-		})
+		}, c.ramp)
 	}
 	if fetchErr != nil {
 		return query.Answer{}, fetchErr

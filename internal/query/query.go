@@ -58,6 +58,12 @@ func (a Answer) Estimate() float64 { return a.Result.Center() }
 // guaranteed, and returns the bounding answer. It panics on an unsupported
 // aggregate kind or empty key set (programming errors, not data errors).
 //
+// DefaultRamp is the geometric growth factor of the batched MAX/MIN
+// refinement rounds: each round fetches DefaultRamp times as many top
+// candidates as the last. 2 bounds the over-fetch at about twice the minimal
+// refresh set while keeping the round count O(log K).
+const DefaultRamp = 2.0
+
 // Execute fetches strictly one key at a time and refreshes the paper's
 // minimal sets; ExecuteBatch is the round-trip-efficient variant for remote
 // sources.
@@ -72,7 +78,7 @@ func Execute(q workload.Query, get Lookup, fetch Fetch) Answer {
 		}
 		return out
 	}
-	return execute(q, get, one, false)
+	return execute(q, get, one, 0)
 }
 
 // ExecuteBatch is Execute against a batched fetch path: it groups the
@@ -80,16 +86,35 @@ func Execute(q workload.Query, get Lookup, fetch Fetch) Answer {
 // their whole refresh set from the cached widths upfront, so they issue at
 // most one call. MAX and MIN are inherently iterative (each exact value can
 // eliminate remaining candidates), so they fetch in geometrically growing
-// rounds — 1, 2, 4, ... top candidates per round — which bounds the number
-// of rounds by O(log K) while fetching at most about twice the minimal set.
+// rounds — 1, 2, 4, ... top candidates per round with the DefaultRamp factor
+// — which bounds the number of rounds by O(log K) while fetching at most
+// about twice the minimal set.
 func ExecuteBatch(q workload.Query, get Lookup, fetch BatchFetch) Answer {
+	return ExecuteBatchRamp(q, get, fetch, DefaultRamp)
+}
+
+// ExecuteBatchRamp is ExecuteBatch with an explicit refinement ramp factor
+// for the MAX/MIN rounds, trading round trips against over-fetching: round r
+// fetches ceil(ramp^r) top candidates, so larger factors finish in fewer
+// rounds but may refresh more keys past the minimal set, and ramp = 1
+// reproduces the paper's one-key-per-round candidate elimination (minimal
+// fetches, O(K) round trips). The factor is the knob a cost-aware policy
+// tunes from the Cqr-to-RTT ratio; ramp must be >= 1. SUM and AVG are
+// unaffected — their single upfront round is already minimal.
+func ExecuteBatchRamp(q workload.Query, get Lookup, fetch BatchFetch, ramp float64) Answer {
 	if fetch == nil {
 		panic("query: nil Lookup or Fetch")
 	}
-	return execute(q, get, fetch, true)
+	if ramp < 1 || math.IsNaN(ramp) || math.IsInf(ramp, 1) {
+		panic(fmt.Sprintf("query: ramp factor %g outside [1, +Inf)", ramp))
+	}
+	return execute(q, get, fetch, ramp)
 }
 
-func execute(q workload.Query, get Lookup, fetch BatchFetch, ramp bool) Answer {
+// execute dispatches one query. ramp > 0 selects the batched geometric
+// refinement for the extreme aggregates; ramp = 0 the sequential
+// one-at-a-time scan.
+func execute(q workload.Query, get Lookup, fetch BatchFetch, ramp float64) Answer {
 	if len(q.Keys) == 0 {
 		panic("query: empty key set")
 	}
@@ -199,12 +224,13 @@ func widthRank(iv interval.Interval) float64 {
 // never fetched — the candidate-elimination property that makes interval
 // caching profitable for MAX queries even under exact-answer constraints.
 //
-// With ramp false each round fetches exactly one key, reproducing the
-// paper's minimal refresh sequence. With ramp true (the batched client)
-// round r fetches the top min(2^r, candidates) keys in one BatchFetch call:
-// the refresh set may exceed the minimal one by at most its own size, but
-// the number of round trips drops from O(K) to O(log K).
-func executeExtreme(keys []int, delta float64, minimize bool, get Lookup, fetch BatchFetch, ramp bool) Answer {
+// With ramp 0 each round fetches exactly one key, reproducing the paper's
+// minimal refresh sequence. With ramp >= 1 (the batched client) round r
+// fetches the top min(ceil(ramp^r), candidates) keys in one BatchFetch call:
+// the refresh set may exceed the minimal one, but the number of round trips
+// drops from O(K) to O(log K) for any factor > 1 (ramp = 1 keeps the
+// minimal one-per-round sequence over the batched transport).
+func executeExtreme(keys []int, delta float64, minimize bool, get Lookup, fetch BatchFetch, ramp float64) Answer {
 	entries := load(keys, get)
 	if minimize {
 		for i := range entries {
@@ -231,7 +257,7 @@ func executeExtreme(keys []int, delta float64, minimize bool, get Lookup, fetch 
 		// bound. Ties broken by wider interval to maximize information
 		// gained.
 		var cands []int
-		if !ramp {
+		if ramp == 0 {
 			// One fetch per round: a single linear scan for the greatest
 			// upper endpoint, the sequential hot path (Store.Do, simulator).
 			best := -1
@@ -272,12 +298,20 @@ func executeExtreme(keys []int, delta float64, minimize bool, get Lookup, fetch 
 			return Answer{Result: result, Refreshed: refreshed}
 		}
 		n := 1
-		if ramp {
+		if ramp > 0 {
 			n = batchSize
 			if n > len(cands) {
 				n = len(cands)
 			}
-			batchSize *= 2
+			// Geometric growth by the ramp factor; ceil keeps fractional
+			// factors growing and a factor of exactly 1 fixed at one key
+			// per round. Clamp the float product before converting: a huge
+			// factor would otherwise overflow int to a negative bound.
+			next := math.Ceil(float64(batchSize) * ramp)
+			if next > float64(len(keys)) {
+				next = float64(len(keys))
+			}
+			batchSize = int(next)
 		}
 		round := roundBuf[:0]
 		for _, i := range cands[:n] {

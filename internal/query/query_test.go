@@ -551,3 +551,115 @@ func TestExecuteBatchMaxSoundAndPrecise(t *testing.T) {
 		}
 	}
 }
+
+// rampFixture builds n keys whose intervals all straddle the collective
+// lower bound, so an exact MAX query must fetch every key and the round
+// structure depends only on the ramp factor.
+func rampFixture(n int) *fixture {
+	f := &fixture{cached: map[int]interval.Interval{}, exact: map[int]float64{}}
+	for k := 0; k < n; k++ {
+		f.cached[k] = interval.Interval{Lo: 0, Hi: 100 + float64(k)}
+		f.exact[k] = float64(k)
+	}
+	return f
+}
+
+func TestExecuteBatchRampRoundSizes(t *testing.T) {
+	cases := []struct {
+		ramp   float64
+		rounds []int // expected per-round fetch counts over 8 keys
+	}{
+		{1, []int{1, 1, 1, 1, 1, 1, 1, 1}}, // paper-minimal elimination
+		{2, []int{1, 2, 4, 1}},             // default geometric doubling
+		{4, []int{1, 4, 3}},
+		{1.5, []int{1, 2, 3, 2}}, // ceil(1.5^r): 1, 2, 3, ...
+	}
+	for _, c := range cases {
+		const n = 8
+		f := rampFixture(n)
+		keys := make([]int, n)
+		for k := range keys {
+			keys[k] = k
+		}
+		var rounds [][]int
+		q := workload.Query{Kind: workload.Max, Keys: keys, Delta: 0}
+		ans := ExecuteBatchRamp(q, f.get, f.batchFetch(&rounds), c.ramp)
+		if ans.Result.Lo != n-1 || ans.Result.Hi != n-1 {
+			t.Errorf("ramp %g: result %v, want exact max %d", c.ramp, ans.Result, n-1)
+		}
+		got := make([]int, len(rounds))
+		for i, r := range rounds {
+			got[i] = len(r)
+		}
+		if len(got) != len(c.rounds) {
+			t.Errorf("ramp %g: %d rounds %v, want %v", c.ramp, len(got), got, c.rounds)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.rounds[i] {
+				t.Errorf("ramp %g: round sizes %v, want %v", c.ramp, got, c.rounds)
+				break
+			}
+		}
+	}
+}
+
+func TestExecuteBatchUsesDefaultRamp(t *testing.T) {
+	const n = 8
+	f1, f2 := rampFixture(n), rampFixture(n)
+	keys := make([]int, n)
+	for k := range keys {
+		keys[k] = k
+	}
+	q := workload.Query{Kind: workload.Max, Keys: keys, Delta: 0}
+	var viaDefault, viaExplicit [][]int
+	ExecuteBatch(q, f1.get, f1.batchFetch(&viaDefault))
+	ExecuteBatchRamp(q, f2.get, f2.batchFetch(&viaExplicit), DefaultRamp)
+	if len(viaDefault) != len(viaExplicit) {
+		t.Fatalf("ExecuteBatch made %d rounds, DefaultRamp %d", len(viaDefault), len(viaExplicit))
+	}
+}
+
+func TestExecuteBatchRampRejectsSubUnity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("ramp factor below 1 did not panic")
+		}
+	}()
+	f := rampFixture(2)
+	var rounds [][]int
+	q := workload.Query{Kind: workload.Max, Keys: []int{0, 1}, Delta: 0}
+	ExecuteBatchRamp(q, f.get, f.batchFetch(&rounds), 0.5)
+}
+
+func TestExecuteBatchRampHugeFactorClamps(t *testing.T) {
+	// A huge (but finite) factor must clamp to the key-set size instead of
+	// overflowing the int round size: round 1 fetches 1, round 2 the rest.
+	const n = 8
+	f := rampFixture(n)
+	keys := make([]int, n)
+	for k := range keys {
+		keys[k] = k
+	}
+	var rounds [][]int
+	q := workload.Query{Kind: workload.Max, Keys: keys, Delta: 0}
+	ans := ExecuteBatchRamp(q, f.get, f.batchFetch(&rounds), 1e18)
+	if ans.Result.Lo != n-1 {
+		t.Errorf("result %v, want exact max %d", ans.Result, n-1)
+	}
+	if len(rounds) != 2 || len(rounds[0]) != 1 || len(rounds[1]) != n-1 {
+		t.Errorf("round sizes %v, want [1 %d]", rounds, n-1)
+	}
+}
+
+func TestExecuteBatchRampRejectsInf(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("+Inf ramp factor did not panic")
+		}
+	}()
+	f := rampFixture(2)
+	var rounds [][]int
+	q := workload.Query{Kind: workload.Max, Keys: []int{0, 1}, Delta: 0}
+	ExecuteBatchRamp(q, f.get, f.batchFetch(&rounds), math.Inf(1))
+}

@@ -27,6 +27,13 @@
 // the per-connection adaptive flush window expires. Peers that never send
 // Hello speak v1 — one message per frame — and are never sent v2 frames.
 //
+// A slow client's pushes are never silently dropped: when its queue is
+// congested, refreshes park in a per-connection merge buffer — one entry per
+// key, newer refreshes folded in by interval union with latest-wins value —
+// that the writer flushes once the queue backlog drains, preserving per-key
+// delivery order at a memory bound of one pending entry per key. Stats
+// counts the diversions (PushOverflows) and folds (PushMerges).
+//
 // The wire path is allocation-free in steady state and syscall-minimal: the
 // read loop decodes through a netproto.Decoder (reused buffers and message
 // boxes), responses and pushes travel as pooled netproto messages that the
@@ -41,6 +48,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"sort"
@@ -52,6 +60,7 @@ import (
 	"apcache/internal/netproto"
 	"apcache/internal/shard"
 	"apcache/internal/source"
+	"apcache/internal/stats"
 )
 
 // DefaultMaxBatch is the batch limit offered when Config.MaxBatch is 0.
@@ -98,14 +107,33 @@ type Config struct {
 type srcShard struct {
 	mu  sync.Mutex
 	src *source.Source
-	_   [64 - 16]byte // pad past one cache line; see storeShard in apcache.go
+	idx int // this shard's stripe in the server's occupancy counters
+	_   [64 - 24]byte // pad past one cache line; see storeShard in apcache.go
 }
+
+// Stripe counter indices in Server.shardStats.
+const (
+	sKeys = iota // hosted values
+	sSubs        // live (client, key) subscriptions
+	srvCounters
+)
 
 // Server hosts values and serves cache clients.
 type Server struct {
 	cfg      Config
 	maxBatch int
 	shards   []*srcShard
+
+	// shardStats holds each shard's occupancy gauges in its own padded
+	// counter stripe, published by the shard's lock holder after every
+	// mutation so Stats can read them without touching any shard mutex.
+	shardStats *stats.Stripes
+
+	// Push backpressure accounting (see push): how many refreshes were
+	// diverted into per-connection merge buffers on queue congestion, and
+	// how many later refreshes were folded into an already-diverted entry.
+	pushOverflows atomic.Int64
+	pushMerges    atomic.Int64
 
 	// connMu guards the connection registry and listener lifecycle. It is
 	// only ever acquired after a shard lock, never before one.
@@ -138,9 +166,28 @@ type clientConn struct {
 	lastPush atomic.Int64
 	gapEWMA  atomic.Int64
 
+	// overflow is the push merge buffer: when the out queue is congested,
+	// value-initiated refreshes are parked here — at most one entry per
+	// key, newer refreshes folded in by interval union with latest-wins
+	// value — instead of being dropped. ovMu guards it (connMu may be held
+	// when it is taken, never the reverse); kick wakes the writer when the
+	// buffer gains an entry while the queue is idle.
+	ovMu     sync.Mutex
+	overflow map[int64]*netproto.Refresh
+	kick     chan struct{}
+
 	// scratch is the read loop's per-request working storage, reused
 	// across requests; only the read-loop goroutine touches it.
 	scratch reqScratch
+}
+
+// wake nudges the writer goroutine to drain the overflow buffer; a pending
+// nudge is enough, so the send never blocks.
+func (c *clientConn) wake() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
 }
 
 // reqScratch groups a request's keys (or batch sub-requests) by the shard
@@ -230,14 +277,15 @@ func New(cfg Config) *Server {
 	}
 	n := shard.Count(cfg.Shards)
 	s := &Server{
-		cfg:      cfg,
-		maxBatch: maxBatch,
-		shards:   make([]*srcShard, n),
-		conns:    make(map[int]*clientConn),
+		cfg:        cfg,
+		maxBatch:   maxBatch,
+		shards:     make([]*srcShard, n),
+		shardStats: stats.NewStripes(n, srvCounters),
+		conns:      make(map[int]*clientConn),
 	}
 	for i := range s.shards {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
-		sh := &srcShard{}
+		sh := &srcShard{idx: i}
 		sh.src = source.New(func(cacheID, key int) core.WidthPolicy {
 			return core.NewController(cfg.Params, cfg.InitialWidth, lockedRand{rng})
 		})
@@ -254,12 +302,21 @@ func (s *Server) shardFor(key int) *srcShard {
 	return s.shards[shard.Index(key, len(s.shards))]
 }
 
+// syncShard publishes a shard's occupancy gauges to its counter stripe. The
+// caller holds the shard lock, so each stripe has one writer at a time while
+// Stats reads all of them lock-free.
+func (s *Server) syncShard(sh *srcShard) {
+	s.shardStats.Store(sh.idx, sKeys, int64(sh.src.Keys()))
+	s.shardStats.Store(sh.idx, sSubs, int64(sh.src.Subscriptions()))
+}
+
 // SetInitial seeds a value without generating refreshes.
 func (s *Server) SetInitial(key int, v float64) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.src.SetInitial(key, v)
+	s.syncShard(sh)
 }
 
 // Set updates a value, pushing value-initiated refreshes to every client
@@ -271,6 +328,7 @@ func (s *Server) Set(key int, v float64) int {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	refreshes := sh.src.Set(key, v)
+	s.syncShard(sh)
 	if len(refreshes) == 0 {
 		return 0
 	}
@@ -301,7 +359,7 @@ func (s *Server) Set(key int, v float64) int {
 			Hi:            r.Interval.Hi,
 			OriginalWidth: r.OriginalWidth,
 		}
-		c.send(m)
+		s.push(c, m)
 	}
 	return len(refreshes)
 }
@@ -329,20 +387,34 @@ type ShardStats struct {
 	Subscriptions int
 }
 
-// Stats is a snapshot of the server's occupancy.
+// Stats is a snapshot of the server's occupancy and push backpressure.
 type Stats struct {
 	Clients  int
 	PerShard []ShardStats
+	// PushOverflows counts value-initiated refreshes diverted into a
+	// connection's merge buffer because its queue was congested;
+	// PushMerges counts later refreshes folded into an already-diverted
+	// entry (interval union, latest value). Before the merge buffer these
+	// would all have been dropped outright.
+	PushOverflows int
+	PushMerges    int
 }
 
-// Stats reports per-shard occupancy. Each shard lock is taken briefly in
-// turn, so the snapshot is per-shard-consistent rather than global.
+// Stats reports per-shard occupancy. The gauges are read from the per-shard
+// counter stripes their lock holders publish, so the snapshot takes no shard
+// lock and is per-shard-consistent rather than global.
 func (s *Server) Stats() Stats {
-	st := Stats{Clients: s.Clients(), PerShard: make([]ShardStats, len(s.shards))}
-	for i, sh := range s.shards {
-		sh.mu.Lock()
-		st.PerShard[i] = ShardStats{Keys: sh.src.Keys(), Subscriptions: sh.src.Subscriptions()}
-		sh.mu.Unlock()
+	st := Stats{
+		Clients:       s.Clients(),
+		PerShard:      make([]ShardStats, len(s.shards)),
+		PushOverflows: int(s.pushOverflows.Load()),
+		PushMerges:    int(s.pushMerges.Load()),
+	}
+	for i := range s.shards {
+		st.PerShard[i] = ShardStats{
+			Keys:          int(s.shardStats.Load(i, sKeys)),
+			Subscriptions: int(s.shardStats.Load(i, sSubs)),
+		}
 	}
 	return st
 }
@@ -381,6 +453,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			conn: conn,
 			out:  make(chan netproto.Message, 1024),
 			done: make(chan struct{}),
+			kick: make(chan struct{}, 1),
 		}
 		c.proto.Store(netproto.Version1)
 		c.batchLimit.Store(int32(s.maxBatch))
@@ -403,29 +476,101 @@ const replyHeadroom = 128
 // loop wins.
 const fanoutThreshold = 32
 
-// send enqueues a value-initiated push; a slow client's queue filling up
-// drops the message (the next refresh supersedes it anyway). Ownership of m
-// passes to the writer on enqueue; on a drop it is released here.
-func (c *clientConn) send(m netproto.Message) {
-	if len(c.out) >= cap(c.out)-replyHeadroom {
-		// Queue (nearly) full: drop. Validity is preserved because a
-		// dropped value-initiated refresh is followed by another as soon as
-		// the value escapes the (still-stored) interval again — or, in the
-		// worst case, the client's next query fetches the exact value.
+// push enqueues a value-initiated refresh for delivery. The fast path is a
+// non-blocking send on the out queue. When the queue is congested the
+// refresh is not dropped: it is parked in the connection's merge buffer, one
+// pending entry per key, and any newer refresh for a parked key is folded in
+// — interval union (the union contains the newest interval, so it is valid
+// for the newest value), latest-wins value and width. The writer flushes the
+// buffer only once the queue backlog has drained, so a key's intervals still
+// reach the client in generation order: while an entry is parked, every
+// newer refresh for its key lands in the same entry, never behind it in the
+// queue.
+//
+// Pushes are serialized by connMu (Set holds it across its refresh loop), so
+// push never races itself; ovMu protects the buffer from the writer's
+// concurrent drain. Ownership of m passes to the queue, the buffer, or back
+// to the pool on merge.
+func (s *Server) push(c *clientConn, m *netproto.Refresh) {
+	c.ovMu.Lock()
+	if p, ok := c.overflow[m.Key]; ok {
+		p.Lo = math.Min(p.Lo, m.Lo)
+		p.Hi = math.Max(p.Hi, m.Hi)
+		p.Value = m.Value
+		p.OriginalWidth = m.OriginalWidth
+		c.ovMu.Unlock()
 		netproto.Release(m)
+		s.pushMerges.Add(1)
+		c.wake()
 		return
 	}
-	select {
-	case c.out <- m:
-	case <-c.done:
-		netproto.Release(m)
-	default:
-		netproto.Release(m)
+	c.ovMu.Unlock()
+	if len(c.out) < cap(c.out)-replyHeadroom {
+		// Pushes stop short of the queue's capacity so a burst of
+		// value-initiated traffic cannot starve request replies.
+		select {
+		case c.out <- m:
+			return
+		case <-c.done:
+			netproto.Release(m)
+			return
+		default:
+			// Raced to full between the check and the send; park it below.
+		}
 	}
+	c.ovMu.Lock()
+	if c.overflow == nil {
+		c.overflow = make(map[int64]*netproto.Refresh)
+	}
+	c.overflow[m.Key] = m
+	c.ovMu.Unlock()
+	s.pushOverflows.Add(1)
+	c.wake()
 }
 
-// reply enqueues the response to a request. Unlike pushes, responses must
-// never be silently dropped — the client would stall a pipelined call until
+// drainOverflow moves parked pushes into the writer's batch, up to max
+// entries. Per-key delivery order requires that everything still queued is
+// older than any parked entry — true only while the queue is empty, since a
+// push parked during a later congestion episode may be newer than pushes
+// queued just before it. The caller observed an empty queue, but that
+// observation is stale by now, so it is re-verified under ovMu (push parks
+// and merges under the same mutex): if pushes have been queued meanwhile,
+// the drain is skipped and retried after the queue empties again.
+func (c *clientConn) drainOverflow(batch []netproto.Message, max int) []netproto.Message {
+	c.ovMu.Lock()
+	if len(c.out) > 0 {
+		again := len(c.overflow) > 0
+		c.ovMu.Unlock()
+		if again {
+			c.wake()
+		}
+		return batch
+	}
+	for k, m := range c.overflow {
+		if len(batch) >= max {
+			break
+		}
+		delete(c.overflow, k)
+		batch = append(batch, m)
+	}
+	again := len(c.overflow) > 0
+	c.ovMu.Unlock()
+	if again {
+		c.wake() // batch budget ran out; come back for the rest
+	}
+	return batch
+}
+
+// overflowPending reports whether any pushes are parked in the merge buffer.
+func (c *clientConn) overflowPending() bool {
+	c.ovMu.Lock()
+	n := len(c.overflow)
+	c.ovMu.Unlock()
+	return n > 0
+}
+
+// reply enqueues the response to a request. Unlike pushes, responses can
+// neither be merged nor deferred — the client would stall a pipelined call until
 // its timeout while the server's subscription/controller state has already
 // advanced. The queue has headroom reserved past the push watermark, and
 // the writer drains it without ever taking shard locks; if it is full
@@ -489,17 +634,23 @@ func (s *Server) writeLoop(c *clientConn) {
 		var first netproto.Message
 		select {
 		case first = <-c.out:
+		case <-c.kick:
+			// Overflowed pushes are parked in the merge buffer; fall
+			// through with an empty batch and collect them below.
 		case <-c.done:
 			return
 		}
-		batch = append(batch[:0], first)
+		batch = batch[:0]
+		if first != nil {
+			batch = append(batch, first)
+		}
 		max := int(c.batchLimit.Load())
 		// While everything pending is a push, the adaptive flush window
 		// stays open so bursts coalesce into one RefreshBatch. The first
 		// response to arrive ends the window: request-reply latency is
 		// never traded for batching. A quiet connection's window is zero
 		// and skips the wait entirely.
-		if c.v2() && isPush(first) {
+		if first != nil && c.v2() && isPush(first) {
 			if win := c.flushWindow(s.cfg.FlushInterval); win > 0 {
 				expire := w.armWindow(win)
 			window:
@@ -529,6 +680,21 @@ func (s *Server) writeLoop(c *clientConn) {
 			default:
 				break drain
 			}
+		}
+		// Only once the queue is momentarily empty (the drain loop broke on
+		// default, i.e. the batch is not full) may parked overflow pushes
+		// join: everything still queued is older than any parked entry, so
+		// flushing the buffer earlier could reorder a key's refreshes.
+		// When the batch filled instead, this iteration may have consumed
+		// the kick without touching the buffer — re-arm it so parked
+		// entries are never stranded once the backlog drains.
+		if len(batch) < max {
+			batch = c.drainOverflow(batch, max)
+		} else if c.overflowPending() {
+			c.wake()
+		}
+		if len(batch) == 0 {
+			continue // spurious kick: the buffer was drained meanwhile
 		}
 		if err := s.appendFrames(c, &w, batch); err != nil {
 			c.conn.Close()
@@ -686,6 +852,7 @@ func (s *Server) respondLocked(c *clientConn, msg netproto.Message) netproto.Mes
 			return &netproto.ErrorMsg{ID: m.ID, Msg: fmt.Sprintf("unknown key %d", m.Key)}
 		}
 		r := sh.src.Subscribe(c.id, int(m.Key))
+		s.syncShard(sh)
 		resp := netproto.GetRefresh()
 		*resp = netproto.Refresh{
 			ID:            m.ID,
@@ -703,6 +870,7 @@ func (s *Server) respondLocked(c *clientConn, msg netproto.Message) netproto.Mes
 			return &netproto.ErrorMsg{ID: m.ID, Msg: fmt.Sprintf("unknown key %d", m.Key)}
 		}
 		r := sh.src.Read(c.id, int(m.Key))
+		s.syncShard(sh)
 		resp := netproto.GetRefresh()
 		*resp = netproto.Refresh{
 			ID:            m.ID,
@@ -715,7 +883,9 @@ func (s *Server) respondLocked(c *clientConn, msg netproto.Message) netproto.Mes
 		}
 		return resp
 	case *netproto.Unsubscribe:
-		s.shardFor(int(m.Key)).src.Unsubscribe(c.id, int(m.Key))
+		sh := s.shardFor(int(m.Key))
+		sh.src.Unsubscribe(c.id, int(m.Key))
+		s.syncShard(sh)
 		return nil
 	case *netproto.Ping:
 		return &netproto.Pong{ID: m.ID}
@@ -819,6 +989,7 @@ func (s *Server) handleMulti(c *clientConn, id uint64, keys []int64, read bool) 
 				OriginalWidth: r.OriginalWidth,
 			}
 		}
+		s.syncShard(sh)
 	}
 	if len(shardSet) == 1 || len(keys) < fanoutThreshold {
 		for _, i := range shardSet {
@@ -944,12 +1115,21 @@ func (s *Server) dropClient(c *clientConn) {
 	close(c.done)
 	c.conn.Close()
 	s.connMu.Unlock()
+	// Release any pushes still parked in the merge buffer; no new ones can
+	// arrive because the connection is out of the registry.
+	c.ovMu.Lock()
+	for k, m := range c.overflow {
+		delete(c.overflow, k)
+		netproto.Release(m)
+	}
+	c.ovMu.Unlock()
 	// Reap the client's subscriptions shard by shard so Set stops preparing
 	// refreshes for it. (Within the protocol this is connection teardown,
 	// not the cache-eviction notification the paper's algorithm avoids.)
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		sh.src.UnsubscribeCache(c.id)
+		s.syncShard(sh)
 		sh.mu.Unlock()
 	}
 }

@@ -643,3 +643,76 @@ func TestServerStatsPerShard(t *testing.T) {
 		t.Errorf("totals keys=%d subs=%d, want %d each", totKeys, totSubs, keys)
 	}
 }
+
+// TestPushOverflowMergesInsteadOfDropping wedges a subscriber (it never
+// reads), floods its keys with escaping updates until the push queue and the
+// TCP stream jam, and checks that the overflow is absorbed by the merge
+// buffer — counted in Stats — rather than dropped. Once the reader resumes,
+// the last refresh it observes for each key must carry an interval that
+// contains that key's final value: the union/latest-wins fold preserves
+// validity end to end.
+func TestPushOverflowMergesInsteadOfDropping(t *testing.T) {
+	cfg := testConfig()
+	cfg.Params.Alpha = 0 // freeze widths so every escaping update keeps pushing
+	s := New(cfg)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const keys = 4
+	final := make(map[int64]float64, keys)
+	for k := 0; k < keys; k++ {
+		s.SetInitial(k, 0)
+	}
+	conn := rawDial(t, addr.String())
+	for k := 0; k < keys; k++ {
+		if err := netproto.Write(conn, &netproto.Subscribe{ID: uint64(k + 1), Key: int64(k)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := netproto.ReadMsg(conn); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Flood without reading. Every update jumps far outside the current
+	// interval, so each Set produces one push. Stop once merges are
+	// observed (the queue plus socket buffers must jam first).
+	v := 0.0
+	for i := 0; i < 500000; i++ {
+		v += 1e9 // always escapes, regardless of how wide the interval grew
+		k := int64(i % keys)
+		s.Set(int(k), v)
+		final[k] = v
+		if i%1024 == 0 && s.Stats().PushMerges > 0 {
+			break
+		}
+	}
+	st := s.Stats()
+	if st.PushOverflows == 0 || st.PushMerges == 0 {
+		t.Fatalf("no backpressure observed: %+v (flood too small for this socket configuration?)", st)
+	}
+
+	// Resume reading: with merging instead of dropping, the stream must
+	// end with a refresh per key whose interval contains the final value.
+	last := make(map[int64]netproto.RefreshItem, keys)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		done := true
+		for k := range final {
+			if it, ok := last[k]; !ok || it.Lo > final[k] || final[k] > it.Hi {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		msg, err := netproto.ReadMsg(conn)
+		if err != nil {
+			t.Fatalf("stream ended before every key converged (last=%v): %v", last, err)
+		}
+		if r, ok := msg.(*netproto.Refresh); ok {
+			last[r.Key] = r.Item()
+		}
+	}
+}

@@ -30,16 +30,25 @@ func Count(requested int) int {
 	return p
 }
 
-// Index maps a key to a shard in [0, n) for a power-of-two n. Keys are mixed
-// through the splitmix64 finalizer first: sequential keys (the common case in
-// the paper's workloads) would otherwise land on consecutive shards and any
-// stride-of-n access pattern would collapse onto one lock.
-func Index(key, n int) int {
+// Mix runs a key through the splitmix64 finalizer, producing 64 well-mixed
+// bits. Index takes the low bits for shard selection; in-shard structures
+// (the seqlock cache's probe table) must therefore hash with the HIGH bits —
+// within one shard every key shares the same low log2(shards) mixed bits, so
+// reusing them would collapse the whole shard onto one probe chain.
+func Mix(key int) uint64 {
 	z := uint64(key)
 	z ^= z >> 30
 	z *= 0xbf58476d1ce4e5b9
 	z ^= z >> 27
 	z *= 0x94d049bb133111eb
 	z ^= z >> 31
-	return int(z & uint64(n-1))
+	return z
+}
+
+// Index maps a key to a shard in [0, n) for a power-of-two n. Keys are mixed
+// through the splitmix64 finalizer first: sequential keys (the common case in
+// the paper's workloads) would otherwise land on consecutive shards and any
+// stride-of-n access pattern would collapse onto one lock.
+func Index(key, n int) int {
+	return int(Mix(key) & uint64(n-1))
 }

@@ -51,6 +51,36 @@ func TestIndexSpreadsSequentialKeys(t *testing.T) {
 	}
 }
 
+// TestMixHighBitsSpread checks the property the in-shard probe tables rely
+// on: for keys that all land on ONE shard (identical low mixed bits), the
+// high bits of Mix still spread them evenly.
+func TestMixHighBitsSpread(t *testing.T) {
+	const shards, buckets = 16, 16
+	var counts [buckets]int
+	total := 0
+	for k := 0; total < 8192; k++ {
+		if Index(k, shards) != 3 {
+			continue // keep only one shard's keys
+		}
+		counts[Mix(k)>>60]++ // top 4 bits
+		total++
+	}
+	fair := total / buckets
+	for b, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("bucket %d holds %d of %d same-shard keys (fair share %d)", b, c, total, fair)
+		}
+	}
+}
+
+func TestMixMatchesIndex(t *testing.T) {
+	for key := -100; key < 100; key++ {
+		if int(Mix(key)&7) != Index(key, 8) {
+			t.Fatalf("Index(%d) disagrees with Mix low bits", key)
+		}
+	}
+}
+
 func TestIndexDeterministic(t *testing.T) {
 	for key := 0; key < 100; key++ {
 		if Index(key, 8) != Index(key, 8) {

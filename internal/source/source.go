@@ -38,19 +38,34 @@ type Refresh struct {
 	OriginalWidth float64
 }
 
-type subID struct{ cache, key int }
-
 type subscription struct {
 	policy core.WidthPolicy
 	iv     interval.Interval
 }
 
+// keySub is one cache's subscription to one key. Per-key subscriber lists
+// are small slices — typically one cache in-process, a handful of clients on
+// a server — so a linear scan beats an inner map and, more importantly, Set
+// iterates them without a map-iterator setup.
+type keySub struct {
+	cacheID int
+	sub     *subscription
+}
+
 // Source hosts a set of exact values and their per-cache subscriptions. It
 // is not safe for concurrent use; the networked server serializes access.
+//
+// Subscriptions are indexed by key: Set — the hot path, called for every
+// update — walks only the subscribers of the key being updated, not the
+// whole subscription population (which made every update O(all
+// subscriptions) and dominated profiles of the sharded store under update
+// load).
 type Source struct {
 	values  map[int]float64
-	subs    map[subID]*subscription
+	subs    map[int][]keySub
+	nSubs   int
 	factory PolicyFactory
+	scratch []Refresh // Set's reusable result buffer
 }
 
 // New returns an empty source using factory for new subscriptions.
@@ -60,7 +75,7 @@ func New(factory PolicyFactory) *Source {
 	}
 	return &Source{
 		values:  make(map[int]float64),
-		subs:    make(map[subID]*subscription),
+		subs:    make(map[int][]keySub),
 		factory: factory,
 	}
 }
@@ -79,7 +94,23 @@ func (s *Source) Value(key int) (float64, bool) {
 func (s *Source) Keys() int { return len(s.values) }
 
 // Subscriptions returns the number of live subscriptions.
-func (s *Source) Subscriptions() int { return len(s.subs) }
+func (s *Source) Subscriptions() int { return s.nSubs }
+
+// lookup returns the subscription for (cacheID, key), or nil.
+func (s *Source) lookup(cacheID, key int) *subscription {
+	for _, ks := range s.subs[key] {
+		if ks.cacheID == cacheID {
+			return ks.sub
+		}
+	}
+	return nil
+}
+
+// install registers a subscription for (cacheID, key).
+func (s *Source) install(cacheID, key int, sub *subscription) {
+	s.subs[key] = append(s.subs[key], keySub{cacheID: cacheID, sub: sub})
+	s.nSubs++
+}
 
 // Subscribe registers cacheID's interest in key and returns the initial
 // refresh carrying the first approximation. Subscribing an already
@@ -90,12 +121,11 @@ func (s *Source) Subscribe(cacheID, key int) Refresh {
 	if !ok {
 		panic(fmt.Sprintf("source: Subscribe to unknown key %d", key))
 	}
-	id := subID{cache: cacheID, key: key}
-	sub, ok := s.subs[id]
-	if !ok {
+	sub := s.lookup(cacheID, key)
+	if sub == nil {
 		sub = &subscription{policy: s.factory(cacheID, key)}
 		sub.iv = sub.policy.NewInterval(v)
-		s.subs[id] = sub
+		s.install(cacheID, key, sub)
 	}
 	return Refresh{CacheID: cacheID, Key: key, Value: v, Interval: sub.iv, OriginalWidth: sub.policy.Width()}
 }
@@ -104,12 +134,21 @@ func (s *Source) Subscribe(cacheID, key int) Refresh {
 // The adaptive algorithm's caches never call this (silent eviction); the
 // exact-caching baseline does notify sources.
 func (s *Source) Unsubscribe(cacheID, key int) bool {
-	id := subID{cache: cacheID, key: key}
-	if _, ok := s.subs[id]; !ok {
-		return false
+	list := s.subs[key]
+	for i, ks := range list {
+		if ks.cacheID == cacheID {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			if len(list) == 0 {
+				delete(s.subs, key)
+			} else {
+				s.subs[key] = list
+			}
+			s.nSubs--
+			return true
+		}
 	}
-	delete(s.subs, id)
-	return true
+	return false
 }
 
 // UnsubscribeCache removes every subscription held by cacheID, returning how
@@ -119,30 +158,46 @@ func (s *Source) Unsubscribe(cacheID, key int) bool {
 // avoids).
 func (s *Source) UnsubscribeCache(cacheID int) int {
 	n := 0
-	for id := range s.subs {
-		if id.cache == cacheID {
-			delete(s.subs, id)
-			n++
+	for key, list := range s.subs {
+		kept := list[:0]
+		for _, ks := range list {
+			if ks.cacheID == cacheID {
+				n++
+				continue
+			}
+			kept = append(kept, ks)
+		}
+		if len(kept) == 0 {
+			delete(s.subs, key)
+		} else {
+			s.subs[key] = kept
 		}
 	}
+	s.nSubs -= n
 	return n
 }
 
 // Subscribed reports whether the pair has a live subscription.
 func (s *Source) Subscribed(cacheID, key int) bool {
-	_, ok := s.subs[subID{cache: cacheID, key: key}]
-	return ok
+	return s.lookup(cacheID, key) != nil
 }
 
 // Set updates key's exact value and returns the value-initiated refreshes
 // for every subscription whose interval the new value escapes. Each such
 // policy is adjusted with a ValueInitiated refresh (directionally, for
 // uncentered policies) and ships a new interval centered per its policy.
+// Only the updated key's subscribers are visited.
+//
+// The returned slice is a buffer owned by the Source and overwritten by the
+// next Set call; callers consume it before updating again (every caller is
+// already structured that way — the results feed a cache install or a push
+// enqueue under the same lock).
 func (s *Source) Set(key int, v float64) []Refresh {
 	s.values[key] = v
-	var out []Refresh
-	for id, sub := range s.subs {
-		if id.key != key || sub.iv.Valid(v) {
+	out := s.scratch[:0]
+	for _, ks := range s.subs[key] {
+		sub := ks.sub
+		if sub.iv.Valid(v) {
 			continue
 		}
 		above := v > sub.iv.Hi
@@ -154,13 +209,14 @@ func (s *Source) Set(key int, v float64) []Refresh {
 		}
 		sub.iv = iv
 		out = append(out, Refresh{
-			CacheID:       id.cache,
+			CacheID:       ks.cacheID,
 			Key:           key,
 			Value:         v,
 			Interval:      iv,
 			OriginalWidth: sub.policy.Width(),
 		})
 	}
+	s.scratch = out
 	return out
 }
 
@@ -174,11 +230,10 @@ func (s *Source) Read(cacheID, key int) Refresh {
 	if !ok {
 		panic(fmt.Sprintf("source: Read of unknown key %d", key))
 	}
-	id := subID{cache: cacheID, key: key}
-	sub, ok := s.subs[id]
-	if !ok {
+	sub := s.lookup(cacheID, key)
+	if sub == nil {
 		sub = &subscription{policy: s.factory(cacheID, key)}
-		s.subs[id] = sub
+		s.install(cacheID, key, sub)
 	}
 	var iv interval.Interval
 	if uc, ok := sub.policy.(*core.UncenteredController); ok {
@@ -193,8 +248,8 @@ func (s *Source) Read(cacheID, key int) Refresh {
 // IntervalFor returns the interval the source believes cacheID holds for
 // key, for inspection and tests.
 func (s *Source) IntervalFor(cacheID, key int) (interval.Interval, bool) {
-	sub, ok := s.subs[subID{cache: cacheID, key: key}]
-	if !ok {
+	sub := s.lookup(cacheID, key)
+	if sub == nil {
 		return interval.Interval{}, false
 	}
 	return sub.iv, true
@@ -202,8 +257,8 @@ func (s *Source) IntervalFor(cacheID, key int) (interval.Interval, bool) {
 
 // PolicyFor returns the width policy for a subscription, for inspection.
 func (s *Source) PolicyFor(cacheID, key int) (core.WidthPolicy, bool) {
-	sub, ok := s.subs[subID{cache: cacheID, key: key}]
-	if !ok {
+	sub := s.lookup(cacheID, key)
+	if sub == nil {
 		return nil, false
 	}
 	return sub.policy, true

@@ -1,0 +1,86 @@
+package stats
+
+import "sync/atomic"
+
+// Stripes is a set of per-stripe counter blocks for hot-path accounting in
+// sharded structures: one stripe per shard, each padded out to its own cache
+// lines so counters bumped by different shards never false-share, with
+// aggregation (Sum) done by the reader instead of the writers. Writers call
+// Add/Inc/Store on their own stripe; any goroutine may Load/Sum concurrently.
+//
+// All operations are atomic, so Stripes is safe for fully concurrent use.
+// The intended discipline, though, is the sharded-store one: each stripe has
+// one writer (the shard's lock holder) and many lock-free readers, which
+// keeps every Add an uncontended cache-local RMW.
+type Stripes struct {
+	counters int // counters per stripe (logical)
+	stride   int // slots per stripe, padded to whole cache lines
+	cells    []atomic.Int64
+}
+
+// cacheLineInt64s is how many int64 counters fill one 64-byte cache line.
+const cacheLineInt64s = 8
+
+// NewStripes returns a counter set with nStripes stripes of nCounters
+// counters each. Both must be positive.
+func NewStripes(nStripes, nCounters int) *Stripes {
+	if nStripes <= 0 || nCounters <= 0 {
+		panic("stats: NewStripes needs positive dimensions")
+	}
+	// Round the stripe up to a whole number of cache lines, plus one spare
+	// line of padding so adjacent stripes cannot share a line even when the
+	// logical counters exactly fill their lines.
+	stride := (nCounters + cacheLineInt64s - 1) / cacheLineInt64s * cacheLineInt64s
+	stride += cacheLineInt64s
+	return &Stripes{
+		counters: nCounters,
+		stride:   stride,
+		cells:    make([]atomic.Int64, nStripes*stride),
+	}
+}
+
+// Stripes returns the number of stripes.
+func (s *Stripes) Stripes() int { return len(s.cells) / s.stride }
+
+// Counters returns the number of counters per stripe.
+func (s *Stripes) Counters() int { return s.counters }
+
+func (s *Stripes) cell(stripe, counter int) *atomic.Int64 {
+	if counter < 0 || counter >= s.counters {
+		panic("stats: counter index out of range")
+	}
+	return &s.cells[stripe*s.stride+counter]
+}
+
+// Add atomically adds delta to one counter of one stripe.
+func (s *Stripes) Add(stripe, counter int, delta int64) {
+	s.cell(stripe, counter).Add(delta)
+}
+
+// Inc atomically adds 1 to one counter of one stripe.
+func (s *Stripes) Inc(stripe, counter int) { s.cell(stripe, counter).Add(1) }
+
+// Store atomically replaces one counter of one stripe. It is the update for
+// absolute gauges (occupancy, live-key counts) whose writers already know the
+// new value, as opposed to the Add deltas of event counters.
+func (s *Stripes) Store(stripe, counter int, v int64) {
+	s.cell(stripe, counter).Store(v)
+}
+
+// Load atomically reads one counter of one stripe.
+func (s *Stripes) Load(stripe, counter int) int64 {
+	return s.cell(stripe, counter).Load()
+}
+
+// Sum aggregates one counter across every stripe. The result is a sum of
+// individually atomic loads, not a global snapshot: concurrent writers may
+// land between stripe reads, exactly like the per-shard-consistent snapshots
+// elsewhere in this codebase.
+func (s *Stripes) Sum(counter int) int64 {
+	var total int64
+	n := s.Stripes()
+	for i := 0; i < n; i++ {
+		total += s.Load(i, counter)
+	}
+	return total
+}

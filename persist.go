@@ -42,12 +42,13 @@ const snapshotVersion = 1
 func (s *Store) Save(w io.Writer) error {
 	s.lockAll()
 	defer s.unlockAll()
+	st := s.Stats()
 	snap := snapshot{
 		Version: snapshotVersion,
 		Params:  s.prm,
-		VIR:     int(s.vir.Load()),
-		QIR:     int(s.qir.Load()),
-		Cost:    math.Float64frombits(s.costBits.Load()),
+		VIR:     st.ValueRefreshes,
+		QIR:     st.QueryRefreshes,
+		Cost:    st.Cost,
 	}
 	for _, sh := range s.shards {
 		for _, e := range sh.cache.Entries() {
@@ -96,9 +97,11 @@ func LoadOptions(r io.Reader, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.vir.Store(int64(snap.VIR))
-	s.qir.Store(int64(snap.QIR))
-	s.costBits.Store(math.Float64bits(snap.Cost))
+	// The restored totals land on stripe 0; Stats aggregates across
+	// stripes, so the split is invisible to callers.
+	s.counters.Store(0, cVIR, int64(snap.VIR))
+	s.counters.Store(0, cQIR, int64(snap.QIR))
+	s.counters.Store(0, cCost, int64(math.Float64bits(snap.Cost)))
 	for _, ks := range snap.Keys {
 		sh := s.shardFor(ks.Key)
 		sh.mu.Lock()

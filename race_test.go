@@ -11,8 +11,11 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"apcache/internal/workload"
 )
 
 // checkStoreInvariant asserts, on a quiesced store, that every cached
@@ -438,4 +441,86 @@ func TestClientServerHammer(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestStoreSkewHammer drives a zipf-skewed key distribution — the regime the
+// shared admission budget exists for — from many goroutines and then checks
+// the per-shard occupancy accounting against its sum invariants: every
+// counter pair that must balance (admits-evicts vs occupancy, hits+misses vs
+// issued Gets, elastic capacities vs the configured cap) balances exactly,
+// even though every Get ran lock-free against concurrent writers.
+func TestStoreSkewHammer(t *testing.T) {
+	const (
+		keys       = 512
+		goroutines = 8
+		opsPerG    = 3000
+		cacheSize  = 64
+		shards     = 8
+	)
+	s, err := NewStore(Options{InitialWidth: 10, CacheSize: cacheSize, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < keys; k++ {
+		s.Track(k, float64(k))
+	}
+	zipf := workload.NewZipfKeys(keys, 1.2)
+	var totalGets atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 31))
+			gets := 0
+			for i := 0; i < opsPerG; i++ {
+				k := zipf.Sample(rng)
+				if rng.Intn(2) == 0 {
+					s.Set(k, rng.Float64()*1000)
+				} else {
+					s.Get(k)
+					gets++
+				}
+			}
+			totalGets.Add(int64(gets))
+		}(g)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	base := cacheSize / (2 * shards)
+	var totLen, totCap, totBorrowed, totEvicts, totRejects int
+	for i, sh := range st.PerShard {
+		if sh.Len > sh.Capacity {
+			t.Errorf("shard %d: len %d exceeds capacity %d", i, sh.Len, sh.Capacity)
+		}
+		if sh.Capacity != base+sh.Borrowed {
+			t.Errorf("shard %d: capacity %d != base %d + borrowed %d", i, sh.Capacity, base, sh.Borrowed)
+		}
+		totLen += sh.Len
+		totCap += sh.Capacity
+		totBorrowed += sh.Borrowed
+		totEvicts += sh.Evicts
+		totRejects += sh.Rejects
+	}
+	if totLen > cacheSize {
+		t.Errorf("total occupancy %d exceeds CacheSize %d", totLen, cacheSize)
+	}
+	if totCap > cacheSize {
+		t.Errorf("total elastic capacity %d exceeds CacheSize %d", totCap, cacheSize)
+	}
+	if totBorrowed == 0 {
+		t.Errorf("no budget borrowing under a zipf-skewed load; the admission pool is inert")
+	}
+	if got := st.Cache.Admits - st.Cache.Evicts; got != totLen {
+		t.Errorf("admits-evicts = %d disagrees with total occupancy %d", got, totLen)
+	}
+	if totEvicts != st.Cache.Evicts || totRejects != st.Cache.Rejects {
+		t.Errorf("per-shard evicts/rejects %d/%d disagree with aggregate %d/%d",
+			totEvicts, totRejects, st.Cache.Evicts, st.Cache.Rejects)
+	}
+	if got := int64(st.Cache.Hits + st.Cache.Misses); got != totalGets.Load() {
+		t.Errorf("hits+misses = %d, want exactly the %d issued Gets", got, totalGets.Load())
+	}
+	checkStoreInvariant(t, s, keys)
 }
