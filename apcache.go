@@ -48,12 +48,15 @@
 package apcache
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 
+	"apcache/internal/aperrs"
 	"apcache/internal/cache"
 	"apcache/internal/client"
 	"apcache/internal/core"
@@ -65,6 +68,7 @@ import (
 	"apcache/internal/shard"
 	"apcache/internal/source"
 	"apcache/internal/stats"
+	"apcache/internal/watch"
 	"apcache/internal/workload"
 )
 
@@ -167,7 +171,7 @@ type storeShard struct {
 	mu    sync.Mutex
 	src   *source.Source
 	cache *cache.SeqCache
-	idx   int // this shard's index: its stripe in the store's counters
+	idx   int           // this shard's index: its stripe in the store's counters
 	_     [64 - 32]byte // pad past one 64-byte cache line
 }
 
@@ -185,6 +189,13 @@ type Store struct {
 	// shard's writers (who hold its mutex) touch only their own cache
 	// lines, and Stats aggregates across stripes without taking any lock.
 	counters *stats.Stripes
+
+	// Watch registry: watches by observed key. watching mirrors "registry
+	// non-empty" as an atomic so the refresh hot paths skip the registry
+	// lock entirely while no Watch exists (the common case).
+	watchMu  sync.RWMutex
+	watchers watch.Registry
+	watching atomic.Bool
 }
 
 // Stripe counter indices in Store.counters.
@@ -276,6 +287,7 @@ func (s *Store) Track(key int, v float64) {
 		for _, r := range refreshes {
 			s.chargeLocked(sh, cVIR, s.prm.Cvr)
 			sh.cache.Put(r.Key, r.Interval, r.OriginalWidth)
+			s.notifyWatch(r.Key, r.Interval)
 		}
 		if len(refreshes) == 0 {
 			// The new value sits inside the current interval, so no refresh
@@ -291,6 +303,7 @@ func (s *Store) Track(key int, v float64) {
 	sh.src.SetInitial(key, v)
 	r := sh.src.Subscribe(storeCacheID, key)
 	sh.cache.Put(r.Key, r.Interval, r.OriginalWidth)
+	s.notifyWatch(r.Key, r.Interval)
 }
 
 // Set applies an update to a tracked key. If the new value escapes the
@@ -305,6 +318,7 @@ func (s *Store) Set(key int, v float64) bool {
 	for _, r := range refreshes {
 		s.chargeLocked(sh, cVIR, s.prm.Cvr)
 		sh.cache.Put(r.Key, r.Interval, r.OriginalWidth)
+		s.notifyWatch(r.Key, r.Interval)
 	}
 	return len(refreshes) > 0
 }
@@ -323,13 +337,14 @@ func (s *Store) Get(key int) (Interval, bool) {
 }
 
 // ReadExact performs a query-initiated refresh: it returns the exact value
-// (cost Cqr) and installs a freshly narrowed interval.
+// (cost Cqr) and installs a freshly narrowed interval. An unknown key fails
+// with an error matching ErrUnknownKey.
 func (s *Store) ReadExact(key int) (float64, error) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, ok := sh.src.Value(key); !ok {
-		return 0, fmt.Errorf("apcache: unknown key %d", key)
+		return 0, aperrs.UnknownKey(key)
 	}
 	return s.readLocked(sh, key), nil
 }
@@ -340,6 +355,7 @@ func (s *Store) readLocked(sh *storeShard, key int) float64 {
 	r := sh.src.Read(storeCacheID, key)
 	s.chargeLocked(sh, cQIR, s.prm.Cqr)
 	sh.cache.Put(r.Key, r.Interval, r.OriginalWidth)
+	s.notifyWatch(r.Key, r.Interval)
 	return r.Value
 }
 
@@ -358,6 +374,18 @@ func (s *Store) readLocked(sh *storeShard, key int) float64 {
 // holds exactly as before, while concurrent updates are no longer blocked
 // for the duration of the query.
 func (s *Store) Do(q Query) (Answer, error) {
+	return s.DoCtx(context.Background(), q)
+}
+
+// DoCtx is Do bounded by ctx: cancellation is honored before every
+// query-initiated fetch — including between the refinement rounds of a
+// MAX/MIN query, which stops mid-sequence — and an already-done context
+// fails before any work. Unknown keys fail with an error matching
+// ErrUnknownKey (use errors.As with *KeyError for the key).
+func (s *Store) DoCtx(ctx context.Context, q Query) (Answer, error) {
+	if err := ctx.Err(); err != nil {
+		return Answer{}, err
+	}
 	for _, k := range q.Keys {
 		sh := s.shardFor(k)
 		if sh.cache.Contains(k) {
@@ -367,10 +395,10 @@ func (s *Store) Do(q Query) (Answer, error) {
 		_, ok := sh.src.Value(k)
 		sh.mu.Unlock()
 		if !ok {
-			return Answer{}, fmt.Errorf("apcache: unknown key %d", k)
+			return Answer{}, aperrs.UnknownKey(k)
 		}
 	}
-	ans := query.Execute(q,
+	return query.ExecuteCtx(ctx, q,
 		func(key int) (Interval, bool) { return s.shardFor(key).cache.Get(key) },
 		func(key int) float64 {
 			sh := s.shardFor(key)
@@ -378,7 +406,73 @@ func (s *Store) Do(q Query) (Answer, error) {
 			defer sh.mu.Unlock()
 			return s.readLocked(sh, key)
 		})
-	return ans, nil
+}
+
+// notifyWatch streams one installed refresh to the watches observing its
+// key. Callers hold the key's shard mutex; the atomic guard keeps the
+// no-watch hot path to a single load, and Notify never blocks (latest-wins
+// coalescing), so a slow Watch consumer cannot stall a writer.
+func (s *Store) notifyWatch(key int, iv Interval) {
+	if !s.watching.Load() {
+		return
+	}
+	s.watchMu.RLock()
+	s.watchers.Notify(key, iv)
+	s.watchMu.RUnlock()
+}
+
+// Watch opens a streaming subscription over keys: the handle's Updates
+// channel delivers every refresh the store installs for them —
+// value-initiated refreshes from Set/Track and the narrowed intervals of
+// query-initiated reads — as Update values, starting with the current
+// approximations. Updates are coalesced per key (latest-wins) when the
+// consumer falls behind, so writers are never stalled by a slow consumer.
+// Close detaches the stream. Watching an untracked key fails with an error
+// matching ErrUnknownKey.
+func (s *Store) Watch(keys ...int) (*Watch, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("apcache: watch of no keys")
+	}
+	ks := append([]int(nil), keys...) // detach from the caller's backing array
+	for _, k := range ks {
+		sh := s.shardFor(k)
+		sh.mu.Lock()
+		_, ok := sh.src.Value(k)
+		sh.mu.Unlock()
+		if !ok {
+			return nil, aperrs.UnknownKey(k)
+		}
+	}
+	var w *watch.Watch
+	w = watch.New(func(*watch.Watch) { s.unwatch(w, ks) })
+	s.watchMu.Lock()
+	s.watchers.Add(w, ks)
+	s.watching.Store(true)
+	s.watchMu.Unlock()
+	// Seed the stream with the current approximations, taking each key's
+	// shard lock so the snapshot interleaves cleanly with concurrent
+	// refreshes: for any key, the seed and all later notifications form one
+	// ordered sequence (a refresh after the seed is always delivered,
+	// possibly coalesced with newer ones).
+	for _, k := range ks {
+		sh := s.shardFor(k)
+		sh.mu.Lock()
+		if iv, ok := sh.cache.Get(k); ok {
+			w.Notify(k, iv)
+		}
+		sh.mu.Unlock()
+	}
+	return w, nil
+}
+
+// unwatch removes w from the registry entries of its keys.
+func (s *Store) unwatch(w *watch.Watch, keys []int) {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	s.watchers.Remove(w, keys)
+	if s.watchers.Empty() {
+		s.watching.Store(false)
+	}
 }
 
 // lockAll locks every shard in ascending order (snapshot operations).
@@ -480,11 +574,13 @@ type Client = client.Client
 type ClientConfig = client.Config
 
 // Protocol versions for ServerConfig.ProtoVersion and
-// ClientConfig.ProtoVersion. The default (0) negotiates the batched v2
-// protocol and falls back to v1 when the peer declines.
+// ClientConfig.ProtoVersion. The default (0) negotiates up to v3 — the
+// batched protocol with structured error frames — landing on the minimum
+// of both peers' versions and falling back to v1 when the peer declines.
 const (
 	ProtoVersion1 = netproto.Version1
 	ProtoVersion2 = netproto.Version2
+	ProtoVersion3 = netproto.Version3
 )
 
 // Dial connects a cache of the given capacity to a server, negotiating the
@@ -497,6 +593,17 @@ func Dial(addr string, cacheSize int) (*Client, error) {
 func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 	return client.DialConfig(addr, cfg)
 }
+
+// Watch is a streaming subscription handle: Updates delivers the watched
+// keys' refreshes as they are applied, with per-key latest-wins coalescing
+// when the consumer falls behind. Obtain one from Store.Watch (in-process)
+// or Client.Watch (networked); both feeds share the semantics documented on
+// those methods.
+type Watch = watch.Watch
+
+// Update is one observed refresh: the key and its freshly installed
+// interval approximation.
+type Update = watch.Update
 
 // Hierarchy is a multi-level cache chain over one source (the paper's
 // Section 5 future-work direction): each level runs its own adaptive width

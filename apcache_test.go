@@ -1,6 +1,7 @@
 package apcache
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -61,8 +62,13 @@ func TestStoreReadExact(t *testing.T) {
 	if st.QueryRefreshes != 1 || st.Cost != 2 {
 		t.Errorf("stats %+v, want 1 QIR cost 2", st)
 	}
-	if _, err := s.ReadExact(99); err == nil {
-		t.Errorf("ReadExact of unknown key succeeded")
+	if _, err := s.ReadExact(99); !errors.Is(err, ErrUnknownKey) {
+		t.Errorf("ReadExact of unknown key: err = %v, want ErrUnknownKey match", err)
+	} else {
+		var ke *KeyError
+		if !errors.As(err, &ke) || ke.Key != 99 {
+			t.Errorf("errors.As KeyError = %+v, want key 99", ke)
+		}
 	}
 }
 
@@ -85,8 +91,8 @@ func TestStoreQuery(t *testing.T) {
 	if !ans.Result.IsExact() || ans.Result.Lo != 30 {
 		t.Errorf("MAX result %v, want [30, 30]", ans.Result)
 	}
-	if _, err := s.Do(Query{Kind: Sum, Keys: []int{0, 9}, Delta: 0}); err == nil {
-		t.Errorf("query over unknown key succeeded")
+	if _, err := s.Do(Query{Kind: Sum, Keys: []int{0, 9}, Delta: 0}); !errors.Is(err, ErrUnknownKey) {
+		t.Errorf("query over unknown key: err = %v, want ErrUnknownKey match", err)
 	}
 }
 

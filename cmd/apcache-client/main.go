@@ -8,11 +8,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"math/rand"
 	"time"
 
+	"apcache/internal/aperrs"
 	"apcache/internal/client"
 	"apcache/internal/workload"
 )
@@ -32,9 +35,11 @@ func main() {
 		cqr      = flag.Float64("cqr", 2, "query-initiated refresh cost (for reporting)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		maxBatch = flag.Int("maxbatch", 0, "max messages per batch frame (0 = default 128)")
-		protoVer = flag.Int("protover", 0, "pin the wire protocol: 1 = v1 single frames, 0/2 = negotiate batched v2")
+		protoVer = flag.Int("protover", 0, "cap the wire protocol: 1 = v1 single frames, 2 = batched v2, 0/3 = v3 with structured errors")
 		timeout  = flag.Duration("timeout", 0, "per-request timeout (0 = default 10s)")
-		ramp     = flag.Float64("ramp", 0, "MAX/MIN batched refinement ramp factor (0 = default 2, 1 = paper-minimal)")
+		ramp     = flag.Float64("ramp", 0, "MAX/MIN batched refinement ramp factor (0 = adaptive from measured RTT, 1 = paper-minimal)")
+		cqrCost  = flag.Duration("cqrcost", 0, "modeled per-key refresh cost for the adaptive ramp (0 = default 100µs)")
+		qlimit   = flag.Duration("qdeadline", 0, "per-query context deadline (0 = client default timeout only)")
 	)
 	flag.Parse()
 
@@ -48,6 +53,7 @@ func main() {
 		ProtoVersion: *protoVer,
 		Timeout:      *timeout,
 		RampFactor:   *ramp,
+		CqrCost:      *cqrCost,
 	})
 	if err != nil {
 		log.Fatalf("apcache-client: %v", err)
@@ -83,8 +89,18 @@ func main() {
 	for n := 0; *queries == 0 || n < *queries; n++ {
 		<-ticker.C
 		q := gen.Next()
-		ans, err := c.Query(q)
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if *qlimit > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *qlimit)
+		}
+		ans, err := c.QueryCtx(ctx, q)
+		cancel()
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, aperrs.ErrTimeout) {
+				log.Printf("apcache-client: query #%d timed out: %v", n+1, err)
+				continue
+			}
 			log.Fatalf("apcache-client: query: %v", err)
 		}
 		if (n+1)%10 == 0 {
@@ -98,8 +114,8 @@ func main() {
 	}
 	st := c.Stats()
 	cost := float64(st.ValueRefreshes)*(*cvr) + float64(st.QueryRefreshes)*(*cqr)
-	log.Printf("done: VIR=%d QIR=%d total-cost=%.4g hit-rate=%.2f frames-sent=%d frames-recv=%d",
+	log.Printf("done: VIR=%d QIR=%d total-cost=%.4g hit-rate=%.2f frames-sent=%d frames-recv=%d rtt=%v",
 		st.ValueRefreshes, st.QueryRefreshes, cost,
 		float64(st.Cache.Hits)/float64(st.Cache.Hits+st.Cache.Misses+1),
-		st.FramesSent, st.FramesReceived)
+		st.FramesSent, st.FramesReceived, st.SmoothedRTT)
 }

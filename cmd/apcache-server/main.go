@@ -41,7 +41,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "lock shards for the key space (0 = GOMAXPROCS-scaled, rounded to a power of two)")
 		maxBatch  = flag.Int("maxbatch", 0, "max messages per batch frame (0 = default 128)")
 		flush     = flag.Duration("maxflush", 2*time.Millisecond, "cap on the adaptive per-connection push-coalescing window (0 = always flush immediately)")
-		protoVer  = flag.Int("protover", 0, "pin the wire protocol: 1 = v1 single frames, 0/2 = negotiate batched v2")
+		protoVer  = flag.Int("protover", 0, "cap the wire protocol: 1 = v1 single frames, 2 = batched v2, 0/3 = v3 with structured errors")
 	)
 	flag.Parse()
 
@@ -106,7 +106,9 @@ func main() {
 			}
 		case <-stop:
 			fmt.Println()
-			log.Printf("shutting down: %d updates applied, %d refreshes pushed", ticks*len(updates), pushes)
+			st := srv.Stats()
+			log.Printf("shutting down: %d updates applied, %d refreshes pushed (%d parked on congestion, %d merged)",
+				ticks*len(updates), pushes, st.PushOverflows, st.PushMerges)
 			srv.Close()
 			return
 		}

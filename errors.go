@@ -1,0 +1,45 @@
+package apcache
+
+import (
+	"apcache/internal/aperrs"
+)
+
+// The typed error taxonomy of API v1. Every layer — the in-process Store,
+// the networked Client, and the Hierarchy — fails with errors that match
+// these sentinels under errors.Is, and on connections that negotiated
+// protocol v3 (the default between current peers) the match survives the
+// TCP boundary: the server encodes a structured code on the wire Err frame
+// and the client reconstructs the same identity, so
+//
+//	_, err := client.ReadExactCtx(ctx, 42)
+//	if errors.Is(err, apcache.ErrUnknownKey) { ... }
+//
+// behaves identically whether the miss happened in-process or on a remote
+// server.
+var (
+	// ErrUnknownKey reports an operation on a key the source does not
+	// host. Use errors.As with *apcache.KeyError to extract the key.
+	ErrUnknownKey = aperrs.ErrUnknownKey
+	// ErrClosed reports an operation on a closed Client or Watch.
+	ErrClosed = aperrs.ErrClosed
+	// ErrTimeout reports a call abandoned by the client's default
+	// deadline (Client.SetTimeout). It also matches
+	// context.DeadlineExceeded, so deadline handling is uniform whether
+	// the bound came from a context or the default.
+	ErrTimeout = aperrs.ErrTimeout
+	// ErrBatchTooLarge reports a frame whose batch payload exceeds the
+	// wire protocol's per-frame limit. It is raised locally — at encode
+	// time by the sender, at decode time by the receiver; a server cannot
+	// reply with it across the wire, because an oversized inbound frame
+	// is rejected before its request ID is known.
+	ErrBatchTooLarge = aperrs.ErrBatchTooLarge
+)
+
+// KeyError is the concrete unknown-key failure, carrying the offending
+// key; it matches ErrUnknownKey under errors.Is.
+type KeyError = aperrs.KeyError
+
+// TimeoutError is the concrete default-deadline failure, carrying the
+// deadline that expired; it matches ErrTimeout and
+// context.DeadlineExceeded under errors.Is.
+type TimeoutError = aperrs.TimeoutError

@@ -1,0 +1,81 @@
+package apcache_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"apcache"
+)
+
+// ExampleStore_Watch shows the in-process Watch stream: the handle opens
+// with the key's current approximation and then delivers every refresh the
+// store installs, with per-key latest-wins coalescing if the consumer lags.
+func ExampleStore_Watch() {
+	s, err := apcache.NewStore(apcache.Options{InitialWidth: 10})
+	if err != nil {
+		panic(err)
+	}
+	s.Track(1, 100)
+
+	w, err := s.Watch(1)
+	if err != nil {
+		panic(err)
+	}
+	defer w.Close()
+
+	seed := <-w.Updates() // the current approximation
+	fmt.Println("seed contains 100:", seed.Interval.Valid(100))
+
+	s.Set(1, 1000) // escapes the width-10 interval: a refresh streams out
+	for u := range w.Updates() {
+		if u.Interval.Valid(1000) {
+			fmt.Println("refresh contains 1000:", true)
+			break
+		}
+	}
+	// Output:
+	// seed contains 100: true
+	// refresh contains 1000: true
+}
+
+// ExampleClient_QueryCtx shows a context-bounded bounded-aggregate query
+// over the wire and the typed error taxonomy surviving the TCP boundary.
+func ExampleClient_QueryCtx() {
+	srv, addr, err := apcache.Serve("127.0.0.1:0", apcache.ServerConfig{
+		Params:       apcache.DefaultParams(1, 2, 0),
+		InitialWidth: 10,
+		Seed:         1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	for k := 0; k < 4; k++ {
+		srv.SetInitial(k, float64(k*10))
+	}
+
+	c, err := apcache.Dial(addr.String(), 4)
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ans, err := c.QueryCtx(ctx, apcache.Query{
+		Kind: apcache.Sum, Keys: []int{0, 1, 2, 3}, Delta: 0,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("exact sum:", ans.Result.Lo)
+
+	// A miss on the remote server matches the same sentinel as in-process.
+	_, err = c.ReadExactCtx(ctx, 99)
+	fmt.Println("typed miss across the wire:", errors.Is(err, apcache.ErrUnknownKey))
+	// Output:
+	// exact sum: 60
+	// typed miss across the wire: true
+}

@@ -12,7 +12,11 @@
 // A third run replays the adaptive-precision scenario over loopback TCP
 // with the batched v2 wire protocol (Hello handshake, ReadMulti query
 // fetches, coalesced push batches), printing the frame counts so the
-// batching is visible: frames stay far below the refresh/fetch totals.
+// batching is visible: frames stay far below the refresh/fetch totals. The
+// networked run also demonstrates the API v1 surface: queries run under a
+// context deadline via QueryCtx, and a Watch stream observes the pushed
+// refreshes of the four busiest hosts — the monitoring dashboard the
+// paper's scenario implies, without polling.
 //
 // Run with:
 //
@@ -20,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -149,6 +154,22 @@ func runNetworked(tr *trace.Trace) {
 		panic(err)
 	}
 
+	// Watch the four busiest hosts (the trace is sorted by total traffic):
+	// every pushed refresh for them streams to this handle, with per-key
+	// latest-wins coalescing if we fall behind.
+	w, err := c.Watch(0, 1, 2, 3)
+	if err != nil {
+		panic(err)
+	}
+	observed := make(chan int, 1)
+	go func() {
+		n := 0
+		for range w.Updates() {
+			n++
+		}
+		observed <- n
+	}()
+
 	rng := rand.New(rand.NewSource(5))
 	queries := 0
 	for t := 1; t < tr.Duration(); t++ {
@@ -162,12 +183,17 @@ func runNetworked(tr *trace.Trace) {
 				kind = apcache.Max
 			}
 			delta := davg * (0.5 + rng.Float64())
-			if _, err := c.Query(apcache.Query{Kind: kind, Keys: keys, Delta: delta}); err != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_, err := c.QueryCtx(ctx, apcache.Query{Kind: kind, Keys: keys, Delta: delta})
+			cancel()
+			if err != nil {
 				panic(err)
 			}
 			queries++
 		}
 	}
+	w.Close()
+	watched := <-observed
 	st := c.Stats()
 	cost := float64(st.ValueRefreshes)*cvr + float64(st.QueryRefreshes)*cqr
 	fmt.Printf("networked (batched v%d protocol)          cost rate %.4g per second\n",
@@ -175,4 +201,6 @@ func runNetworked(tr *trace.Trace) {
 	fmt.Printf("  %d refreshes (%d pushed, %d fetched) crossed the wire in %d frames received / %d sent\n",
 		st.ValueRefreshes+st.QueryRefreshes, st.ValueRefreshes, st.QueryRefreshes,
 		st.FramesReceived, st.FramesSent)
+	fmt.Printf("  the Watch over the 4 busiest hosts streamed %d updates (%d coalesced latest-wins)\n",
+		watched, w.Coalesced())
 }

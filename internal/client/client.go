@@ -22,10 +22,24 @@
 // The protocol version is negotiated at Dial time: the client offers v2 with
 // a Hello frame and falls back to v1 single-message frames if the server
 // declines, so it interoperates with v1-pinned servers.
+//
+// # API v1
+//
+// Every blocking method has a context variant (ReadExactCtx, ReadMultiCtx,
+// QueryCtx, ...): a context deadline or cancellation bounds the call — an
+// already-done context fails before a frame is written, and cancellation
+// mid-call frees the correlation slot immediately while a late response is
+// applied as unsolicited traffic. Calls whose context carries no deadline
+// fall back to the SetTimeout default. Watch turns the pushes the read loop
+// applies into an observable stream with per-key latest-wins coalescing,
+// and failures carry the apcache error taxonomy: on connections that
+// negotiate protocol v3, the server's structured error frame makes
+// errors.Is(err, aperrs.ErrUnknownKey) hold across the TCP boundary.
 package client
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -34,22 +48,61 @@ import (
 	"sync/atomic"
 	"time"
 
+	"apcache/internal/aperrs"
 	"apcache/internal/cache"
 	"apcache/internal/interval"
 	"apcache/internal/netproto"
 	"apcache/internal/query"
+	"apcache/internal/watch"
 	"apcache/internal/workload"
 )
 
-// ErrClosed is returned by operations on a closed client.
-var ErrClosed = errors.New("client: closed")
+// ErrClosed is returned by operations on a closed client. It is the shared
+// apcache sentinel, so errors.Is(err, apcache.ErrClosed) holds.
+var ErrClosed = aperrs.ErrClosed
 
 // ServerError is a request failure reported by the server, as opposed to a
-// transport failure. The Dial handshake uses the distinction to fall back to
-// protocol v1 when a server declines Hello.
-type ServerError struct{ Msg string }
+// transport failure. On a v3 connection it carries the structured code and
+// key from the wire Error2 frame, so errors.Is/As resolves it against the
+// apcache error taxonomy (ErrUnknownKey and friends) across the TCP
+// boundary; v1/v2 servers send free text only (Code stays CodeGeneric).
+// The Dial handshake uses the type to fall back to protocol v1 when a
+// server declines Hello.
+type ServerError struct {
+	Code netproto.ErrCode
+	Key  int64
+	Msg  string
+}
 
 func (e *ServerError) Error() string { return "client: server error: " + e.Msg }
+
+// Is maps the wire error code onto the apcache sentinels. No current
+// server path emits CodeBatchTooLarge (an oversized inbound frame is
+// rejected at decode time, before its request ID is known); the mapping
+// exists so a future server that can reply before teardown needs no
+// client change.
+func (e *ServerError) Is(target error) bool {
+	switch e.Code {
+	case netproto.CodeUnknownKey:
+		return target == aperrs.ErrUnknownKey
+	case netproto.CodeBatchTooLarge:
+		return target == aperrs.ErrBatchTooLarge
+	default:
+		return false
+	}
+}
+
+// As extracts the structured unknown-key detail into an *aperrs.KeyError.
+func (e *ServerError) As(target any) bool {
+	if e.Code != netproto.CodeUnknownKey {
+		return false
+	}
+	if ke, ok := target.(**aperrs.KeyError); ok {
+		*ke = &aperrs.KeyError{Key: int(e.Key)}
+		return true
+	}
+	return false
+}
 
 // Stats counts the refreshes and frames a client has processed.
 type Stats struct {
@@ -60,6 +113,10 @@ type Stats struct {
 	// FramesSent and FramesReceived count wire frames in each direction; a
 	// Batch or RefreshBatch is one frame however many messages it carries.
 	FramesSent, FramesReceived int
+	// SmoothedRTT is the EWMA of observed request round-trip times, the
+	// signal the adaptive MAX/MIN refinement ramp is derived from. Zero
+	// until the first call completes.
+	SmoothedRTT time.Duration
 	// Cache snapshots the local store's counters.
 	Cache cache.Stats
 }
@@ -74,27 +131,57 @@ type Config struct {
 	// to the server as the largest batch the client will accept. 0 selects
 	// 128; values are clamped to [1, netproto.MaxBatchItems].
 	MaxBatch int
-	// ProtoVersion pins the protocol: 0 or netproto.Version2 offer v2 with
-	// a Hello at Dial time (falling back to v1 if the server declines);
+	// ProtoVersion caps the protocol: 0 offers v3 (structured error
+	// frames) with a Hello at Dial time, landing on the minimum of both
+	// peers' versions and falling back to v1 if the server declines;
+	// netproto.Version2/Version3 cap the offer at that version;
 	// netproto.Version1 skips the handshake and speaks v1 only.
 	ProtoVersion int
-	// Timeout is the per-request timeout (default 10s).
+	// Timeout is the default per-request deadline (default 10s), applied
+	// to calls whose context carries no deadline of its own; see
+	// Client.SetTimeout.
 	Timeout time.Duration
 	// RampFactor sets the geometric growth of the batched MAX/MIN
 	// refinement rounds (see query.ExecuteBatchRamp): round r fetches
 	// ceil(RampFactor^r) top candidates, so larger factors spend fewer
-	// round trips and more over-fetching. 0 selects query.DefaultRamp (2);
-	// 1 reproduces the paper's minimal one-key-per-round elimination.
-	// Values below 1 (other than 0), NaN, and +Inf are rejected by
-	// DialConfig.
+	// round trips and more over-fetching. 1 reproduces the paper's minimal
+	// one-key-per-round elimination. 0 (the default) selects the adaptive
+	// policy: the ramp is derived per query from the connection's smoothed
+	// RTT and CqrCost as 1 + RTT/CqrCost, clamped to [1, MaxAdaptiveRamp]
+	// (query.DefaultRamp until the first RTT sample exists) — so
+	// high-latency links ramp aggressively (fewer round trips, more
+	// over-fetch) while low-latency ones stay near the paper-minimal
+	// sequence. Values below 1 (other than 0), NaN, and +Inf are rejected
+	// by DialConfig.
 	RampFactor float64
+	// CqrCost is the modeled cost of one query-initiated refresh at the
+	// source, expressed in time units. It is used only by the adaptive
+	// ramp policy (RampFactor 0) as the denominator of the Cqr-to-RTT
+	// ratio. 0 selects DefaultCqrCost.
+	CqrCost time.Duration
 }
 
+// DefaultCqrCost is the modeled per-key refresh cost used by the adaptive
+// ramp when Config.CqrCost is unset. On loopback (RTT in the same order)
+// the derived ramp lands near query.DefaultRamp; across a real network the
+// RTT dominates and the ramp grows toward MaxAdaptiveRamp.
+const DefaultCqrCost = 100 * time.Microsecond
+
+// MaxAdaptiveRamp caps the RTT-derived refinement ramp: past 8 the
+// over-fetch roughly octuples the minimal refresh set, which outweighs any
+// further round-trip savings.
+const MaxAdaptiveRamp = 8.0
+
 // callResult resolves one in-flight request: the matching response message,
-// or the error the server reported for it.
+// or the error the server reported for it. at is the read loop's receive
+// timestamp, so the RTT sample measures send-to-receive even when the
+// caller consumes pipelined responses sequentially (awaiting chunk k only
+// after chunks 1..k-1 would otherwise inflate the smoothed RTT that drives
+// the adaptive refinement ramp).
 type callResult struct {
 	msg netproto.Message
 	err error
+	at  time.Time
 }
 
 // Client is a networked approximate cache. All methods are safe for
@@ -102,18 +189,31 @@ type callResult struct {
 type Client struct {
 	conn net.Conn
 
-	// mu guards the local store, the correlation table, and the counters.
-	// It is never held across a network operation.
-	mu      sync.Mutex
-	store   *cache.Cache
-	pending map[uint64]chan callResult
-	nextID  uint64
-	closed  bool
-	vir     int
-	qir     int
-	readErr error
-	timeout time.Duration
-	ramp    float64 // MAX/MIN refinement ramp factor, fixed at Dial time
+	// mu guards the local store, the correlation table, the watch
+	// registry, and the counters. It is never held across a network
+	// operation.
+	mu       sync.Mutex
+	store    *cache.Cache
+	pending  map[uint64]chan callResult
+	watchers watch.Registry // watches by observed key
+	nextID   uint64
+	closed   bool
+	byUser   bool // closed by an explicit Close, not a transport failure
+	vir      int
+	qir      int
+	readErr  error
+
+	// defTimeout is the default per-call deadline in nanoseconds, applied
+	// when a call's context carries no deadline. Atomic so SetTimeout can
+	// race in-flight calls without a lock: each call snapshots it once.
+	defTimeout atomic.Int64
+
+	// rttEWMA smooths observed call round-trip times (alpha = 1/8),
+	// feeding the adaptive refinement ramp. Nanoseconds; 0 = no sample yet.
+	rttEWMA atomic.Int64
+
+	ramp    float64       // configured MAX/MIN ramp factor; 0 = adaptive from RTT
+	cqrCost time.Duration // modeled per-key refresh cost for the adaptive ramp
 
 	// sendq feeds the writer goroutine; readDone/writeDone close when the
 	// respective loop exits (readDone doubles as the connection-dead
@@ -155,12 +255,16 @@ func DialConfig(addr string, cfg Config) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	ramp := cfg.RampFactor
-	if ramp == 0 {
-		ramp = query.DefaultRamp
+	if cfg.ProtoVersion != 0 && (cfg.ProtoVersion < netproto.Version1 || cfg.ProtoVersion > netproto.Version3) {
+		return nil, fmt.Errorf("client: unsupported protocol version %d", cfg.ProtoVersion)
 	}
-	if ramp < 1 || math.IsNaN(ramp) || math.IsInf(ramp, 1) {
+	ramp := cfg.RampFactor
+	if ramp != 0 && (ramp < 1 || math.IsNaN(ramp) || math.IsInf(ramp, 1)) {
 		return nil, fmt.Errorf("client: ramp factor %g outside [1, +Inf)", ramp)
+	}
+	cqrCost := cfg.CqrCost
+	if cqrCost <= 0 {
+		cqrCost = DefaultCqrCost
 	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -170,18 +274,23 @@ func DialConfig(addr string, cfg Config) (*Client, error) {
 		conn:      conn,
 		store:     cache.New(cfg.CacheSize),
 		pending:   make(map[uint64]chan callResult),
-		timeout:   timeout,
 		ramp:      ramp,
+		cqrCost:   cqrCost,
 		sendq:     make(chan netproto.Message, 256),
 		readDone:  make(chan struct{}),
 		writeDone: make(chan struct{}),
 	}
+	c.defTimeout.Store(int64(timeout))
 	c.proto.Store(netproto.Version1)
 	c.maxBatch.Store(int32(maxBatch))
 	go c.readLoop()
 	go c.writeLoop()
 	if cfg.ProtoVersion != netproto.Version1 {
-		if err := c.handshake(maxBatch); err != nil {
+		offer := netproto.Version3
+		if cfg.ProtoVersion != 0 && cfg.ProtoVersion < offer {
+			offer = cfg.ProtoVersion
+		}
+		if err := c.handshake(offer, maxBatch); err != nil {
 			c.Close()
 			return nil, err
 		}
@@ -189,10 +298,12 @@ func DialConfig(addr string, cfg Config) (*Client, error) {
 	return c, nil
 }
 
-// handshake offers protocol v2. A ServerError reply means the server
-// declined — the client stays on v1 frames; transport failures abort.
-func (c *Client) handshake(maxBatch int) error {
-	msg, err := c.call(&netproto.Hello{Version: netproto.Version2, MaxBatch: uint16(maxBatch)})
+// handshake offers protocol version offer (v2 or v3); the connection lands
+// on the minimum of the offer and the server's ack. A ServerError reply
+// means the server declined — the client stays on v1 frames; transport
+// failures abort.
+func (c *Client) handshake(offer, maxBatch int) error {
+	msg, err := c.call(context.Background(), &netproto.Hello{Version: uint8(offer), MaxBatch: uint16(maxBatch)})
 	if err != nil {
 		var se *ServerError
 		if errors.As(err, &se) {
@@ -204,24 +315,76 @@ func (c *Client) handshake(maxBatch int) error {
 	if !ok || ack.Version < netproto.Version2 {
 		return nil // incoherent ack: stay on v1
 	}
+	ver := int(ack.Version)
+	if ver > offer {
+		ver = offer // a peer may never raise the negotiated version
+	}
 	limit := int(ack.MaxBatch)
 	if limit < 1 || limit > maxBatch {
 		limit = maxBatch
 	}
 	c.maxBatch.Store(int32(limit))
-	c.proto.Store(netproto.Version2)
+	c.proto.Store(int32(ver))
 	return nil
 }
 
-// Proto returns the negotiated protocol version (netproto.Version1 or
-// netproto.Version2).
+// Proto returns the negotiated protocol version (netproto.Version1,
+// Version2, or Version3).
 func (c *Client) Proto() int { return int(c.proto.Load()) }
 
-// SetTimeout adjusts the per-request timeout (default 10s).
+// SetTimeout adjusts the default per-request deadline (default 10s). The
+// default applies only to calls whose context carries no deadline of its
+// own: a per-call context deadline or cancellation always wins, and such
+// calls fail with the context's error (context.DeadlineExceeded /
+// context.Canceled) while default-deadline expiries fail with an error
+// matching both ErrTimeout and context.DeadlineExceeded. d <= 0 disables
+// the default entirely — calls without a context deadline then wait until
+// the response arrives or the connection dies. SetTimeout is safe to call
+// concurrently with in-flight calls; each call snapshots the value once
+// when it starts.
 func (c *Client) SetTimeout(d time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.timeout = d
+	c.defTimeout.Store(int64(d))
+}
+
+// observeRTT folds one completed call's round-trip time into the smoothed
+// per-connection RTT (EWMA, alpha = 1/8).
+func (c *Client) observeRTT(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for {
+		old := c.rttEWMA.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old + (int64(d)-old)/8
+		}
+		if c.rttEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// rampFor resolves the MAX/MIN refinement ramp for one query: the
+// configured RampFactor when set, otherwise the adaptive policy — 1 +
+// smoothedRTT/CqrCost, clamped to [1, MaxAdaptiveRamp] — falling back to
+// query.DefaultRamp before the first RTT sample exists. Rationale: each
+// refinement round costs one RTT of latency plus Cqr per fetched key, so
+// when the RTT dwarfs the per-key cost the cheapest strategy is to
+// over-fetch aggressively and save rounds; when refreshes are as expensive
+// as round trips, the paper-minimal sequence wins.
+func (c *Client) rampFor() float64 {
+	if c.ramp != 0 {
+		return c.ramp
+	}
+	rtt := time.Duration(c.rttEWMA.Load())
+	if rtt <= 0 {
+		return query.DefaultRamp
+	}
+	r := 1 + float64(rtt)/float64(c.cqrCost)
+	if r > MaxAdaptiveRamp {
+		r = MaxAdaptiveRamp
+	}
+	return r
 }
 
 // readLoop dispatches inbound frames: responses to waiting requests, pushes
@@ -240,7 +403,22 @@ func (c *Client) readLoop() {
 				close(ch)
 			}
 			c.pending = map[uint64]chan callResult{}
+			// Collect the live watches (deduplicated: one watch may observe
+			// many keys) and detach the registry so late Notify calls are
+			// no-ops.
+			failed := c.watchers.Detach()
+			byUser := c.byUser
 			c.mu.Unlock()
+			// Fail the watches outside mu (Fail runs the unregister hook,
+			// which relocks). An explicitly closed client surfaces as
+			// ErrClosed; anything else as the transport error.
+			werr := err
+			if byUser || errors.Is(err, net.ErrClosed) {
+				werr = ErrClosed
+			}
+			for _, w := range failed {
+				w.Fail(werr)
+			}
 			return
 		}
 		c.framesRecv.Add(1)
@@ -270,7 +448,7 @@ func (c *Client) handleMsg(msg netproto.Message) {
 		if ch != nil {
 			cp := netproto.GetRefresh()
 			*cp = *m
-			ch <- callResult{msg: cp}
+			ch <- callResult{msg: cp, at: time.Now()}
 		}
 	case *netproto.RefreshBatch:
 		c.mu.Lock()
@@ -286,7 +464,7 @@ func (c *Client) handleMsg(msg netproto.Message) {
 			cp := netproto.GetRefreshBatch()
 			cp.ID = m.ID
 			cp.Items = append(cp.Items[:0], m.Items...)
-			ch <- callResult{msg: cp}
+			ch <- callResult{msg: cp, at: time.Now()}
 		}
 	case *netproto.Pong:
 		c.resolve(m.ID, callResult{msg: &netproto.Pong{ID: m.ID}})
@@ -295,6 +473,8 @@ func (c *Client) handleMsg(msg netproto.Message) {
 		c.resolve(m.ID, callResult{msg: &cp})
 	case *netproto.ErrorMsg:
 		c.resolve(m.ID, callResult{err: &ServerError{Msg: m.Msg}})
+	case *netproto.Error2:
+		c.resolve(m.ID, callResult{err: &ServerError{Code: m.Code, Key: m.Key, Msg: m.Msg}})
 	}
 }
 
@@ -313,20 +493,26 @@ func (c *Client) takeLocked(id uint64) chan callResult {
 	return ch
 }
 
-// resolve hands a result to the waiter for id, if any.
+// resolve hands a result to the waiter for id, if any, stamping the
+// receive time for the waiter's RTT sample.
 func (c *Client) resolve(id uint64, res callResult) {
 	c.mu.Lock()
 	ch := c.takeLocked(id)
 	c.mu.Unlock()
 	if ch != nil {
+		res.at = time.Now()
 		ch <- res
 	}
 }
 
-// installLocked puts a refresh's interval into the local store. Caller
-// holds mu.
+// installLocked puts a refresh's interval into the local store and streams
+// it to any watches observing the key. Caller holds mu; Notify never blocks
+// (latest-wins coalescing), so a slow watch consumer cannot stall the read
+// loop.
 func (c *Client) installLocked(key int64, lo, hi, originalWidth float64) {
-	c.store.Put(int(key), interval.Interval{Lo: lo, Hi: hi}, originalWidth)
+	iv := interval.Interval{Lo: lo, Hi: hi}
+	c.store.Put(int(key), iv, originalWidth)
+	c.watchers.Notify(int(key), iv)
 }
 
 // writeLoop drains the send queue onto the wire. Backed-up simple requests
@@ -479,57 +665,96 @@ var timerPool sync.Pool
 
 // startCall registers a waiter, stamps m with a fresh request ID, and
 // enqueues it without blocking on the network: the pipelined half of a
-// call. Ownership of m passes to the writer goroutine, which releases
-// pooled messages after encoding — the caller must not touch m afterwards.
-func (c *Client) startCall(m netproto.Message) (uint64, chan callResult, time.Duration, error) {
+// call. A context that is already done fails the call before anything
+// touches the wire — no frame is written, no correlation slot survives.
+// Ownership of m passes to the writer goroutine on success, which releases
+// pooled messages after encoding; on failure startCall releases m itself —
+// either way the caller must not touch m afterwards.
+func (c *Client) startCall(ctx context.Context, m netproto.Message) (uint64, chan callResult, time.Time, error) {
+	if err := ctx.Err(); err != nil {
+		netproto.Release(m)
+		return 0, nil, time.Time{}, err
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return 0, nil, 0, ErrClosed
+		netproto.Release(m)
+		return 0, nil, time.Time{}, ErrClosed
 	}
 	c.nextID++
 	id := c.nextID
 	ch := resultChanPool.Get().(chan callResult)
 	c.pending[id] = ch
-	timeout := c.timeout
 	c.mu.Unlock()
 	stampID(m, id)
+	start := time.Now()
 
 	select {
 	case c.sendq <- m:
-		return id, ch, timeout, nil
+		return id, ch, start, nil
+	case <-ctx.Done():
+		c.abandon(id)
+		netproto.Release(m)
+		return 0, nil, start, ctx.Err()
 	case <-c.readDone:
 		c.abandon(id)
-		return 0, nil, 0, c.closeReason()
+		netproto.Release(m)
+		return 0, nil, start, c.closeReason()
 	}
 }
 
-// await blocks for a started call's response.
-func (c *Client) await(id uint64, ch chan callResult, timeout time.Duration) (netproto.Message, error) {
-	t, _ := timerPool.Get().(*time.Timer)
-	if t == nil {
-		t = time.NewTimer(timeout)
-	} else {
-		t.Reset(timeout)
+// await blocks for a started call's response, bounded by the call's context
+// and — when the context carries no deadline — the client's default
+// timeout. Cancellation and expiry both abandon the waiter: the correlation
+// slot is freed immediately, and a response arriving later is treated as
+// unsolicited push traffic (its interval is still installed). The result
+// channel is returned to the pool only on the response path; an abandoned
+// channel may still receive the late response's single buffered send and is
+// left to the garbage collector.
+func (c *Client) await(ctx context.Context, id uint64, ch chan callResult, start time.Time) (netproto.Message, error) {
+	var t *time.Timer
+	var expire <-chan time.Time
+	var timeout time.Duration
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		if timeout = time.Duration(c.defTimeout.Load()); timeout > 0 {
+			t, _ = timerPool.Get().(*time.Timer)
+			if t == nil {
+				t = time.NewTimer(timeout)
+			} else {
+				t.Reset(timeout)
+			}
+			expire = t.C
+		}
 	}
 	select {
 	case res, ok := <-ch:
 		// Go 1.23+ timer semantics: receives after Stop block and Reset
 		// discards stale fires, so no drain — it would deadlock when the
 		// response races the expiry.
-		t.Stop()
-		timerPool.Put(t)
+		if t != nil {
+			t.Stop()
+			timerPool.Put(t)
+		}
 		if !ok {
 			// Closed by the read loop's teardown; the channel is dead.
 			return nil, c.closeReason()
 		}
 		resultChanPool.Put(ch)
+		if !res.at.IsZero() {
+			c.observeRTT(res.at.Sub(start))
+		}
 		return res.msg, res.err
-	case <-t.C:
+	case <-expire:
 		timerPool.Put(t)
 		c.abandon(id)
-		// The channel is not pooled: a late response may still send into it.
-		return nil, fmt.Errorf("client: request timed out after %v", timeout)
+		return nil, &aperrs.TimeoutError{After: timeout}
+	case <-ctx.Done():
+		if t != nil {
+			t.Stop()
+			timerPool.Put(t)
+		}
+		c.abandon(id)
+		return nil, ctx.Err()
 	}
 }
 
@@ -544,18 +769,18 @@ func (c *Client) abandon(id uint64) {
 // call sends a request and waits for the matching response. Ownership of m
 // passes to the writer; a returned hot-type response (Refresh/RefreshBatch)
 // is a pooled copy the caller should Release once read.
-func (c *Client) call(m netproto.Message) (netproto.Message, error) {
-	id, ch, timeout, err := c.startCall(m)
+func (c *Client) call(ctx context.Context, m netproto.Message) (netproto.Message, error) {
+	id, ch, start, err := c.startCall(ctx, m)
 	if err != nil {
 		return nil, err
 	}
-	return c.await(id, ch, timeout)
+	return c.await(ctx, id, ch, start)
 }
 
 func (c *Client) closeReason() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.readErr != nil {
+	if !c.byUser && c.readErr != nil {
 		return fmt.Errorf("client: connection lost: %w", c.readErr)
 	}
 	return ErrClosed
@@ -564,7 +789,14 @@ func (c *Client) closeReason() error {
 // Subscribe registers interest in key; the initial approximation lands in
 // the local store.
 func (c *Client) Subscribe(key int) error {
-	msg, err := c.call(&netproto.Subscribe{Key: int64(key)})
+	return c.SubscribeCtx(context.Background(), key)
+}
+
+// SubscribeCtx is Subscribe bounded by ctx: cancellation or expiry abandons
+// the call (the subscription may still take effect server-side; its initial
+// refresh is then applied as unsolicited traffic).
+func (c *Client) SubscribeCtx(ctx context.Context, key int) error {
+	msg, err := c.call(ctx, &netproto.Subscribe{Key: int64(key)})
 	if err != nil {
 		return err
 	}
@@ -577,18 +809,23 @@ func (c *Client) Subscribe(key int) error {
 // approximations. On a v1 connection it falls back to sequential Subscribe
 // calls, stopping at the first error.
 func (c *Client) SubscribeMulti(keys []int) error {
+	return c.SubscribeMultiCtx(context.Background(), keys)
+}
+
+// SubscribeMultiCtx is SubscribeMulti bounded by ctx.
+func (c *Client) SubscribeMultiCtx(ctx context.Context, keys []int) error {
 	if len(keys) == 0 {
 		return nil
 	}
 	if c.proto.Load() < netproto.Version2 {
 		for _, k := range keys {
-			if err := c.Subscribe(k); err != nil {
+			if err := c.SubscribeCtx(ctx, k); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	calls, err := c.startMulti(keys, func(chunk []int) netproto.Message {
+	calls, err := c.startMulti(ctx, keys, func(chunk []int) netproto.Message {
 		ks := make([]int64, len(chunk))
 		for i, k := range chunk {
 			ks[i] = int64(k)
@@ -598,22 +835,42 @@ func (c *Client) SubscribeMulti(keys []int) error {
 	if err != nil {
 		return err
 	}
+	var firstErr error
 	for _, cc := range calls {
-		msg, err := c.await(cc.id, cc.ch, cc.timeout)
+		if firstErr != nil {
+			// Fail fast: abandon the remaining chunks instead of awaiting
+			// each in turn (their slots are freed now; late responses are
+			// applied as unsolicited traffic).
+			c.abandon(cc.id)
+			continue
+		}
+		msg, err := c.await(ctx, cc.id, cc.ch, cc.start)
 		if err != nil {
-			return err
+			firstErr = err
+			continue
 		}
 		rb, ok := msg.(*netproto.RefreshBatch)
 		if !ok || len(rb.Items) != cc.n {
-			return fmt.Errorf("client: malformed SubscribeMulti response")
+			firstErr = fmt.Errorf("client: malformed SubscribeMulti response")
+			netproto.Release(msg)
+			continue
 		}
 		netproto.Release(rb)
 	}
-	return nil
+	return firstErr
 }
 
 // Unsubscribe withdraws interest and drops the local entry.
 func (c *Client) Unsubscribe(key int) error {
+	return c.UnsubscribeCtx(context.Background(), key)
+}
+
+// UnsubscribeCtx is Unsubscribe bounded by ctx. The request is
+// fire-and-forget; ctx bounds only the (rare) wait for send-queue space.
+func (c *Client) UnsubscribeCtx(ctx context.Context, key int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -624,6 +881,8 @@ func (c *Client) Unsubscribe(key int) error {
 	select {
 	case c.sendq <- &netproto.Unsubscribe{Key: int64(key)}:
 		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	case <-c.readDone:
 		return c.closeReason()
 	}
@@ -636,18 +895,38 @@ func (c *Client) Get(key int) (interval.Interval, bool) {
 	return c.store.Get(key)
 }
 
+// GetCtx is Get with the context convention of the rest of API v1. The
+// lookup is purely local and never blocks; ctx is consulted only so a
+// cancelled call chain reads as not-found instead of serving a value its
+// caller no longer wants.
+func (c *Client) GetCtx(ctx context.Context, key int) (interval.Interval, bool) {
+	if ctx.Err() != nil {
+		return interval.Interval{}, false
+	}
+	return c.Get(key)
+}
+
 // ReadExact fetches the exact value of key from the server — a
 // query-initiated refresh. The accompanying fresh interval is installed
 // locally.
 func (c *Client) ReadExact(key int) (float64, error) {
+	return c.ReadExactCtx(context.Background(), key)
+}
+
+// ReadExactCtx is ReadExact bounded by ctx: an already-done context fails
+// before any frame is written, and cancellation mid-call frees the
+// correlation slot immediately (a late response is applied as unsolicited
+// traffic).
+func (c *Client) ReadExactCtx(ctx context.Context, key int) (float64, error) {
 	m := netproto.GetRead()
 	m.Key = int64(key)
-	msg, err := c.call(m)
+	msg, err := c.call(ctx, m)
 	if err != nil {
 		return 0, err
 	}
 	r, ok := msg.(*netproto.Refresh)
 	if !ok {
+		netproto.Release(msg)
 		return 0, fmt.Errorf("client: malformed Read response %T", msg)
 	}
 	v := r.Value
@@ -660,17 +939,17 @@ func (c *Client) ReadExact(key int) (float64, error) {
 
 // multiCall tracks one in-flight chunk of a multi-key request.
 type multiCall struct {
-	id      uint64
-	ch      chan callResult
-	timeout time.Duration
-	off, n  int
+	id     uint64
+	ch     chan callResult
+	start  time.Time
+	off, n int
 }
 
 // startMulti pipelines a multi-key request as MaxBatch-sized chunks, issuing
 // every chunk before awaiting any: the round-trip cost is one RTT however
 // many chunks the key set spans. build turns one chunk of keys into the
 // request message (whose ownership passes to the writer).
-func (c *Client) startMulti(keys []int, build func(chunk []int) netproto.Message) ([]multiCall, error) {
+func (c *Client) startMulti(ctx context.Context, keys []int, build func(chunk []int) netproto.Message) ([]multiCall, error) {
 	max := int(c.maxBatch.Load())
 	var calls []multiCall
 	for off := 0; off < len(keys); off += max {
@@ -678,11 +957,16 @@ func (c *Client) startMulti(keys []int, build func(chunk []int) netproto.Message
 		if end > len(keys) {
 			end = len(keys)
 		}
-		id, ch, timeout, err := c.startCall(build(keys[off:end]))
+		id, ch, start, err := c.startCall(ctx, build(keys[off:end]))
 		if err != nil {
+			// Abandon the chunks already in flight: the caller gets the
+			// error without awaiting them, so free their slots here.
+			for _, cc := range calls {
+				c.abandon(cc.id)
+			}
 			return nil, err
 		}
-		calls = append(calls, multiCall{id: id, ch: ch, timeout: timeout, off: off, n: end - off})
+		calls = append(calls, multiCall{id: id, ch: ch, start: start, off: off, n: end - off})
 	}
 	return calls, nil
 }
@@ -692,13 +976,21 @@ func (c *Client) startMulti(keys []int, build func(chunk []int) netproto.Message
 // fresh intervals. The result is in keys order. On a v1 connection it falls
 // back to sequential ReadExact calls, stopping at the first error.
 func (c *Client) ReadMulti(keys []int) ([]float64, error) {
+	return c.ReadMultiCtx(context.Background(), keys)
+}
+
+// ReadMultiCtx is ReadMulti bounded by ctx: an already-done context fails
+// before any frame is written, and cancellation mid-flight abandons every
+// outstanding chunk (their correlation slots are freed; late responses are
+// applied as unsolicited traffic).
+func (c *Client) ReadMultiCtx(ctx context.Context, keys []int) ([]float64, error) {
 	if len(keys) == 0 {
-		return nil, nil
+		return nil, ctx.Err()
 	}
 	if c.proto.Load() < netproto.Version2 {
 		out := make([]float64, len(keys))
 		for i, k := range keys {
-			v, err := c.ReadExact(k)
+			v, err := c.ReadExactCtx(ctx, k)
 			if err != nil {
 				return nil, err
 			}
@@ -706,7 +998,7 @@ func (c *Client) ReadMulti(keys []int) ([]float64, error) {
 		}
 		return out, nil
 	}
-	calls, err := c.startMulti(keys, func(chunk []int) netproto.Message {
+	calls, err := c.startMulti(ctx, keys, func(chunk []int) netproto.Message {
 		m := netproto.GetReadMulti()
 		for _, k := range chunk {
 			m.Keys = append(m.Keys, int64(k))
@@ -718,14 +1010,25 @@ func (c *Client) ReadMulti(keys []int) ([]float64, error) {
 	}
 	out := make([]float64, len(keys))
 	fetched := 0
+	var firstErr error
 	for _, cc := range calls {
-		msg, err := c.await(cc.id, cc.ch, cc.timeout)
+		if firstErr != nil {
+			// Fail fast: abandon the remaining chunks instead of awaiting
+			// each in turn (their slots are freed now; late responses are
+			// applied as unsolicited traffic).
+			c.abandon(cc.id)
+			continue
+		}
+		msg, err := c.await(ctx, cc.id, cc.ch, cc.start)
 		if err != nil {
-			return nil, err
+			firstErr = err
+			continue
 		}
 		rb, ok := msg.(*netproto.RefreshBatch)
 		if !ok || len(rb.Items) != cc.n {
-			return nil, fmt.Errorf("client: malformed ReadMulti response")
+			firstErr = fmt.Errorf("client: malformed ReadMulti response")
+			netproto.Release(msg)
+			continue
 		}
 		for j, it := range rb.Items {
 			out[cc.off+j] = it.Value
@@ -736,12 +1039,20 @@ func (c *Client) ReadMulti(keys []int) ([]float64, error) {
 	c.mu.Lock()
 	c.qir += fetched
 	c.mu.Unlock()
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	return out, nil
 }
 
 // Ping round-trips a liveness probe.
 func (c *Client) Ping() error {
-	_, err := c.call(&netproto.Ping{})
+	return c.PingCtx(context.Background())
+}
+
+// PingCtx is Ping bounded by ctx.
+func (c *Client) PingCtx(ctx context.Context) error {
+	_, err := c.call(ctx, &netproto.Ping{})
 	return err
 }
 
@@ -755,42 +1066,104 @@ func (c *Client) Ping() error {
 // returns the bounding answer and any network error encountered while
 // fetching; after the first fetch error no further fetches are issued.
 func (c *Client) Query(q workload.Query) (query.Answer, error) {
+	return c.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx is Query bounded by ctx. Cancellation is honored between
+// refinement rounds as well as inside each fetch: a cancelled MAX/MIN query
+// stops mid-ramp instead of running its remaining rounds against a context
+// its caller has abandoned.
+func (c *Client) QueryCtx(ctx context.Context, q workload.Query) (query.Answer, error) {
 	var fetchErr error
 	get := func(key int) (interval.Interval, bool) { return c.Get(key) }
 	var ans query.Answer
+	var err error
 	if c.proto.Load() < netproto.Version2 {
-		ans = query.Execute(q, get, func(key int) float64 {
+		ans, err = query.ExecuteCtx(ctx, q, get, func(key int) float64 {
 			if fetchErr != nil {
 				// Short-circuit: a failed connection would otherwise be
 				// retried once per remaining key.
 				return 0
 			}
-			v, err := c.ReadExact(key)
-			if err != nil {
-				fetchErr = err
+			v, ferr := c.ReadExactCtx(ctx, key)
+			if ferr != nil {
+				fetchErr = ferr
 				return 0
 			}
 			return v
 		})
 	} else {
-		ans = query.ExecuteBatchRamp(q, get, func(keys []int) []float64 {
+		ans, err = query.ExecuteBatchRampCtx(ctx, q, get, func(keys []int) []float64 {
 			if fetchErr != nil {
 				// Short-circuit: a failed connection would otherwise be
 				// retried once per remaining fetch round.
 				return make([]float64, len(keys))
 			}
-			vals, err := c.ReadMulti(keys)
-			if err != nil {
-				fetchErr = err
+			vals, ferr := c.ReadMultiCtx(ctx, keys)
+			if ferr != nil {
+				fetchErr = ferr
 				return make([]float64, len(keys))
 			}
 			return vals
-		}, c.ramp)
+		}, c.rampFor())
 	}
 	if fetchErr != nil {
 		return query.Answer{}, fetchErr
 	}
+	if err != nil {
+		return query.Answer{}, err
+	}
 	return ans, nil
+}
+
+// Watch opens a streaming subscription over keys: the handle's Updates
+// channel delivers every refresh the client applies for them — the initial
+// approximations, pushed value-initiated refreshes, and the intervals
+// accompanying exact reads — as Update values. See WatchCtx.
+func (c *Client) Watch(keys ...int) (*watch.Watch, error) {
+	return c.WatchCtx(context.Background(), keys...)
+}
+
+// WatchCtx is Watch with ctx bounding the initial subscription round trip.
+//
+// The stream applies per-key latest-wins coalescing when the consumer falls
+// behind — mirroring the server's push merge buffer — so a slow consumer
+// never stalls the connection's read loop and never observes a key's state
+// older than the last one it was shown. Close detaches the stream (it does
+// not unsubscribe the keys: the local cache keeps receiving their pushes);
+// if the connection dies the stream ends and Err reports why. Watching a
+// key the server does not host fails with an error matching ErrUnknownKey
+// on connections that negotiated protocol v3; older servers report only a
+// generic *ServerError.
+func (c *Client) WatchCtx(ctx context.Context, keys ...int) (*watch.Watch, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("client: watch of no keys")
+	}
+	ks := append([]int(nil), keys...) // detach from the caller's backing array
+	var w *watch.Watch
+	w = watch.New(func(*watch.Watch) { c.unwatch(w, ks) })
+	// Register before subscribing so the initial refreshes — and any push
+	// racing them — are observed from the first frame on.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		w.Close()
+		return nil, c.closeReason()
+	}
+	c.watchers.Add(w, ks)
+	c.mu.Unlock()
+	if err := c.SubscribeMultiCtx(ctx, ks); err != nil {
+		w.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// unwatch removes w from the registry entries of its keys.
+func (c *Client) unwatch(w *watch.Watch, keys []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.watchers.Remove(w, keys)
 }
 
 // Stats snapshots the client's counters.
@@ -802,6 +1175,7 @@ func (c *Client) Stats() Stats {
 		QueryRefreshes: c.qir,
 		FramesSent:     int(c.framesSent.Load()),
 		FramesReceived: int(c.framesRecv.Load()),
+		SmoothedRTT:    time.Duration(c.rttEWMA.Load()),
 		Cache:          c.store.Stats(),
 	}
 }
@@ -811,6 +1185,7 @@ func (c *Client) Close() error {
 	c.mu.Lock()
 	already := c.closed
 	c.closed = true
+	c.byUser = true
 	c.mu.Unlock()
 	err := c.conn.Close()
 	<-c.readDone

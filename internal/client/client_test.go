@@ -329,6 +329,15 @@ func TestDialFailure(t *testing.T) {
 	}
 }
 
+func TestDialConfigRejectsBadProtoVersion(t *testing.T) {
+	_, addr := newServer(t)
+	for _, ver := range []int{-1, 4, 255} {
+		if _, err := DialConfig(addr, Config{CacheSize: 4, ProtoVersion: ver}); err == nil {
+			t.Errorf("ProtoVersion %d accepted", ver)
+		}
+	}
+}
+
 func TestEndToEndQuerySoundnessAfterChurn(t *testing.T) {
 	// Full-system check: drive real updates through the server while two
 	// clients query concurrently, then quiesce and verify every aggregate
@@ -445,8 +454,13 @@ func dialCfg(t *testing.T, addr string, cfg Config) *Client {
 func TestHandshakeNegotiatesV2(t *testing.T) {
 	_, addr := newServer(t)
 	c := dial(t, addr, 10)
-	if c.Proto() != netproto.Version2 {
-		t.Errorf("negotiated proto %d, want v2", c.Proto())
+	if c.Proto() != netproto.Version3 {
+		t.Errorf("negotiated proto %d, want v3", c.Proto())
+	}
+	// A client capped at v2 lands on v2 against a v3 server.
+	c2 := dialCfg(t, addr, Config{CacheSize: 10, ProtoVersion: netproto.Version2})
+	if c2.Proto() != netproto.Version2 {
+		t.Errorf("v2-capped client negotiated proto %d, want v2", c2.Proto())
 	}
 }
 

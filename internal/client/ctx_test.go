@@ -1,0 +1,345 @@
+// Tests of the API v1 surface: context plumbing (deadlines, cancellation,
+// correlation-slot hygiene), the typed error taxonomy across the wire, and
+// the RTT-adaptive refinement ramp.
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"apcache/internal/aperrs"
+	"apcache/internal/netproto"
+	"apcache/internal/query"
+	"apcache/internal/workload"
+)
+
+func TestExpiredContextWritesNoFrame(t *testing.T) {
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 1)
+	c := dial(t, addr, 10)
+	before := c.Stats().FramesSent
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := c.ReadExactCtx(ctx, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if _, err := c.ReadMultiCtx(ctx, []int{0}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ReadMulti err = %v, want context.DeadlineExceeded", err)
+	}
+	if err := c.PingCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Ping err = %v, want context.DeadlineExceeded", err)
+	}
+	if n := c.PendingCalls(); n != 0 {
+		t.Errorf("%d correlation slots leaked by expired-context calls", n)
+	}
+	// Nothing touched the wire. The writer is asynchronous, so a stray
+	// frame would not necessarily be visible instantly — prove the counter
+	// is exact by round-tripping a Ping (exactly one more frame).
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if sent := c.Stats().FramesSent - before; sent != 1 {
+		t.Errorf("expired-context calls wrote %d frames, want 0", sent-1)
+	}
+}
+
+func TestCancelMidCallFreesCorrelationSlot(t *testing.T) {
+	s, addr := newStubServer(t)
+	c := dialCfg(t, addr, Config{CacheSize: 4, ProtoVersion: netproto.Version1, Timeout: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.ReadExactCtx(ctx, 9)
+		done <- err
+	}()
+	// Wait until the call is registered, then cancel it.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.PendingCalls() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("call never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := c.PendingCalls(); n != 0 {
+		t.Fatalf("%d correlation slots leaked after cancellation", n)
+	}
+	// The late response must be treated as unsolicited: interval installed,
+	// connection healthy.
+	close(s.release)
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if iv, ok := c.Get(9); ok && iv.Valid(42) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("late response's interval never installed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := c.Ping(); err != nil {
+		t.Errorf("Ping after cancelled call: %v", err)
+	}
+}
+
+func TestCancelMidReadMulti(t *testing.T) {
+	// Cancellation racing a pipelined multi-chunk read: every outstanding
+	// chunk's slot must be freed, and the client must stay usable.
+	srv, addr := newServer(t)
+	const keys = 300 // 3 chunks at MaxBatch 128
+	all := make([]int, keys)
+	for k := 0; k < keys; k++ {
+		all[k] = k
+		srv.SetInitial(k, float64(k))
+	}
+	c := dial(t, addr, keys)
+	for trial := 0; trial < 20; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := c.ReadMultiCtx(ctx, all)
+			done <- err
+		}()
+		time.Sleep(time.Duration(trial%5) * 100 * time.Microsecond)
+		cancel()
+		err := <-done
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("trial %d: err = %v, want nil or context.Canceled", trial, err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for c.PendingCalls() != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("trial %d: %d correlation slots leaked", trial, c.PendingCalls())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("client unhealthy after cancel storm: %v", err)
+	}
+}
+
+func TestCancelBetweenRefinementRounds(t *testing.T) {
+	// A MAX query over uncached keys refines one key per round on a v1
+	// connection. The stub answers the first round's fetch and parks every
+	// later one; cancelling then must end the query mid-ramp with
+	// context.Canceled instead of waiting out the remaining rounds.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	firstAnswered := make(chan struct{})
+	var reads atomic.Int64
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			msg, err := netproto.ReadMsg(conn)
+			if err != nil {
+				conn.Close()
+				return
+			}
+			if m, ok := msg.(*netproto.Read); ok {
+				if reads.Add(1) == 1 {
+					netproto.Write(conn, &netproto.Refresh{
+						ID: m.ID, Key: m.Key, Kind: netproto.KindQueryInitiated,
+						Value: 5, Lo: 5, Hi: 5,
+					})
+					close(firstAnswered)
+				}
+				// Later rounds: never answered; the cancel must win.
+			}
+		}
+	}()
+	c := dialCfg(t, ln.Addr().String(), Config{CacheSize: 8, ProtoVersion: netproto.Version1, Timeout: time.Minute})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-firstAnswered
+		cancel()
+	}()
+	_, qerr := c.QueryCtx(ctx, workload.Query{Kind: workload.Max, Keys: []int{1, 2, 3}, Delta: 0})
+	if !errors.Is(qerr, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", qerr)
+	}
+	// Mid-ramp means rounds 2 and 3 never both ran: at most the in-flight
+	// second fetch was issued, never the third.
+	if n := reads.Load(); n > 2 {
+		t.Errorf("cancelled query issued %d fetch rounds, want <= 2", n)
+	}
+	if n := c.PendingCalls(); n != 0 {
+		t.Errorf("%d correlation slots leaked", n)
+	}
+}
+
+func TestCancelRacesClose(t *testing.T) {
+	srv, addr := newServer(t)
+	for k := 0; k < 8; k++ {
+		srv.SetInitial(k, float64(k))
+	}
+	c, err := DialConfig(addr, Config{CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				go func() {
+					time.Sleep(time.Duration(g) * 50 * time.Microsecond)
+					cancel()
+				}()
+				var err error
+				switch g % 3 {
+				case 0:
+					_, err = c.ReadExactCtx(ctx, g)
+				case 1:
+					_, err = c.ReadMultiCtx(ctx, []int{0, 1, 2, 3})
+				default:
+					_, err = c.QueryCtx(ctx, workload.Query{Kind: workload.Max, Keys: []int{4, 5, 6}, Delta: 0})
+				}
+				if err != nil && !errors.Is(err, context.Canceled) {
+					return // closed underneath us: expected
+				}
+				cancel()
+			}
+		}(g)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if _, err := c.ReadExactCtx(context.Background(), 0); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-close err = %v, want ErrClosed", err)
+	}
+}
+
+func TestDefaultTimeoutMatchesTaxonomy(t *testing.T) {
+	_, addr := newStubServer(t)
+	c := dialCfg(t, addr, Config{CacheSize: 4, ProtoVersion: netproto.Version1, Timeout: 50 * time.Millisecond})
+	_, err := c.ReadExact(9)
+	if !errors.Is(err, aperrs.ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v should also match context.DeadlineExceeded", err)
+	}
+	// A per-call deadline overrides the default and fails with the
+	// context's own error.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err = c.ReadExactCtx(ctx, 9)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("ctx deadline err = %v, want context.DeadlineExceeded", err)
+	}
+	if n := c.PendingCalls(); n != 0 {
+		t.Errorf("%d correlation slots leaked by timeouts", n)
+	}
+}
+
+func TestUnknownKeyTypedAcrossWire(t *testing.T) {
+	// The acceptance property of the error taxonomy: errors.Is/As resolves
+	// an unknown-key failure from a v2 server exactly as in-process.
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 1)
+	c := dial(t, addr, 10)
+	if c.Proto() != netproto.Version3 {
+		t.Fatalf("want v3 connection, got v%d", c.Proto())
+	}
+	_, err := c.ReadExactCtx(context.Background(), 42)
+	if !errors.Is(err, aperrs.ErrUnknownKey) {
+		t.Fatalf("ReadExact err = %v, want ErrUnknownKey match", err)
+	}
+	var ke *aperrs.KeyError
+	if !errors.As(err, &ke) || ke.Key != 42 {
+		t.Fatalf("errors.As key = %+v, want 42", ke)
+	}
+	if err := c.Subscribe(43); !errors.Is(err, aperrs.ErrUnknownKey) {
+		t.Fatalf("Subscribe err = %v, want ErrUnknownKey match", err)
+	}
+	err = c.SubscribeMulti([]int{0, 44})
+	if !errors.Is(err, aperrs.ErrUnknownKey) {
+		t.Fatalf("SubscribeMulti err = %v, want ErrUnknownKey match", err)
+	}
+	if !errors.As(err, &ke) || ke.Key != 44 {
+		t.Fatalf("SubscribeMulti key = %+v, want 44", ke)
+	}
+	if _, err := c.Query(workload.Query{Kind: workload.Sum, Keys: []int{0, 45}, Delta: 0}); !errors.Is(err, aperrs.ErrUnknownKey) {
+		t.Fatalf("Query err = %v, want ErrUnknownKey match", err)
+	}
+}
+
+func TestUnknownKeyGenericOnOlderProtocols(t *testing.T) {
+	// v1 and v2 connections have no structured error frame: the failure is
+	// still a ServerError, but carries no taxonomy identity.
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 1)
+	for _, ver := range []int{netproto.Version1, netproto.Version2} {
+		c := dialCfg(t, addr, Config{CacheSize: 10, ProtoVersion: ver})
+		_, err := c.ReadExact(42)
+		var se *ServerError
+		if !errors.As(err, &se) {
+			t.Fatalf("v%d: err = %T %v, want *ServerError", ver, err, err)
+		}
+		if errors.Is(err, aperrs.ErrUnknownKey) {
+			t.Errorf("v%d error unexpectedly carries taxonomy identity", ver)
+		}
+	}
+}
+
+func TestAdaptiveRampFromRTT(t *testing.T) {
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 1)
+	c := dialCfg(t, addr, Config{CacheSize: 10}) // RampFactor unset: adaptive
+	// Before any sample: the static default.
+	c.SeedSmoothedRTT(0)
+	if r := c.ResolvedRamp(); r != query.DefaultRamp {
+		t.Errorf("ramp with no RTT sample = %g, want DefaultRamp %g", r, query.DefaultRamp)
+	}
+	// Low-latency link: near-minimal ramp.
+	c.SeedSmoothedRTT(10 * time.Microsecond)
+	if r := c.ResolvedRamp(); r < 1 || r > 1.5 {
+		t.Errorf("ramp at 10µs RTT = %g, want ~1.1", r)
+	}
+	// High-latency link: clamped aggressive ramp.
+	c.SeedSmoothedRTT(100 * time.Millisecond)
+	if r := c.ResolvedRamp(); r != MaxAdaptiveRamp {
+		t.Errorf("ramp at 100ms RTT = %g, want clamp %g", r, MaxAdaptiveRamp)
+	}
+	// A real call populates the EWMA.
+	c.SeedSmoothedRTT(0)
+	if _, err := c.ReadExact(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().SmoothedRTT <= 0 {
+		t.Errorf("SmoothedRTT not recorded after a call")
+	}
+	// An explicit RampFactor pins the ramp regardless of RTT.
+	cp := dialCfg(t, addr, Config{CacheSize: 10, RampFactor: 3})
+	cp.SeedSmoothedRTT(100 * time.Millisecond)
+	if r := cp.ResolvedRamp(); r != 3 {
+		t.Errorf("pinned ramp = %g, want 3", r)
+	}
+}

@@ -1,0 +1,18 @@
+package client
+
+import "time"
+
+// PendingCalls reports the correlation table's live entry count — the leak
+// check used by the cancellation tests.
+func (c *Client) PendingCalls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// SeedSmoothedRTT overwrites the RTT EWMA, letting ramp-policy tests model
+// arbitrary link latencies without a real slow network.
+func (c *Client) SeedSmoothedRTT(d time.Duration) { c.rttEWMA.Store(int64(d)) }
+
+// ResolvedRamp exposes rampFor, the per-query refinement ramp resolution.
+func (c *Client) ResolvedRamp() float64 { return c.rampFor() }

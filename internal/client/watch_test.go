@@ -1,0 +1,239 @@
+// Tests of the Watch streaming subscription over the networked client:
+// lifecycle, pushed-refresh delivery, slow-consumer coalescing, and
+// teardown races.
+package client
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"apcache/internal/aperrs"
+	"apcache/internal/watch"
+)
+
+func collectUntil(t *testing.T, w *watch.Watch, stop func(u watch.Update) bool) []watch.Update {
+	t.Helper()
+	var got []watch.Update
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case u, ok := <-w.Updates():
+			if !ok {
+				t.Fatalf("Updates closed early (Err: %v)", w.Err())
+			}
+			got = append(got, u)
+			if stop(u) {
+				return got
+			}
+		case <-deadline:
+			t.Fatalf("condition never reached; got %d updates", len(got))
+		}
+	}
+}
+
+func TestWatchDeliversInitialAndPushedRefreshes(t *testing.T) {
+	srv, addr := newServer(t)
+	srv.SetInitial(1, 100)
+	srv.SetInitial(2, 200)
+	c := dial(t, addr, 10)
+	w, err := c.Watch(1, 2)
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	defer w.Close()
+	// The stream opens with the initial approximations.
+	seen := map[int]bool{}
+	collectUntil(t, w, func(u watch.Update) bool {
+		switch u.Key {
+		case 1:
+			if !u.Interval.Valid(100) {
+				t.Errorf("key 1 initial %v invalid for 100", u.Interval)
+			}
+		case 2:
+			if !u.Interval.Valid(200) {
+				t.Errorf("key 2 initial %v invalid for 200", u.Interval)
+			}
+		default:
+			t.Errorf("update for unwatched key %d", u.Key)
+		}
+		seen[u.Key] = true
+		return len(seen) == 2
+	})
+	// An escaping update is pushed and observed with a valid interval.
+	if n := srv.Set(1, 1e6); n != 1 {
+		t.Fatalf("escape pushed %d refreshes, want 1", n)
+	}
+	collectUntil(t, w, func(u watch.Update) bool {
+		return u.Key == 1 && u.Interval.Valid(1e6)
+	})
+}
+
+func TestWatchUnknownKeyTyped(t *testing.T) {
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 1)
+	c := dial(t, addr, 10)
+	_, err := c.Watch(0, 77)
+	if !errors.Is(err, aperrs.ErrUnknownKey) {
+		t.Fatalf("Watch err = %v, want ErrUnknownKey match", err)
+	}
+	// The failed watch must not leave registry entries behind: a later
+	// push for key 0 reaches the cache without panicking into a dead watch.
+	if n := c.PendingCalls(); n != 0 {
+		t.Errorf("%d correlation slots leaked", n)
+	}
+}
+
+func TestWatchSlowConsumerCoalesces(t *testing.T) {
+	// A burst of pushes against a consumer that reads nothing must coalesce
+	// per key (latest-wins) instead of stalling the read loop: the client
+	// keeps serving calls, and once the consumer wakes it observes each
+	// key's newest state within a bounded number of updates.
+	srv, addr := newServer(t)
+	const keys = 4
+	for k := 0; k < keys; k++ {
+		srv.SetInitial(k, 0)
+	}
+	c := dial(t, addr, keys)
+	w, err := c.Watch(0, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// Burst: every Set escapes (width 10, steps of 1000).
+	const rounds = 200
+	finals := make([]float64, keys)
+	for i := 1; i <= rounds; i++ {
+		for k := 0; k < keys; k++ {
+			v := float64(i * 1000 * (k + 1))
+			srv.Set(k, v)
+			finals[k] = v
+		}
+	}
+	// The read loop must not be stalled by the unread watch: a pipelined
+	// call completes promptly.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping during unconsumed burst: %v", err)
+	}
+	// Wake the consumer: each key's newest interval must arrive.
+	current := make(map[int]watch.Update)
+	seenFinal := map[int]bool{}
+	total := 0
+	collectUntil(t, w, func(u watch.Update) bool {
+		total++
+		current[u.Key] = u
+		if u.Interval.Valid(finals[u.Key]) {
+			seenFinal[u.Key] = true
+		}
+		return len(seenFinal) == keys
+	})
+	// Latest-wins: far fewer deliveries than rounds*keys pushes were sent.
+	if total >= rounds*keys {
+		t.Errorf("slow consumer received %d updates for %d pushes; expected coalescing", total, rounds*keys)
+	}
+}
+
+func TestWatchCloseMidPush(t *testing.T) {
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 0)
+	c := dial(t, addr, 4)
+	for trial := 0; trial < 25; trial++ {
+		w, err := c.Watch(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 1; i <= 40; i++ {
+				srv.Set(0, float64(trial*1_000_000+i*1000))
+			}
+		}()
+		// Consume a little, then close while pushes are in flight.
+		select {
+		case <-w.Updates():
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no update")
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		<-done
+		// The stream terminates; the client stays healthy.
+		deadline := time.After(5 * time.Second)
+	drain:
+		for {
+			select {
+			case _, ok := <-w.Updates():
+				if !ok {
+					break drain
+				}
+			case <-deadline:
+				t.Fatalf("Updates never closed after Close")
+			}
+		}
+		if err := w.Err(); err != nil {
+			t.Fatalf("Err after clean Close: %v", err)
+		}
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("client unhealthy after close storm: %v", err)
+	}
+}
+
+func TestWatchFailsOnConnectionLoss(t *testing.T) {
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 1)
+	c := dial(t, addr, 4)
+	w, err := c.Watch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case _, ok := <-w.Updates():
+			if !ok {
+				if w.Err() == nil {
+					t.Fatalf("watch ended without error after connection loss")
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatalf("watch never ended after server close")
+		}
+	}
+}
+
+func TestWatchAfterClientCloseFails(t *testing.T) {
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 1)
+	c := dial(t, addr, 4)
+	w, err := c.Watch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	// The open watch ends with an error...
+	deadline := time.After(10 * time.Second)
+	for {
+		closed := false
+		select {
+		case _, ok := <-w.Updates():
+			closed = !ok
+		case <-deadline:
+			t.Fatalf("watch never ended after client close")
+		}
+		if closed {
+			break
+		}
+	}
+	if w.Err() == nil {
+		t.Errorf("watch Err nil after client close")
+	}
+	// ...and new watches are refused.
+	if _, err := c.Watch(0); !errors.Is(err, ErrClosed) {
+		t.Errorf("Watch after close err = %v, want ErrClosed", err)
+	}
+}

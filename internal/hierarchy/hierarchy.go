@@ -26,9 +26,11 @@
 package hierarchy
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"apcache/internal/aperrs"
 	"apcache/internal/core"
 	"apcache/internal/interval"
 )
@@ -213,6 +215,22 @@ func (h *Hierarchy) Read(key int, delta float64) interval.Interval {
 	return answer
 }
 
+// ReadCtx is Read with the error-returning contract of API v1: an untracked
+// key fails with an error matching aperrs.ErrUnknownKey instead of
+// panicking, and a done context fails with its error before any refresh
+// hop is charged. The hierarchy itself is in-memory and single-threaded, so
+// cancellation cannot interrupt the descent once it starts; the check
+// exists so a hierarchy read composes into cancellable call chains.
+func (h *Hierarchy) ReadCtx(ctx context.Context, key int, delta float64) (interval.Interval, error) {
+	if err := ctx.Err(); err != nil {
+		return interval.Interval{}, err
+	}
+	if _, ok := h.values[key]; !ok {
+		return interval.Interval{}, aperrs.UnknownKey(key)
+	}
+	return h.Read(key, delta), nil
+}
+
 // Stats reports cumulative refresh hops and cost.
 type Stats struct {
 	// ValueHops and QueryHops count refresh hops by kind.
@@ -232,7 +250,7 @@ func (h *Hierarchy) Stats() Stats {
 func (h *Hierarchy) CheckInvariant(key int) error {
 	v, ok := h.values[key]
 	if !ok {
-		return fmt.Errorf("hierarchy: key %d not tracked", key)
+		return fmt.Errorf("hierarchy: %w", aperrs.UnknownKey(key))
 	}
 	prev := interval.Exact(v)
 	for l := 0; l < h.cfg.Levels; l++ {

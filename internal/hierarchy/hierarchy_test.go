@@ -1,11 +1,14 @@
 package hierarchy
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"apcache/internal/aperrs"
 	"apcache/internal/core"
 )
 
@@ -259,8 +262,35 @@ func TestPanicsOnUnknownKey(t *testing.T) {
 			fn()
 		}()
 	}
-	if err := h.CheckInvariant(9); err == nil {
-		t.Errorf("CheckInvariant of unknown key passed")
+	if err := h.CheckInvariant(9); !errors.Is(err, aperrs.ErrUnknownKey) {
+		t.Errorf("CheckInvariant of unknown key: err = %v, want ErrUnknownKey match", err)
+	}
+}
+
+func TestReadCtx(t *testing.T) {
+	h, _ := New(config(3))
+	h.Track(1, 50)
+	// A successful context read matches Read's contract.
+	iv, err := h.ReadCtx(context.Background(), 1, 0.5)
+	if err != nil {
+		t.Fatalf("ReadCtx: %v", err)
+	}
+	if !iv.Valid(50) || iv.Width() > 0.5 {
+		t.Errorf("interval %v, want valid for 50 with width <= 0.5", iv)
+	}
+	// Unknown keys fail typed instead of panicking.
+	if _, err := h.ReadCtx(context.Background(), 9, 1); !errors.Is(err, aperrs.ErrUnknownKey) {
+		t.Errorf("unknown key err = %v, want ErrUnknownKey match", err)
+	}
+	// A done context fails without charging refresh hops.
+	before := h.Stats()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := h.ReadCtx(ctx, 1, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled err = %v, want context.Canceled", err)
+	}
+	if after := h.Stats(); after != before {
+		t.Errorf("cancelled ReadCtx charged hops: %+v -> %+v", before, after)
 	}
 }
 

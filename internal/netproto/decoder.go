@@ -31,6 +31,7 @@ type Decoder struct {
 	refresh      Refresh
 	pong         Pong
 	errMsg       ErrorMsg
+	err2         Error2
 	hello        Hello
 	helloAck     HelloAck
 	readMulti    ReadMulti
@@ -87,6 +88,8 @@ func (d *Decoder) box(t MsgType) (Message, error) {
 		return &d.pong, nil
 	case TError:
 		return &d.errMsg, nil
+	case TError2:
+		return &d.err2, nil
 	case THello:
 		return &d.hello, nil
 	case THelloAck:

@@ -27,7 +27,16 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"apcache/internal/aperrs"
 )
+
+// errTooLarge builds the shared over-limit error for a batch-carrying
+// message, wrapping aperrs.ErrBatchTooLarge so both the sending and the
+// decoding side surface an errors.Is-able failure.
+func errTooLarge(what string, n int) error {
+	return fmt.Errorf("netproto: %s of %d items exceeds limit %d: %w", what, n, MaxBatchItems, aperrs.ErrBatchTooLarge)
+}
 
 // MsgType identifies a frame's payload.
 type MsgType uint8
@@ -48,12 +57,23 @@ const (
 	TSubscribeMulti
 	TRefreshBatch
 	TBatch
+	TError2
 )
 
-// Protocol versions negotiated by Hello/HelloAck.
+// Protocol versions negotiated by Hello/HelloAck. Hello carries the highest
+// version the client speaks; the ack's version is the minimum of both
+// peers' offers, and each frame is only ever sent to a peer whose
+// negotiated version includes it.
 const (
 	Version1 = 1
+	// Version2 adds batching: Hello/HelloAck, ReadMulti/SubscribeMulti,
+	// RefreshBatch, Batch.
 	Version2 = 2
+	// Version3 extends v2 with the structured Error2 frame; everything
+	// else is unchanged. A v3 server still answers v2 peers with the
+	// free-text ErrorMsg, so mixed-version fleets upgrade without
+	// connection teardowns on unknown frame types.
+	Version3 = 3
 )
 
 // MaxBatchItems caps the sub-messages in a Batch frame and the entries in a
@@ -90,6 +110,8 @@ func (t MsgType) String() string {
 		return "RefreshBatch"
 	case TBatch:
 		return "Batch"
+	case TError2:
+		return "Error2"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -154,10 +176,55 @@ type Pong struct {
 	ID uint64
 }
 
-// ErrorMsg reports a request failure.
+// ErrorMsg reports a request failure. It is the v1/v2 error frame:
+// free-text only. Connections that negotiated v3 use Error2, which adds a
+// machine-readable code and key so client-side errors.Is/As works across
+// the wire.
 type ErrorMsg struct {
 	ID  uint64
 	Msg string
+}
+
+// ErrCode classifies a request failure on the wire so the receiving side
+// can reconstruct a typed error instead of string-matching the message.
+type ErrCode uint16
+
+// Wire error codes. CodeGeneric is the catch-all (and what a v1 ErrorMsg
+// maps to); the others correspond to the apcache error taxonomy.
+const (
+	CodeGeneric ErrCode = iota
+	CodeUnknownKey
+	CodeBatchTooLarge
+	CodeUnsupported
+)
+
+// String returns the code name.
+func (c ErrCode) String() string {
+	switch c {
+	case CodeGeneric:
+		return "generic"
+	case CodeUnknownKey:
+		return "unknown-key"
+	case CodeBatchTooLarge:
+		return "batch-too-large"
+	case CodeUnsupported:
+		return "unsupported"
+	default:
+		return fmt.Sprintf("ErrCode(%d)", uint16(c))
+	}
+}
+
+// Error2 is the v3 error frame: a structured failure report. Code
+// classifies the failure, Key carries the offending key for CodeUnknownKey
+// (0 otherwise), and Msg is the human-readable detail. Servers send Error2
+// only on connections that negotiated protocol v3; older peers get
+// ErrorMsg (sending it earlier would tear down a v2 peer's connection on
+// an unknown frame type).
+type Error2 struct {
+	ID   uint64
+	Code ErrCode
+	Key  int64
+	Msg  string
 }
 
 // Hello opens a v2 session: it must be the first frame a v2 client sends.
@@ -250,16 +317,16 @@ func checkBatchLimits(m Message) error {
 	b, ok := m.(*Batch)
 	if !ok {
 		if n := batchLen(m); n > MaxBatchItems {
-			return fmt.Errorf("netproto: %s of %d items exceeds limit %d", m.msgType(), n, MaxBatchItems)
+			return errTooLarge(m.msgType().String(), n)
 		}
 		return nil
 	}
 	if len(b.Msgs) > MaxBatchItems {
-		return fmt.Errorf("netproto: %s of %d items exceeds limit %d", b.msgType(), len(b.Msgs), MaxBatchItems)
+		return errTooLarge(b.msgType().String(), len(b.Msgs))
 	}
 	for _, sub := range b.Msgs {
 		if n := batchLen(sub); n > MaxBatchItems {
-			return fmt.Errorf("netproto: %s of %d items exceeds limit %d", sub.msgType(), n, MaxBatchItems)
+			return errTooLarge(sub.msgType().String(), n)
 		}
 	}
 	return nil
@@ -385,6 +452,8 @@ func newMessage(t MsgType) (Message, error) {
 		return &RefreshBatch{}, nil
 	case TBatch:
 		return &Batch{}, nil
+	case TError2:
+		return &Error2{}, nil
 	default:
 		return nil, fmt.Errorf("netproto: unknown message type %d", uint8(t))
 	}
@@ -574,6 +643,22 @@ func (m *ErrorMsg) decode(b []byte) error {
 	return r.done()
 }
 
+func (m *Error2) msgType() MsgType { return TError2 }
+func (m *Error2) encode(b []byte) []byte {
+	b = putU64(b, m.ID)
+	b = putU16(b, uint16(m.Code))
+	b = putU64(b, uint64(m.Key))
+	return append(b, m.Msg...)
+}
+func (m *Error2) decode(b []byte) error {
+	r := reader{b: b}
+	m.ID = r.u64()
+	m.Code = ErrCode(r.u16())
+	m.Key = int64(r.u64())
+	m.Msg = string(r.rest())
+	return r.done()
+}
+
 func (m *Hello) msgType() MsgType { return THello }
 func (m *Hello) encode(b []byte) []byte {
 	b = putU64(b, m.ID)
@@ -637,7 +722,7 @@ func decodeKeys(b []byte, keys []int64, what string) (id uint64, out []int64, er
 			return 0, keys, fmt.Errorf("netproto: empty %s", what)
 		}
 		if n > MaxBatchItems {
-			return 0, keys, fmt.Errorf("netproto: %s of %d keys exceeds limit %d", what, n, MaxBatchItems)
+			return 0, keys, errTooLarge(what, n)
 		}
 	}
 	keys = keys[:0]
@@ -700,7 +785,7 @@ func (m *RefreshBatch) decode(b []byte) error {
 			return fmt.Errorf("netproto: empty RefreshBatch")
 		}
 		if n > MaxBatchItems {
-			return fmt.Errorf("netproto: RefreshBatch of %d items exceeds limit %d", n, MaxBatchItems)
+			return errTooLarge("RefreshBatch", n)
 		}
 	}
 	m.Items = m.Items[:0]
@@ -769,7 +854,7 @@ func (m *Batch) decodeWith(b []byte, newMsg func(MsgType) (Message, error)) erro
 			return fmt.Errorf("netproto: empty Batch")
 		}
 		if n > MaxBatchItems {
-			return fmt.Errorf("netproto: Batch of %d messages exceeds limit %d", n, MaxBatchItems)
+			return errTooLarge("Batch", n)
 		}
 	}
 	m.Msgs = m.Msgs[:0]

@@ -3,11 +3,14 @@ package netproto
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"math"
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"apcache/internal/aperrs"
 )
 
 func roundTrip(t *testing.T, m Message) Message {
@@ -83,6 +86,31 @@ func TestRoundTripError(t *testing.T) {
 	// Empty message is fine too.
 	if got := roundTrip(t, &ErrorMsg{ID: 3}).(*ErrorMsg); got.Msg != "" {
 		t.Errorf("got %+v", got)
+	}
+}
+
+func TestRoundTripError2(t *testing.T) {
+	in := &Error2{ID: 4, Code: CodeUnknownKey, Key: -17, Msg: "unknown key -17"}
+	got := roundTrip(t, in).(*Error2)
+	if *got != *in {
+		t.Errorf("got %+v, want %+v", got, in)
+	}
+	// Empty message and zero code survive too.
+	if got := roundTrip(t, &Error2{ID: 5}).(*Error2); got.Code != CodeGeneric || got.Key != 0 || got.Msg != "" {
+		t.Errorf("got %+v", got)
+	}
+	// A Decoder decodes it through its reusable box.
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(&buf)
+	msg, err := d.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := msg.(*Error2); !ok || *got != *in {
+		t.Errorf("Decoder got %#v, want %+v", msg, in)
 	}
 }
 
@@ -488,18 +516,18 @@ func TestBatchLimitBoundary(t *testing.T) {
 func TestWriteRejectsOversizedBatches(t *testing.T) {
 	var buf bytes.Buffer
 	keys := make([]int64, MaxBatchItems+1)
-	if err := Write(&buf, &ReadMulti{ID: 1, Keys: keys}); err == nil {
-		t.Errorf("oversized ReadMulti encoded (uint16 count would mislead the peer)")
+	if err := Write(&buf, &ReadMulti{ID: 1, Keys: keys}); !errors.Is(err, aperrs.ErrBatchTooLarge) {
+		t.Errorf("oversized ReadMulti: err = %v, want ErrBatchTooLarge match", err)
 	}
 	msgs := make([]Message, MaxBatchItems+1)
 	for i := range msgs {
 		msgs[i] = &Ping{ID: uint64(i)}
 	}
-	if err := Write(&buf, &Batch{Msgs: msgs}); err == nil {
-		t.Errorf("oversized Batch encoded")
+	if err := Write(&buf, &Batch{Msgs: msgs}); !errors.Is(err, aperrs.ErrBatchTooLarge) {
+		t.Errorf("oversized Batch: err = %v, want ErrBatchTooLarge match", err)
 	}
 	items := make([]RefreshItem, MaxBatchItems+1)
-	if err := Write(&buf, &RefreshBatch{ID: 1, Items: items}); err == nil {
-		t.Errorf("oversized RefreshBatch encoded")
+	if err := Write(&buf, &RefreshBatch{ID: 1, Items: items}); !errors.Is(err, aperrs.ErrBatchTooLarge) {
+		t.Errorf("oversized RefreshBatch: err = %v, want ErrBatchTooLarge match", err)
 	}
 }

@@ -1,0 +1,80 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"apcache/internal/interval"
+	"apcache/internal/workload"
+)
+
+// cancelAfter returns a BatchFetch that cancels ctx after n calls, plus a
+// counter of rounds actually issued.
+func cancelAfter(cancel context.CancelFunc, n int, rounds *int) BatchFetch {
+	return func(keys []int) []float64 {
+		*rounds++
+		if *rounds >= n {
+			cancel()
+		}
+		out := make([]float64, len(keys))
+		for i, k := range keys {
+			out[i] = float64(k)
+		}
+		return out
+	}
+}
+
+func TestExecuteBatchRampCtxStopsMidRamp(t *testing.T) {
+	// 64 uncached keys, MAX, delta 0, ramp 1: one key per round, 64 rounds
+	// uncancelled. Cancelling inside round 2 must stop the refinement
+	// before round 3 is issued.
+	keys := make([]int, 64)
+	for i := range keys {
+		keys[i] = i
+	}
+	none := func(int) (interval.Interval, bool) { return interval.Interval{}, false }
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rounds := 0
+	_, err := ExecuteBatchRampCtx(ctx, workload.Query{Kind: workload.Max, Keys: keys, Delta: 0},
+		none, cancelAfter(cancel, 2, &rounds), 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rounds != 2 {
+		t.Errorf("refinement issued %d rounds after cancel-in-round-2, want exactly 2", rounds)
+	}
+}
+
+func TestExecuteCtxSumCancelledBeforeFetch(t *testing.T) {
+	keys := []int{0, 1, 2}
+	none := func(int) (interval.Interval, bool) { return interval.Interval{}, false }
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fetched := 0
+	_, err := ExecuteCtx(ctx, workload.Query{Kind: workload.Sum, Keys: keys, Delta: 0},
+		none, func(k int) float64 { fetched++; return 0 })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if fetched != 0 {
+		t.Errorf("cancelled SUM still fetched %d keys", fetched)
+	}
+}
+
+func TestExecuteCtxBackgroundMatchesExecute(t *testing.T) {
+	keys := []int{3, 1, 2}
+	get := func(k int) (interval.Interval, bool) {
+		return interval.Interval{Lo: float64(k) - 1, Hi: float64(k) + 1}, true
+	}
+	fetch := func(k int) float64 { return float64(k) }
+	want := Execute(workload.Query{Kind: workload.Max, Keys: keys, Delta: 0}, get, fetch)
+	got, err := ExecuteCtx(context.Background(), workload.Query{Kind: workload.Max, Keys: keys, Delta: 0}, get, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result != want.Result || len(got.Refreshed) != len(want.Refreshed) {
+		t.Errorf("ExecuteCtx = %+v, Execute = %+v", got, want)
+	}
+}

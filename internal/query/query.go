@@ -16,6 +16,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -68,6 +69,15 @@ const DefaultRamp = 2.0
 // minimal sets; ExecuteBatch is the round-trip-efficient variant for remote
 // sources.
 func Execute(q workload.Query, get Lookup, fetch Fetch) Answer {
+	ans, _ := ExecuteCtx(context.Background(), q, get, fetch)
+	return ans
+}
+
+// ExecuteCtx is Execute bounded by ctx: the processor checks for
+// cancellation before every fetch, so a cancelled query stops refreshing
+// mid-sequence and returns the context's error with a zero Answer. With a
+// never-cancelled context it is exactly Execute.
+func ExecuteCtx(ctx context.Context, q workload.Query, get Lookup, fetch Fetch) (Answer, error) {
 	if fetch == nil {
 		panic("query: nil Lookup or Fetch")
 	}
@@ -78,7 +88,7 @@ func Execute(q workload.Query, get Lookup, fetch Fetch) Answer {
 		}
 		return out
 	}
-	return execute(q, get, one, 0)
+	return execute(ctx, q, get, one, 0)
 }
 
 // ExecuteBatch is Execute against a batched fetch path: it groups the
@@ -102,19 +112,28 @@ func ExecuteBatch(q workload.Query, get Lookup, fetch BatchFetch) Answer {
 // tunes from the Cqr-to-RTT ratio; ramp must be >= 1. SUM and AVG are
 // unaffected — their single upfront round is already minimal.
 func ExecuteBatchRamp(q workload.Query, get Lookup, fetch BatchFetch, ramp float64) Answer {
+	ans, _ := ExecuteBatchRampCtx(context.Background(), q, get, fetch, ramp)
+	return ans
+}
+
+// ExecuteBatchRampCtx is ExecuteBatchRamp bounded by ctx. Cancellation is
+// checked before every refinement round, so a cancelled MAX/MIN query stops
+// mid-ramp — no further fetch rounds are issued — and returns the context's
+// error with a zero Answer.
+func ExecuteBatchRampCtx(ctx context.Context, q workload.Query, get Lookup, fetch BatchFetch, ramp float64) (Answer, error) {
 	if fetch == nil {
 		panic("query: nil Lookup or Fetch")
 	}
 	if ramp < 1 || math.IsNaN(ramp) || math.IsInf(ramp, 1) {
 		panic(fmt.Sprintf("query: ramp factor %g outside [1, +Inf)", ramp))
 	}
-	return execute(q, get, fetch, ramp)
+	return execute(ctx, q, get, fetch, ramp)
 }
 
 // execute dispatches one query. ramp > 0 selects the batched geometric
 // refinement for the extreme aggregates; ramp = 0 the sequential
 // one-at-a-time scan.
-func execute(q workload.Query, get Lookup, fetch BatchFetch, ramp float64) Answer {
+func execute(ctx context.Context, q workload.Query, get Lookup, fetch BatchFetch, ramp float64) (Answer, error) {
 	if len(q.Keys) == 0 {
 		panic("query: empty key set")
 	}
@@ -123,13 +142,13 @@ func execute(q workload.Query, get Lookup, fetch BatchFetch, ramp float64) Answe
 	}
 	switch q.Kind {
 	case workload.Sum:
-		return executeSum(q.Keys, q.Delta, 1, get, fetch)
+		return executeSum(ctx, q.Keys, q.Delta, 1, get, fetch)
 	case workload.Avg:
-		return executeSum(q.Keys, q.Delta, 1/float64(len(q.Keys)), get, fetch)
+		return executeSum(ctx, q.Keys, q.Delta, 1/float64(len(q.Keys)), get, fetch)
 	case workload.Max:
-		return executeExtreme(q.Keys, q.Delta, false, get, fetch, ramp)
+		return executeExtreme(ctx, q.Keys, q.Delta, false, get, fetch, ramp)
 	case workload.Min:
-		return executeExtreme(q.Keys, q.Delta, true, get, fetch, ramp)
+		return executeExtreme(ctx, q.Keys, q.Delta, true, get, fetch, ramp)
 	default:
 		panic(fmt.Sprintf("query: unsupported aggregate %v", q.Kind))
 	}
@@ -160,7 +179,7 @@ func load(keys []int, get Lookup) []entry {
 // constraint. The whole refresh set is known before any value is fetched, so
 // it always costs exactly one BatchFetch call (one network round trip on the
 // batched client).
-func executeSum(keys []int, delta, scale float64, get Lookup, fetch BatchFetch) Answer {
+func executeSum(ctx context.Context, keys []int, delta, scale float64, get Lookup, fetch BatchFetch) (Answer, error) {
 	entries := load(keys, get)
 	// Order indices by width descending; unbounded first.
 	order := make([]int, len(entries))
@@ -191,6 +210,9 @@ func executeSum(keys []int, delta, scale float64, get Lookup, fetch BatchFetch) 
 	}
 	var refreshed []int
 	if len(toFetch) > 0 {
+		if err := ctx.Err(); err != nil {
+			return Answer{}, err
+		}
 		refreshed = make([]int, len(toFetch))
 		for j, i := range toFetch {
 			refreshed[j] = entries[i].key
@@ -204,7 +226,7 @@ func executeSum(keys []int, delta, scale float64, get Lookup, fetch BatchFetch) 
 	for _, e := range entries {
 		sum = sum.Add(e.iv)
 	}
-	return Answer{Result: sum.Scale(scale), Refreshed: refreshed}
+	return Answer{Result: sum.Scale(scale), Refreshed: refreshed}, nil
 }
 
 // widthRank orders widths with +Inf greatest.
@@ -230,7 +252,7 @@ func widthRank(iv interval.Interval) float64 {
 // the refresh set may exceed the minimal one, but the number of round trips
 // drops from O(K) to O(log K) for any factor > 1 (ramp = 1 keeps the
 // minimal one-per-round sequence over the batched transport).
-func executeExtreme(keys []int, delta float64, minimize bool, get Lookup, fetch BatchFetch, ramp float64) Answer {
+func executeExtreme(ctx context.Context, keys []int, delta float64, minimize bool, get Lookup, fetch BatchFetch, ramp float64) (Answer, error) {
 	entries := load(keys, get)
 	if minimize {
 		for i := range entries {
@@ -250,7 +272,13 @@ func executeExtreme(keys []int, delta float64, minimize bool, get Lookup, fetch 
 			if minimize {
 				result = negate(result)
 			}
-			return Answer{Result: result, Refreshed: refreshed}
+			return Answer{Result: result, Refreshed: refreshed}, nil
+		}
+		// Honor cancellation between refinement rounds: only once the
+		// constraint is known unmet, and before the next fetch is issued,
+		// so a cancelled query stops mid-ramp.
+		if err := ctx.Err(); err != nil {
+			return Answer{}, err
 		}
 		// Candidates: non-exact entries that can still move either bound,
 		// i.e. whose upper endpoint is not below the collective lower
@@ -295,7 +323,7 @@ func executeExtreme(keys []int, delta float64, minimize bool, get Lookup, fetch 
 			if minimize {
 				result = negate(result)
 			}
-			return Answer{Result: result, Refreshed: refreshed}
+			return Answer{Result: result, Refreshed: refreshed}, nil
 		}
 		n := 1
 		if ramp > 0 {
@@ -340,6 +368,6 @@ func negate(iv interval.Interval) interval.Interval {
 // analysis used by tests and by capacity planning; Execute remains the
 // operational path.
 func PlanSum(keys []int, delta float64, get Lookup) []int {
-	ans := executeSum(keys, delta, 1, get, func(ks []int) []float64 { return make([]float64, len(ks)) })
+	ans, _ := executeSum(context.Background(), keys, delta, 1, get, func(ks []int) []float64 { return make([]float64, len(ks)) })
 	return ans.Refreshed
 }

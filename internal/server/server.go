@@ -93,10 +93,12 @@ type Config struct {
 	// the window entirely (flush as soon as the queue drains); responses
 	// to requests always flush immediately regardless.
 	FlushInterval time.Duration
-	// ProtoVersion pins the protocol the server speaks: 0 or
-	// netproto.Version2 negotiate v2 with clients that send Hello;
-	// netproto.Version1 declines every Hello, forcing all clients onto v1
-	// single-message frames (the compatibility/testing escape hatch).
+	// ProtoVersion caps the protocol the server speaks: 0 negotiates up
+	// to v3 with clients that send Hello (each connection lands on the
+	// minimum of both peers' offers); netproto.Version2 caps negotiation
+	// at v2 (free-text error frames); netproto.Version1 declines every
+	// Hello, forcing all clients onto v1 single-message frames (the
+	// compatibility/testing escape hatch).
 	ProtoVersion int
 	// Logf, when non-nil, receives diagnostic messages.
 	Logf func(format string, args ...interface{})
@@ -107,7 +109,7 @@ type Config struct {
 type srcShard struct {
 	mu  sync.Mutex
 	src *source.Source
-	idx int // this shard's stripe in the server's occupancy counters
+	idx int           // this shard's stripe in the server's occupancy counters
 	_   [64 - 24]byte // pad past one cache line; see storeShard in apcache.go
 }
 
@@ -153,9 +155,9 @@ type clientConn struct {
 	done chan struct{}
 
 	// proto is the negotiated protocol version: netproto.Version1 until a
-	// Hello is accepted, netproto.Version2 after. batchLimit is the
-	// negotiated per-frame batch cap. Both are written by the read loop and
-	// read by the writer, hence atomics.
+	// Hello is accepted, the negotiated version (v2 or v3) after.
+	// batchLimit is the negotiated per-frame batch cap. Both are written
+	// by the read loop and read by the writer, hence atomics.
 	proto      atomic.Int32
 	batchLimit atomic.Int32
 
@@ -265,7 +267,7 @@ func New(cfg Config) *Server {
 	if cfg.InitialWidth < 0 {
 		panic("server: negative initial width")
 	}
-	if cfg.ProtoVersion != 0 && cfg.ProtoVersion != netproto.Version1 && cfg.ProtoVersion != netproto.Version2 {
+	if cfg.ProtoVersion != 0 && (cfg.ProtoVersion < netproto.Version1 || cfg.ProtoVersion > netproto.Version3) {
 		panic(fmt.Sprintf("server: unsupported protocol version %d", cfg.ProtoVersion))
 	}
 	maxBatch := cfg.MaxBatch
@@ -589,6 +591,23 @@ func (s *Server) reply(c *clientConn, m netproto.Message) {
 	}
 }
 
+// errFrame builds the error frame for one failed request, matching the
+// connection's negotiated protocol: v3 peers get the structured Error2 (so
+// their errors.Is/As resolves the failure against the apcache taxonomy
+// across the wire), older peers the free-text ErrorMsg they understand —
+// an unnegotiated frame type would tear their connection down.
+func errFrame(c *clientConn, id uint64, code netproto.ErrCode, key int64, msg string) netproto.Message {
+	if c.proto.Load() >= netproto.Version3 {
+		return &netproto.Error2{ID: id, Code: code, Key: key, Msg: msg}
+	}
+	return &netproto.ErrorMsg{ID: id, Msg: msg}
+}
+
+// errUnknownKey builds the typed unknown-key error frame.
+func errUnknownKey(c *clientConn, id uint64, key int64) netproto.Message {
+	return errFrame(c, id, netproto.CodeUnknownKey, key, fmt.Sprintf("unknown key %d", key))
+}
+
 // isPush reports whether m is a value-initiated push (as opposed to the
 // response to a request), the only traffic the writer may hold back to
 // coalesce.
@@ -809,25 +828,34 @@ func (s *Server) readLoop(c *clientConn) {
 		case *netproto.Batch:
 			s.handleBatch(c, m)
 		default:
-			s.reply(c, &netproto.ErrorMsg{Msg: fmt.Sprintf("unexpected %T", msg)})
+			s.reply(c, errFrame(c, 0, netproto.CodeUnsupported, 0, fmt.Sprintf("unexpected %T", msg)))
 		}
 	}
 }
 
-// handleHello negotiates the protocol version. A server pinned to v1
-// declines; the client then stays on single-message frames.
+// handleHello negotiates the protocol version: the connection lands on the
+// minimum of the client's offer and the server's cap (v3 unless Config
+// pins lower). A server pinned to v1 declines; the client then stays on
+// single-message frames.
 func (s *Server) handleHello(c *clientConn, m *netproto.Hello) {
 	if s.cfg.ProtoVersion == netproto.Version1 || m.Version < netproto.Version2 {
-		s.reply(c, &netproto.ErrorMsg{ID: m.ID, Msg: "protocol v2 unsupported"})
+		s.reply(c, errFrame(c, m.ID, netproto.CodeUnsupported, 0, "protocol v2 unsupported"))
 		return
+	}
+	ver := netproto.Version3
+	if s.cfg.ProtoVersion != 0 && s.cfg.ProtoVersion < ver {
+		ver = s.cfg.ProtoVersion
+	}
+	if int(m.Version) < ver {
+		ver = int(m.Version)
 	}
 	limit := s.maxBatch
 	if int(m.MaxBatch) > 0 && int(m.MaxBatch) < limit {
 		limit = int(m.MaxBatch)
 	}
 	c.batchLimit.Store(int32(limit))
-	c.proto.Store(netproto.Version2)
-	s.reply(c, &netproto.HelloAck{ID: m.ID, Version: netproto.Version2, MaxBatch: uint16(limit)})
+	c.proto.Store(int32(ver))
+	s.reply(c, &netproto.HelloAck{ID: m.ID, Version: uint8(ver), MaxBatch: uint16(limit)})
 }
 
 // handleKeyed serves a single-key request: lock the key's shard, compute the
@@ -849,7 +877,7 @@ func (s *Server) respondLocked(c *clientConn, msg netproto.Message) netproto.Mes
 	case *netproto.Subscribe:
 		sh := s.shardFor(int(m.Key))
 		if _, ok := sh.src.Value(int(m.Key)); !ok {
-			return &netproto.ErrorMsg{ID: m.ID, Msg: fmt.Sprintf("unknown key %d", m.Key)}
+			return errUnknownKey(c, m.ID, m.Key)
 		}
 		r := sh.src.Subscribe(c.id, int(m.Key))
 		s.syncShard(sh)
@@ -867,7 +895,7 @@ func (s *Server) respondLocked(c *clientConn, msg netproto.Message) netproto.Mes
 	case *netproto.Read:
 		sh := s.shardFor(int(m.Key))
 		if _, ok := sh.src.Value(int(m.Key)); !ok {
-			return &netproto.ErrorMsg{ID: m.ID, Msg: fmt.Sprintf("unknown key %d", m.Key)}
+			return errUnknownKey(c, m.ID, m.Key)
 		}
 		r := sh.src.Read(c.id, int(m.Key))
 		s.syncShard(sh)
@@ -890,7 +918,7 @@ func (s *Server) respondLocked(c *clientConn, msg netproto.Message) netproto.Mes
 	case *netproto.Ping:
 		return &netproto.Pong{ID: m.ID}
 	default:
-		return &netproto.ErrorMsg{Msg: fmt.Sprintf("unexpected %T", msg)}
+		return errFrame(c, 0, netproto.CodeUnsupported, 0, fmt.Sprintf("unexpected %T", msg))
 	}
 }
 
@@ -948,7 +976,7 @@ func (s *Server) shardSetFor(c *clientConn, keys []int64) (sorted []int, byShard
 // a newer push before this response for any of the keys.
 func (s *Server) handleMulti(c *clientConn, id uint64, keys []int64, read bool) {
 	if !c.v2() {
-		s.reply(c, &netproto.ErrorMsg{ID: id, Msg: "batched request before handshake"})
+		s.reply(c, errFrame(c, id, netproto.CodeUnsupported, 0, "batched request before handshake"))
 		return
 	}
 	shardSet, byShard := s.shardSetFor(c, keys)
@@ -956,7 +984,7 @@ func (s *Server) handleMulti(c *clientConn, id uint64, keys []int64, read bool) 
 	defer s.unlockShardSet(shardSet)
 	for _, k := range keys {
 		if _, ok := s.shardFor(int(k)).src.Value(int(k)); !ok {
-			s.reply(c, &netproto.ErrorMsg{ID: id, Msg: fmt.Sprintf("unknown key %d", k)})
+			s.reply(c, errUnknownKey(c, id, k))
 			return
 		}
 	}
@@ -1019,7 +1047,7 @@ func (s *Server) handleMulti(c *clientConn, id uint64, keys []int64, read bool) 
 // inside a Batch; such sub-requests get per-message errors.
 func (s *Server) handleBatch(c *clientConn, b *netproto.Batch) {
 	if !c.v2() {
-		s.reply(c, &netproto.ErrorMsg{Msg: "batched request before handshake"})
+		s.reply(c, errFrame(c, 0, netproto.CodeUnsupported, 0, "batched request before handshake"))
 		return
 	}
 	sc := s.shardScratch(c)
@@ -1041,7 +1069,7 @@ func (s *Server) handleBatch(c *clientConn, b *netproto.Batch) {
 			resp[i] = &netproto.Pong{ID: m.ID}
 			continue
 		default:
-			resp[i] = &netproto.ErrorMsg{Msg: fmt.Sprintf("unexpected %T in batch", sub)}
+			resp[i] = errFrame(c, 0, netproto.CodeUnsupported, 0, fmt.Sprintf("unexpected %T in batch", sub))
 			continue
 		}
 		idx := shard.Index(key, len(s.shards))

@@ -320,7 +320,14 @@ func TestLogfGoesToConfiguredSink(t *testing.T) {
 // hello performs the v2 handshake on a raw connection.
 func hello(t *testing.T, conn net.Conn, maxBatch uint16) *netproto.HelloAck {
 	t.Helper()
-	if err := netproto.Write(conn, &netproto.Hello{ID: 1, Version: netproto.Version2, MaxBatch: maxBatch}); err != nil {
+	return helloVersion(t, conn, netproto.Version3, maxBatch)
+}
+
+// helloVersion runs the handshake offering an explicit protocol version,
+// modeling clients from older releases.
+func helloVersion(t *testing.T, conn net.Conn, version uint8, maxBatch uint16) *netproto.HelloAck {
+	t.Helper()
+	if err := netproto.Write(conn, &netproto.Hello{ID: 1, Version: version, MaxBatch: maxBatch}); err != nil {
 		t.Fatal(err)
 	}
 	msg, err := netproto.ReadMsg(conn)
@@ -345,7 +352,7 @@ func TestHelloHandshakeNegotiatesBatchLimit(t *testing.T) {
 	defer s.Close()
 	conn := rawDial(t, addr.String())
 	ack := hello(t, conn, 16)
-	if ack.Version != netproto.Version2 {
+	if ack.Version != netproto.Version3 {
 		t.Errorf("negotiated version %d", ack.Version)
 	}
 	if ack.MaxBatch != 16 {
@@ -479,8 +486,25 @@ func TestSubscribeMultiUnknownKeyWholeRequestErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e, ok := msg.(*netproto.ErrorMsg); !ok || e.ID != 6 {
-		t.Fatalf("expected ErrorMsg 6, got %#v", msg)
+	if e, ok := msg.(*netproto.Error2); !ok || e.ID != 6 || e.Code != netproto.CodeUnknownKey || e.Key != 999 {
+		t.Fatalf("expected Error2 ID 6 code unknown-key key 999, got %#v", msg)
+	}
+	// A peer that only negotiated v2 (an older release) must keep getting
+	// the free-text ErrorMsg: sending Error2 would hit its decoder as an
+	// unknown frame type and tear the connection down mid-upgrade.
+	conn2 := rawDial(t, addr.String())
+	if ack := helloVersion(t, conn2, netproto.Version2, 128); ack.Version != netproto.Version2 {
+		t.Fatalf("v2 offer negotiated version %d, want 2", ack.Version)
+	}
+	if err := netproto.Write(conn2, &netproto.SubscribeMulti{ID: 7, Keys: []int64{0, 999}}); err != nil {
+		t.Fatal(err)
+	}
+	msg2, err := netproto.ReadMsg(conn2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := msg2.(*netproto.ErrorMsg); !ok || e.ID != 7 {
+		t.Fatalf("v2 peer expected ErrorMsg 7, got %#v", msg2)
 	}
 	// The failed request must not leave a half-subscribed state that
 	// pushes to this client.
@@ -532,7 +556,7 @@ func TestBatchRequestOneReplyFrame(t *testing.T) {
 	if p, ok := b.Msgs[2].(*netproto.Pong); !ok || p.ID != 12 {
 		t.Errorf("resp 2: %#v", b.Msgs[2])
 	}
-	if e, ok := b.Msgs[3].(*netproto.ErrorMsg); !ok || e.ID != 13 {
+	if e, ok := b.Msgs[3].(*netproto.Error2); !ok || e.ID != 13 || e.Code != netproto.CodeUnknownKey || e.Key != 999 {
 		t.Errorf("resp 3: %#v", b.Msgs[3])
 	}
 }

@@ -1,0 +1,241 @@
+// Package watch implements the streaming subscription handle of API v1: a
+// Watch turns the refreshes a cache applies behind the reader's back into an
+// observable stream of Update values, one handle per caller.
+//
+// The design mirrors the server's push merge buffer on the consumer side: a
+// producer (the client read loop, or a Store writer holding a shard lock)
+// hands refreshes to Notify, which never blocks — it records the latest
+// interval per key in a pending map and wakes a pump goroutine. The pump
+// delivers updates in arrival order on a channel the consumer ranges over.
+// While the consumer is slow, newer refreshes for a pending key overwrite
+// the older ones (latest-wins coalescing), so the producer is never stalled
+// and memory stays bounded at one pending entry per watched key. Every
+// interval a consumer observes was a valid approximation when it was
+// produced; coalescing only ever skips intermediate states, never the
+// newest one.
+package watch
+
+import (
+	"sync"
+
+	"apcache/internal/aperrs"
+	"apcache/internal/interval"
+)
+
+// Update is one observed refresh: the key and the freshly installed
+// interval approximation.
+type Update struct {
+	Key      int
+	Interval interval.Interval
+}
+
+// outBuffer is the capacity of the Updates channel: enough to ride out
+// consumer scheduling hiccups without coalescing, small enough that a truly
+// slow consumer falls back to latest-wins promptly.
+const outBuffer = 16
+
+// Watch is a live subscription stream. Consumers range over Updates(); the
+// channel closes when the watch is closed or its feed dies, and Err()
+// reports which. All methods are safe for concurrent use.
+type Watch struct {
+	mu        sync.Mutex
+	pending   map[int]interval.Interval // latest undelivered interval per key
+	order     []int                     // pending keys in arrival order
+	err       error                     // terminal failure, if any
+	closed    bool
+	coalesced int // updates folded into a pending entry (latest-wins)
+
+	kick chan struct{} // wakes the pump; capacity 1
+	done chan struct{} // closed exactly once by Close/Fail
+	out  chan Update   // closed by the pump on exit
+
+	onClose func(*Watch) // unregisters the watch from its feed
+}
+
+// New returns a running watch. onClose, if non-nil, is called exactly once
+// — before the stream shuts down — when the watch is closed or failed, so
+// the feed can unregister it.
+func New(onClose func(*Watch)) *Watch {
+	w := &Watch{
+		pending: make(map[int]interval.Interval),
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		out:     make(chan Update, outBuffer),
+		onClose: onClose,
+	}
+	go w.pump()
+	return w
+}
+
+// Updates returns the stream of observed refreshes. The channel is closed
+// when the watch is closed (Err returns nil) or its feed fails (Err returns
+// the cause). Consumers that fall behind lose only intermediate states of a
+// key, never its newest delivered so far.
+func (w *Watch) Updates() <-chan Update { return w.out }
+
+// Err returns the terminal error after Updates is closed: nil for a clean
+// Close, the connection or feed failure otherwise.
+func (w *Watch) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Coalesced reports how many notifications were folded into a pending entry
+// instead of delivered individually — the observability hook for the
+// latest-wins policy.
+func (w *Watch) Coalesced() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.coalesced
+}
+
+// Notify records a refresh for delivery. It never blocks: if an update for
+// key is already pending, the newer interval replaces it (latest-wins).
+// Safe to call from producers holding unrelated locks; calls after
+// Close/Fail are no-ops.
+func (w *Watch) Notify(key int, iv interval.Interval) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	if _, ok := w.pending[key]; ok {
+		w.coalesced++
+	} else {
+		w.order = append(w.order, key)
+	}
+	w.pending[key] = iv
+	w.mu.Unlock()
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Close detaches the watch from its feed and ends the stream. Updates is
+// closed (pending entries are discarded); Err stays nil. Closing twice, or
+// after a failure, is a no-op. It never blocks on the consumer.
+func (w *Watch) Close() error {
+	w.shutdown(nil)
+	return nil
+}
+
+// Fail ends the stream with a terminal error: the feed died underneath the
+// watch (connection lost, client closed). Like Close, but Err reports why.
+func (w *Watch) Fail(err error) {
+	if err == nil {
+		err = aperrs.ErrClosed
+	}
+	w.shutdown(err)
+}
+
+// shutdown runs the close-once protocol shared by Close and Fail.
+func (w *Watch) shutdown(err error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.err = err
+	w.mu.Unlock()
+	if w.onClose != nil {
+		w.onClose(w)
+	}
+	close(w.done)
+}
+
+// Registry maps keys to the watches observing them: the bookkeeping both
+// feeds (the networked client and the in-process store) share. It is not
+// goroutine-safe — each feed guards its registry with its own lock, which
+// also serializes Add/Remove against that feed's Notify calls.
+type Registry struct {
+	byKey map[int][]*Watch
+}
+
+// Add registers w under every key in keys.
+func (r *Registry) Add(w *Watch, keys []int) {
+	if r.byKey == nil {
+		r.byKey = make(map[int][]*Watch)
+	}
+	for _, k := range keys {
+		r.byKey[k] = append(r.byKey[k], w)
+	}
+}
+
+// Remove deletes w from every key in keys, dropping emptied entries so
+// Empty reports the feed may skip notification entirely.
+func (r *Registry) Remove(w *Watch, keys []int) {
+	for _, k := range keys {
+		ws := r.byKey[k]
+		for i, cand := range ws {
+			if cand == w {
+				r.byKey[k] = append(ws[:i], ws[i+1:]...)
+				break
+			}
+		}
+		if len(r.byKey[k]) == 0 {
+			delete(r.byKey, k)
+		}
+	}
+}
+
+// Empty reports whether no watch is registered.
+func (r *Registry) Empty() bool { return len(r.byKey) == 0 }
+
+// Notify streams one refresh to every watch observing key. Never blocks.
+func (r *Registry) Notify(key int, iv interval.Interval) {
+	for _, w := range r.byKey[key] {
+		w.Notify(key, iv)
+	}
+}
+
+// Detach empties the registry and returns the deduplicated watches that
+// were registered (a watch observing several keys appears once): the
+// teardown path, where every live watch is failed with the feed's error.
+func (r *Registry) Detach() []*Watch {
+	var all []*Watch
+	seen := make(map[*Watch]bool)
+	for _, ws := range r.byKey {
+		for _, w := range ws {
+			if !seen[w] {
+				seen[w] = true
+				all = append(all, w)
+			}
+		}
+	}
+	r.byKey = nil
+	return all
+}
+
+// pump moves pending updates onto the out channel in arrival order. It
+// grabs the whole pending run under the lock, then delivers it; updates
+// arriving while a delivery blocks coalesce into the next run. It owns the
+// out channel and closes it on exit.
+func (w *Watch) pump() {
+	defer close(w.out)
+	var run []Update
+	for {
+		select {
+		case <-w.kick:
+		case <-w.done:
+			return
+		}
+		w.mu.Lock()
+		run = run[:0]
+		for _, k := range w.order {
+			run = append(run, Update{Key: k, Interval: w.pending[k]})
+			delete(w.pending, k)
+		}
+		w.order = w.order[:0]
+		w.mu.Unlock()
+		for _, u := range run {
+			select {
+			case w.out <- u:
+			case <-w.done:
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package watch
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"apcache/internal/aperrs"
+	"apcache/internal/interval"
+)
+
+func iv(lo, hi float64) interval.Interval { return interval.Interval{Lo: lo, Hi: hi} }
+
+func recv(t *testing.T, w *Watch) Update {
+	t.Helper()
+	select {
+	case u, ok := <-w.Updates():
+		if !ok {
+			t.Fatalf("Updates closed while an update was expected (Err: %v)", w.Err())
+		}
+		return u
+	case <-time.After(5 * time.Second):
+		t.Fatalf("no update within 5s")
+		panic("unreachable")
+	}
+}
+
+func TestDeliversInArrivalOrder(t *testing.T) {
+	w := New(nil)
+	defer w.Close()
+	w.Notify(3, iv(0, 1))
+	w.Notify(1, iv(2, 3))
+	w.Notify(7, iv(4, 5))
+	for _, want := range []int{3, 1, 7} {
+		if u := recv(t, w); u.Key != want {
+			t.Fatalf("got key %d, want %d", u.Key, want)
+		}
+	}
+}
+
+func TestLatestWinsCoalescing(t *testing.T) {
+	// With no consumer draining, repeated notifies for one key must fold
+	// into a single pending entry holding the newest interval. Saturate the
+	// out buffer with sacrificial keys first so the pump cannot drain the
+	// key under test early.
+	w := New(nil)
+	defer w.Close()
+	for k := 1000; k < 1000+outBuffer+2; k++ {
+		w.Notify(k, iv(0, 1))
+	}
+	// Give the pump a moment to park on the full out channel.
+	time.Sleep(10 * time.Millisecond)
+	for i := 0; i < 50; i++ {
+		w.Notify(5, iv(float64(i), float64(i)+1))
+	}
+	// Drain: the newest state must eventually be delivered, and key 5 may
+	// appear at most twice on the way there (once if its first state was
+	// already grabbed by the pump when the rest of the burst folded in,
+	// plus the folded newest state).
+	seen := 0
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case u := <-w.Updates():
+			if u.Key != 5 {
+				continue
+			}
+			seen++
+			if u.Interval == iv(49, 50) {
+				if seen > 2 {
+					t.Fatalf("key 5 delivered %d times; latest-wins should bound it at 2", seen)
+				}
+				if w.Coalesced() == 0 {
+					t.Fatalf("no folds counted despite the burst")
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatalf("newest state never delivered (saw %d updates for key 5)", seen)
+		}
+	}
+}
+
+func TestCloseEndsStreamCleanly(t *testing.T) {
+	closed := make(chan struct{})
+	w := New(func(*Watch) { close(closed) })
+	w.Notify(1, iv(0, 1))
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-closed:
+	default:
+		t.Fatalf("onClose hook did not run")
+	}
+	// The stream terminates (possibly after delivering buffered updates).
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-w.Updates():
+			if !ok {
+				if err := w.Err(); err != nil {
+					t.Fatalf("Err after clean Close: %v", err)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatalf("Updates never closed")
+		}
+	}
+}
+
+func TestFailReportsCause(t *testing.T) {
+	w := New(nil)
+	w.Fail(errors.New("feed died"))
+	for range w.Updates() {
+	}
+	if err := w.Err(); err == nil || err.Error() != "feed died" {
+		t.Fatalf("Err = %v, want feed died", err)
+	}
+	// Fail with nil maps to ErrClosed.
+	w2 := New(nil)
+	w2.Fail(nil)
+	for range w2.Updates() {
+	}
+	if !errors.Is(w2.Err(), aperrs.ErrClosed) {
+		t.Fatalf("Err = %v, want ErrClosed", w2.Err())
+	}
+}
+
+func TestNotifyAfterCloseIsNoop(t *testing.T) {
+	w := New(nil)
+	w.Close()
+	w.Notify(1, iv(0, 1)) // must not panic or deadlock
+	for range w.Updates() {
+	}
+}
+
+func TestConcurrentNotifyCloseRace(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		w := New(nil)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					w.Notify(g, iv(float64(i), float64(i+1)))
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range w.Updates() {
+			}
+		}()
+		w.Close()
+		wg.Wait()
+	}
+}
