@@ -107,8 +107,8 @@ func main() {
 		case <-stop:
 			fmt.Println()
 			st := srv.Stats()
-			log.Printf("shutting down: %d updates applied, %d refreshes pushed (%d parked on congestion, %d merged)",
-				ticks*len(updates), pushes, st.PushOverflows, st.PushMerges)
+			log.Printf("shutting down: %d updates applied, %d refreshes pushed (%d parked on congestion, %d merged), measured refresh cost %v",
+				ticks*len(updates), pushes, st.PushOverflows, st.PushMerges, st.RefreshCost)
 			srv.Close()
 			return
 		}

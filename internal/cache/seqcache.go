@@ -48,6 +48,7 @@ import (
 type SeqCache struct {
 	base   int     // guaranteed slots, before any borrowing
 	budget *Budget // shared slack pool; nil means the base is a hard cap
+	lender *Lender // this cache's borrowing account with the budget
 
 	table atomic.Pointer[seqTable]
 
@@ -59,14 +60,14 @@ type SeqCache struct {
 	// counters stay exact (Stats sums the stripes).
 	hitmiss *stats.Stripes
 
-	// Writer-owned state; live and borrowed are atomics only so lock-free
-	// Stats/Len/Capacity readers can load them.
-	live     atomic.Int64
-	borrowed atomic.Int64
-	tombs    int
-	admits   atomic.Int64
-	evicts   atomic.Int64
-	rejects  atomic.Int64
+	// Writer-owned state; live is an atomic only so lock-free
+	// Stats/Len/Capacity readers can load it. The borrowed-slot count lives
+	// in the lender account, shared with the budget's pressure ranking.
+	live    atomic.Int64
+	tombs   int
+	admits  atomic.Int64
+	evicts  atomic.Int64
+	rejects atomic.Int64
 }
 
 // Slot states. Within one table a slot only ever moves empty -> full and
@@ -177,6 +178,9 @@ func NewSeq(base int, budget *Budget) *SeqCache {
 		panic(fmt.Sprintf("cache: capacity must be positive, got %d", base))
 	}
 	c := &SeqCache{base: base, budget: budget, hitmiss: stats.NewStripes(readStripes, 2)}
+	if budget != nil {
+		c.lender = budget.Register()
+	}
 	c.table.Store(newSeqTable(minSeqTable))
 	return c
 }
@@ -201,11 +205,17 @@ func (c *SeqCache) Base() int { return c.base }
 // Capacity returns the current maximum entry count: the guaranteed base plus
 // whatever the cache has borrowed from the shared budget. Unlike the
 // sequential Cache it is a moving bound, growing under pressure while the
-// pool has slack and shrinking as entries are dropped.
-func (c *SeqCache) Capacity() int { return c.base + int(c.borrowed.Load()) }
+// pool has slack and shrinking as entries are dropped or reclaimed by the
+// budget's pressure ranking.
+func (c *SeqCache) Capacity() int { return c.base + c.Borrowed() }
 
 // Borrowed returns how many slots are currently on loan from the budget.
-func (c *SeqCache) Borrowed() int { return int(c.borrowed.Load()) }
+func (c *SeqCache) Borrowed() int {
+	if c.lender == nil {
+		return 0
+	}
+	return c.lender.Borrowed()
+}
 
 // Len returns the current number of entries.
 func (c *SeqCache) Len() int { return int(c.live.Load()) }
@@ -352,11 +362,66 @@ func (c *SeqCache) removeAt(t *seqTable, i int) {
 	c.live.Add(-1)
 }
 
+// widestEntry returns the widest resident entry's key, slot index, and
+// original width (ties broken toward the smaller key), skipping the exclude
+// key; (-1 index) when no eligible entry exists. Writer-only.
+func (c *SeqCache) widestEntry(t *seqTable, exclude int) (key, idx int, width float64) {
+	key, idx, width = 0, -1, math.Inf(-1)
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.state.Load() != slotFull {
+			continue
+		}
+		e := s.e.Load()
+		k := int(e.key)
+		if k == exclude {
+			continue
+		}
+		w := e.originalWidth()
+		if w > width || (w == width && k < key) {
+			key, idx, width = k, i, w
+		}
+	}
+	return key, idx, width
+}
+
+// repay settles any slots the budget has flagged for return (a hotter shard
+// found the pool empty), before the current write consumes space: unused
+// borrowed capacity is handed back directly, and a full cache evicts its
+// widest entry — excluding the key being written — to free the slot. Each
+// returned slot releases pool slack for the flagging shard's next
+// acquisition. Writer-only.
+func (c *SeqCache) repay(t *seqTable, exclude int) {
+	if c.lender == nil {
+		return
+	}
+	for c.lender.owed.Load() > 0 && c.lender.borrowed.Load() > 0 {
+		if int(c.live.Load()) >= c.Capacity() {
+			_, idx, _ := c.widestEntry(t, exclude)
+			if idx < 0 {
+				break // only the excluded key is resident; keep the loan
+			}
+			c.removeAt(t, idx)
+			c.evicts.Add(1)
+		}
+		c.budget.releaseFrom(c.lender)
+	}
+	if c.lender.borrowed.Load() == 0 && c.lender.owed.Load() > 0 {
+		// Over-flagged: nothing is on loan anymore, so the residual owed
+		// count must not linger and tax future borrowing.
+		c.lender.owed.Store(0)
+	}
+}
+
 // Put installs an approximation for key, with the same policy as
 // Cache.Put: in-place replacement for resident keys; admission while below
 // capacity; then one borrowed budget slot if the shared pool has slack; and
 // only then the eviction competition, where the widest original width loses
 // — possibly the candidate itself, which is then rejected.
+//
+// Every Put first repays slots the budget has reclaimed for hotter shards
+// and ages this cache's eviction-pressure score; evictions and rejections
+// bump the score, ranking the cache in the budget's lending order.
 //
 // Put returns the key that was evicted to make room, or (0, false) if
 // nothing was evicted. Writer-only.
@@ -365,6 +430,10 @@ func (c *SeqCache) Put(key int, iv interval.Interval, originalWidth float64) (ev
 		panic(fmt.Sprintf("cache: bad original width %g", originalWidth))
 	}
 	t := c.table.Load()
+	if c.lender != nil {
+		c.lender.decay()
+		c.repay(t, key)
+	}
 	if i := c.findSlot(t, key); i >= 0 {
 		t.slots[i].e.Load().write(iv, originalWidth)
 		return 0, false
@@ -379,38 +448,32 @@ func (c *SeqCache) Put(key int, iv interval.Interval, originalWidth float64) (ev
 		admit()
 		return 0, false
 	}
-	if c.budget != nil && c.budget.TryAcquire() {
-		c.borrowed.Add(1)
+	if c.lender != nil && c.budget.Acquire(c.lender) {
 		admit()
 		return 0, false
 	}
 	// Full and no slack anywhere: eviction competition over original widths.
-	widestKey, widestIdx, widest := 0, -1, math.Inf(-1)
-	for i := range t.slots {
-		s := &t.slots[i]
-		if s.state.Load() != slotFull {
-			continue
-		}
-		e := s.e.Load()
-		w := e.originalWidth()
-		k := int(e.key)
-		if w > widest || (w == widest && k < widestKey) {
-			widestKey, widestIdx, widest = k, i, w
-		}
-	}
+	widestKey, widestIdx, widest := c.widestEntry(t, key)
 	if widestIdx < 0 || originalWidth >= widest {
 		// The candidate is at least as wide as every resident: reject it.
 		c.rejects.Add(1)
+		if c.lender != nil {
+			c.lender.bump()
+		}
 		return 0, false
 	}
 	c.removeAt(t, widestIdx)
 	c.evicts.Add(1)
+	if c.lender != nil {
+		c.lender.bump()
+	}
 	admit()
 	return widestKey, true
 }
 
 // Drop removes key if present, returning whether it was cached. A borrowed
-// slot freed by the drop goes back to the shared budget. Writer-only.
+// slot freed by the drop goes back to the shared budget (settling any
+// reclaim flag first). Writer-only.
 func (c *SeqCache) Drop(key int) bool {
 	t := c.table.Load()
 	i := c.findSlot(t, key)
@@ -419,9 +482,8 @@ func (c *SeqCache) Drop(key int) bool {
 	}
 	c.removeAt(t, i)
 	c.evicts.Add(1)
-	if c.budget != nil && c.borrowed.Load() > 0 {
-		c.borrowed.Add(-1)
-		c.budget.Release()
+	if c.lender != nil && c.lender.borrowed.Load() > 0 {
+		c.budget.releaseFrom(c.lender)
 	}
 	return true
 }
@@ -453,6 +515,15 @@ func (c *SeqCache) Entries() []Entry {
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
 	return out
+}
+
+// Entry returns a copy of key's cached entry, if present. Like Entries it
+// is writer-only: snapshot callers hold the owning shard's lock.
+func (c *SeqCache) Entry(key int) (Entry, bool) {
+	if e := c.lookup(key); e != nil {
+		return Entry{Key: key, Interval: e.read(), OriginalWidth: e.originalWidth()}, true
+	}
+	return Entry{}, false
 }
 
 // Stats returns a snapshot of the counters. Lock-free.

@@ -1,0 +1,159 @@
+package cache
+
+import (
+	"math"
+	"sync/atomic"
+
+	"apcache/internal/shard"
+)
+
+// SeqValues is a lock-free exact-value table for the networked server's
+// shards, built from the same ingredients as SeqCache's key index: an
+// open-addressing probe table of padded atomic slots keyed by the HIGH bits
+// of the shard hash, published states that only move empty -> full within
+// one table, and growth by building a fresh table and swapping it in with
+// one atomic pointer store (in-flight readers keep probing the frozen old
+// table).
+//
+// Two deliberate simplifications relative to SeqCache:
+//
+//   - No tombstones. The protocol never deletes a source key (the paper's
+//     source keeps subscriptions even for evicted entries), so slots never
+//     need reclaiming and a reader that finds an empty slot has a definitive
+//     miss — no recycled-slot revalidation required.
+//
+//   - No per-entry seqlock. The payload is one float64, stored as a single
+//     atomic word, so a reader can never observe a torn value; the seqlock
+//     machinery exists in SeqCache only because an interval is two words
+//     that must be mutually consistent.
+//
+// Concurrency contract: Store is writer-only (externally serialized — the
+// server calls it while holding the owning shard's mutex, ordered after the
+// source-map update so a key visible here is always known to the source);
+// Load, Contains, and Len may run from any goroutine at any time and never
+// block a writer. A reader racing a writer may see the value as it was an
+// instant ago — the same linearization slack a mutex would hide.
+type SeqValues struct {
+	table atomic.Pointer[valTable]
+	live  atomic.Int64
+}
+
+// valSlot is padded to 32 bytes — two slots per cache line — so a probe's
+// loads never straddle a line boundary. state publishes last: a reader that
+// observes valFull is guaranteed to see the slot's key and bits.
+type valSlot struct {
+	key   atomic.Int64
+	bits  atomic.Uint64
+	state atomic.Uint32
+	_     [32 - 20]byte
+}
+
+const (
+	valEmpty uint32 = iota
+	valFull
+)
+
+// valTable is one immutable-size probe table; shift positions the high hash
+// bits onto the slot index.
+type valTable struct {
+	shift uint
+	slots []valSlot
+}
+
+// NewSeqValues returns an empty table.
+func NewSeqValues() *SeqValues {
+	v := &SeqValues{}
+	v.table.Store(newValTable(minSeqTable))
+	return v
+}
+
+func newValTable(size int) *valTable {
+	return &valTable{shift: uint(64 - log2(size)), slots: make([]valSlot, size)}
+}
+
+// Len returns the number of stored keys.
+func (v *SeqValues) Len() int { return int(v.live.Load()) }
+
+// lookup returns the slot holding key in the current table, or nil. Safe
+// from any goroutine: with no tombstones an empty slot ends every probe
+// chain for good.
+func (v *SeqValues) lookup(key int) *valSlot {
+	t := v.table.Load()
+	mask := len(t.slots) - 1
+	i := int(shard.Mix(key) >> t.shift)
+	for probes := 0; probes <= mask; probes++ {
+		s := &t.slots[i]
+		if s.state.Load() == valEmpty {
+			return nil
+		}
+		if s.key.Load() == int64(key) {
+			return s
+		}
+		i = (i + 1) & mask
+	}
+	return nil
+}
+
+// Load returns the value stored for key. Lock-free.
+func (v *SeqValues) Load(key int) (float64, bool) {
+	if s := v.lookup(key); s != nil {
+		return math.Float64frombits(s.bits.Load()), true
+	}
+	return 0, false
+}
+
+// Contains reports whether key is present. Lock-free.
+func (v *SeqValues) Contains(key int) bool { return v.lookup(key) != nil }
+
+// Store installs or updates key's value. Writer-only (externally
+// serialized).
+func (v *SeqValues) Store(key int, val float64) {
+	bits := math.Float64bits(val)
+	if s := v.lookup(key); s != nil {
+		s.bits.Store(bits)
+		return
+	}
+	t := v.table.Load()
+	if (int(v.live.Load())+1)*4 > len(t.slots)*3 {
+		t = v.grow()
+	}
+	mask := len(t.slots) - 1
+	i := int(shard.Mix(key) >> t.shift)
+	for t.slots[i].state.Load() == valFull {
+		i = (i + 1) & mask
+	}
+	s := &t.slots[i]
+	s.key.Store(int64(key))
+	s.bits.Store(bits)
+	s.state.Store(valFull) // publish last: readers check state first
+	v.live.Add(1)
+}
+
+// grow publishes a doubled table. Readers still probing the old table see a
+// frozen (and thereafter at worst slightly stale) snapshot; the next Load
+// picks up the new pointer.
+func (v *SeqValues) grow() *valTable {
+	old := v.table.Load()
+	size := minSeqTable
+	for size < 2*(int(v.live.Load())+1) { // load factor <= 1/2 post-growth
+		size <<= 1
+	}
+	t := newValTable(size)
+	mask := size - 1
+	for si := range old.slots {
+		s := &old.slots[si]
+		if s.state.Load() != valFull {
+			continue
+		}
+		k := s.key.Load()
+		i := int(shard.Mix(int(k)) >> t.shift)
+		for t.slots[i].state.Load() == valFull {
+			i = (i + 1) & mask
+		}
+		t.slots[i].key.Store(k)
+		t.slots[i].bits.Store(s.bits.Load())
+		t.slots[i].state.Store(valFull)
+	}
+	v.table.Store(t)
+	return t
+}

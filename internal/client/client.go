@@ -117,6 +117,11 @@ type Stats struct {
 	// signal the adaptive MAX/MIN refinement ramp is derived from. Zero
 	// until the first call completes.
 	SmoothedRTT time.Duration
+	// ServerCqrCost is the per-key refresh cost the server advertised in
+	// its v3 HelloAck (its measured query-initiated refresh latency). Zero
+	// when the server sent no measurement or the connection negotiated a
+	// protocol below v3.
+	ServerCqrCost time.Duration
 	// Cache snapshots the local store's counters.
 	Cache cache.Stats
 }
@@ -157,14 +162,17 @@ type Config struct {
 	// CqrCost is the modeled cost of one query-initiated refresh at the
 	// source, expressed in time units. It is used only by the adaptive
 	// ramp policy (RampFactor 0) as the denominator of the Cqr-to-RTT
-	// ratio. 0 selects DefaultCqrCost.
+	// ratio. 0 lets the server's advertised measurement (v3 HelloAck)
+	// drive the ramp, falling back to DefaultCqrCost when no measurement
+	// arrives; a positive value pins the cost and ignores the server.
 	CqrCost time.Duration
 }
 
 // DefaultCqrCost is the modeled per-key refresh cost used by the adaptive
-// ramp when Config.CqrCost is unset. On loopback (RTT in the same order)
-// the derived ramp lands near query.DefaultRamp; across a real network the
-// RTT dominates and the ramp grows toward MaxAdaptiveRamp.
+// ramp when Config.CqrCost is unset and the server advertised no
+// measurement of its own. On loopback (RTT in the same order) the derived
+// ramp lands near query.DefaultRamp; across a real network the RTT
+// dominates and the ramp grows toward MaxAdaptiveRamp.
 const DefaultCqrCost = 100 * time.Microsecond
 
 // MaxAdaptiveRamp caps the RTT-derived refinement ramp: past 8 the
@@ -214,6 +222,12 @@ type Client struct {
 
 	ramp    float64       // configured MAX/MIN ramp factor; 0 = adaptive from RTT
 	cqrCost time.Duration // modeled per-key refresh cost for the adaptive ramp
+	cqrSet  bool          // Config.CqrCost was explicit: ignore the server's advertisement
+
+	// srvCqrCost is the refresh cost the server advertised in its v3
+	// HelloAck, nanoseconds; 0 until (unless) a measurement arrives.
+	// Written by the handshake, read by every rampFor call.
+	srvCqrCost atomic.Int64
 
 	// sendq feeds the writer goroutine; readDone/writeDone close when the
 	// respective loop exits (readDone doubles as the connection-dead
@@ -276,6 +290,7 @@ func DialConfig(addr string, cfg Config) (*Client, error) {
 		pending:   make(map[uint64]chan callResult),
 		ramp:      ramp,
 		cqrCost:   cqrCost,
+		cqrSet:    cfg.CqrCost > 0,
 		sendq:     make(chan netproto.Message, 256),
 		readDone:  make(chan struct{}),
 		writeDone: make(chan struct{}),
@@ -325,6 +340,12 @@ func (c *Client) handshake(offer, maxBatch int) error {
 	}
 	c.maxBatch.Store(int32(limit))
 	c.proto.Store(int32(ver))
+	if ver >= netproto.Version3 && ack.CqrCost > 0 {
+		// The server measured its own query-initiated refresh latency and
+		// advertised it; the adaptive ramp prefers the measurement over
+		// the modeled DefaultCqrCost (unless Config.CqrCost pinned one).
+		c.srvCqrCost.Store(int64(ack.CqrCost))
+	}
 	return nil
 }
 
@@ -364,6 +385,20 @@ func (c *Client) observeRTT(d time.Duration) {
 	}
 }
 
+// effectiveCqrCost resolves the per-key refresh cost the adaptive ramp
+// divides the RTT by, in precedence order: an explicit Config.CqrCost, then
+// the cost the server measured and advertised in its v3 HelloAck, then the
+// modeled DefaultCqrCost.
+func (c *Client) effectiveCqrCost() time.Duration {
+	if c.cqrSet {
+		return c.cqrCost
+	}
+	if srv := c.srvCqrCost.Load(); srv > 0 {
+		return time.Duration(srv)
+	}
+	return c.cqrCost
+}
+
 // rampFor resolves the MAX/MIN refinement ramp for one query: the
 // configured RampFactor when set, otherwise the adaptive policy — 1 +
 // smoothedRTT/CqrCost, clamped to [1, MaxAdaptiveRamp] — falling back to
@@ -371,20 +406,14 @@ func (c *Client) observeRTT(d time.Duration) {
 // refinement round costs one RTT of latency plus Cqr per fetched key, so
 // when the RTT dwarfs the per-key cost the cheapest strategy is to
 // over-fetch aggressively and save rounds; when refreshes are as expensive
-// as round trips, the paper-minimal sequence wins.
+// as round trips, the paper-minimal sequence wins. The cost side is the
+// server's measured refresh latency when one was advertised, so the
+// trade-off tracks the deployment instead of a hardcoded model.
 func (c *Client) rampFor() float64 {
 	if c.ramp != 0 {
 		return c.ramp
 	}
-	rtt := time.Duration(c.rttEWMA.Load())
-	if rtt <= 0 {
-		return query.DefaultRamp
-	}
-	r := 1 + float64(rtt)/float64(c.cqrCost)
-	if r > MaxAdaptiveRamp {
-		r = MaxAdaptiveRamp
-	}
-	return r
+	return query.AdaptiveRamp(time.Duration(c.rttEWMA.Load()), c.effectiveCqrCost(), MaxAdaptiveRamp)
 }
 
 // readLoop dispatches inbound frames: responses to waiting requests, pushes
@@ -1176,6 +1205,7 @@ func (c *Client) Stats() Stats {
 		FramesSent:     int(c.framesSent.Load()),
 		FramesReceived: int(c.framesRecv.Load()),
 		SmoothedRTT:    time.Duration(c.rttEWMA.Load()),
+		ServerCqrCost:  time.Duration(c.srvCqrCost.Load()),
 		Cache:          c.store.Stats(),
 	}
 }

@@ -239,10 +239,16 @@ type Hello struct {
 
 // HelloAck accepts a Hello. Version and MaxBatch carry the negotiated
 // protocol version and batch limit (the min of both peers' offers).
+// CqrCost advertises the server's measured per-key refresh latency in
+// nanoseconds (0 = no measurement yet), the denominator of the client's
+// RTT-adaptive refinement ramp. It rides only on v3 connections: the field
+// is appended to the frame when the negotiated Version is >= Version3 and
+// omitted otherwise, because older decoders reject trailing bytes.
 type HelloAck struct {
 	ID       uint64
 	Version  uint8
 	MaxBatch uint16
+	CqrCost  uint64
 }
 
 // ReadMulti requests the exact values of Keys under one request ID; the
@@ -683,13 +689,25 @@ func (m *HelloAck) msgType() MsgType { return THelloAck }
 func (m *HelloAck) encode(b []byte) []byte {
 	b = putU64(b, m.ID)
 	b = append(b, m.Version)
-	return putU16(b, m.MaxBatch)
+	b = putU16(b, m.MaxBatch)
+	if m.Version >= Version3 {
+		b = putU64(b, m.CqrCost)
+	}
+	return b
 }
 func (m *HelloAck) decode(b []byte) error {
 	r := reader{b: b}
 	m.ID = r.u64()
 	m.Version = r.u8()
 	m.MaxBatch = r.u16()
+	// CqrCost exists only on v3+ frames, and even there it is read
+	// leniently so a v3 peer predating the field still negotiates cleanly.
+	// The explicit zero matters on the reused decode boxes: a short frame
+	// must not leak the previous ack's cost.
+	m.CqrCost = 0
+	if int(m.Version) >= Version3 && len(r.b) > 0 {
+		m.CqrCost = r.u64()
+	}
 	if err := r.done(); err != nil {
 		return err
 	}

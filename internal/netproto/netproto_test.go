@@ -223,6 +223,46 @@ func TestRoundTripHello(t *testing.T) {
 	}
 }
 
+func TestHelloAckCostVersionGated(t *testing.T) {
+	// v3 acks carry the measured-cost field end to end.
+	ack := roundTrip(t, &HelloAck{ID: 9, Version: Version3, MaxBatch: 64, CqrCost: 12345}).(*HelloAck)
+	if ack.CqrCost != 12345 {
+		t.Errorf("v3 CqrCost = %d, want 12345", ack.CqrCost)
+	}
+	// A v2 ack must encode without the field — a v2 peer's strict decoder
+	// rejects trailing bytes — so the cost is dropped, not smuggled.
+	v2 := roundTrip(t, &HelloAck{ID: 9, Version: Version2, MaxBatch: 64, CqrCost: 12345}).(*HelloAck)
+	if v2.CqrCost != 0 {
+		t.Errorf("v2 CqrCost = %d, want 0 (field is v3-only on the wire)", v2.CqrCost)
+	}
+	var short, long []byte
+	short = (&HelloAck{ID: 1, Version: Version2, MaxBatch: 1}).encode(short)
+	long = (&HelloAck{ID: 1, Version: Version3, MaxBatch: 1}).encode(long)
+	if len(short) != 11 || len(long) != 19 {
+		t.Errorf("encoded lengths v2=%d v3=%d, want 11 and 19", len(short), len(long))
+	}
+}
+
+func TestHelloAckCostLenientDecode(t *testing.T) {
+	// A v3 ack without the field (an older v3 peer) still decodes, and a
+	// reused message box must not leak the previous ack's cost into it.
+	m := &HelloAck{}
+	withCost := (&HelloAck{ID: 2, Version: Version3, MaxBatch: 8, CqrCost: 777}).encode(nil)
+	if err := m.decode(withCost); err != nil || m.CqrCost != 777 {
+		t.Fatalf("decode with cost: %v, CqrCost %d", err, m.CqrCost)
+	}
+	legacy := []byte(nil)
+	legacy = putU64(legacy, 3)
+	legacy = append(legacy, Version3)
+	legacy = putU16(legacy, 8)
+	if err := m.decode(legacy); err != nil {
+		t.Fatalf("legacy v3 ack rejected: %v", err)
+	}
+	if m.CqrCost != 0 {
+		t.Errorf("reused box leaked CqrCost %d from previous decode", m.CqrCost)
+	}
+}
+
 func TestHelloVersionZeroRejected(t *testing.T) {
 	var buf bytes.Buffer
 	if err := Write(&buf, &Hello{ID: 1, Version: 0, MaxBatch: 8}); err != nil {

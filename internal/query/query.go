@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"apcache/internal/interval"
 	"apcache/internal/workload"
@@ -64,6 +65,26 @@ func (a Answer) Estimate() float64 { return a.Result.Center() }
 // candidates as the last. 2 bounds the over-fetch at about twice the minimal
 // refresh set while keeping the round count O(log K).
 const DefaultRamp = 2.0
+
+// AdaptiveRamp derives the MAX/MIN refinement ramp from measured costs:
+// each refinement round pays one round trip of latency plus one refresh
+// cost per fetched key, so the cost-balanced ramp is 1 + rtt/cqrCost,
+// clamped to [1, max] — a high-latency link over-fetches aggressively to
+// save rounds, while a link whose refreshes are as expensive as its round
+// trips stays near the paper-minimal one-key-per-round sequence. Both
+// inputs are measurements (the connection's smoothed RTT and the refresh
+// latency the source observes); with either missing the static DefaultRamp
+// applies.
+func AdaptiveRamp(rtt, cqrCost time.Duration, max float64) float64 {
+	if rtt <= 0 || cqrCost <= 0 {
+		return DefaultRamp
+	}
+	r := 1 + float64(rtt)/float64(cqrCost)
+	if r > max {
+		r = max
+	}
+	return r
+}
 
 // Execute fetches strictly one key at a time and refreshes the paper's
 // minimal sets; ExecuteBatch is the round-trip-efficient variant for remote

@@ -56,6 +56,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"apcache/internal/cache"
 	"apcache/internal/core"
 	"apcache/internal/netproto"
 	"apcache/internal/shard"
@@ -100,23 +101,34 @@ type Config struct {
 	// Hello, forcing all clients onto v1 single-message frames (the
 	// compatibility/testing escape hatch).
 	ProtoVersion int
+	// LockedValueReads routes Value and the request paths' key-existence
+	// checks through the shard mutex instead of the lock-free value table.
+	// It exists purely as a benchmark baseline for the pre-lock-free
+	// architecture, like Options.LockedReads on the Store.
+	LockedValueReads bool
 	// Logf, when non-nil, receives diagnostic messages.
 	Logf func(format string, args ...interface{})
 }
 
 // srcShard owns the values, subscriptions, and controllers for one slice of
-// the key space, guarded by mu.
+// the key space, guarded by mu. vals mirrors src's exact values in a
+// lock-free table (cache.SeqValues): writers update it under mu, strictly
+// after the source map, so any key visible in vals is already known to src;
+// readers (Value, the request paths' existence checks) probe it without
+// touching mu at all.
 type srcShard struct {
-	mu  sync.Mutex
-	src *source.Source
-	idx int           // this shard's stripe in the server's occupancy counters
-	_   [64 - 24]byte // pad past one cache line; see storeShard in apcache.go
+	mu   sync.Mutex
+	src  *source.Source
+	vals *cache.SeqValues
+	idx  int           // this shard's stripe in the server's occupancy counters
+	_    [64 - 32]byte // pad past one cache line; see storeShard in apcache.go
 }
 
 // Stripe counter indices in Server.shardStats.
 const (
 	sKeys = iota // hosted values
 	sSubs        // live (client, key) subscriptions
+	sCost        // EWMA of measured per-key refresh latency, nanoseconds
 	srvCounters
 )
 
@@ -287,7 +299,7 @@ func New(cfg Config) *Server {
 	}
 	for i := range s.shards {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
-		sh := &srcShard{idx: i}
+		sh := &srcShard{idx: i, vals: cache.NewSeqValues()}
 		sh.src = source.New(func(cacheID, key int) core.WidthPolicy {
 			return core.NewController(cfg.Params, cfg.InitialWidth, lockedRand{rng})
 		})
@@ -318,6 +330,7 @@ func (s *Server) SetInitial(key int, v float64) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.src.SetInitial(key, v)
+	sh.vals.Store(key, v)
 	s.syncShard(sh)
 }
 
@@ -330,6 +343,7 @@ func (s *Server) Set(key int, v float64) int {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	refreshes := sh.src.Set(key, v)
+	sh.vals.Store(key, v)
 	s.syncShard(sh)
 	if len(refreshes) == 0 {
 		return 0
@@ -366,12 +380,68 @@ func (s *Server) Set(key int, v float64) int {
 	return len(refreshes)
 }
 
-// Value returns the current exact value.
+// Value returns the current exact value. The default path probes the
+// shard's lock-free value table and takes no mutex; a concurrent Set may or
+// may not be visible yet, exactly as if the read had been serialized an
+// instant earlier (the same linearization slack the old mutex hid). With
+// Config.LockedValueReads the pre-lock-free path through the shard mutex is
+// used instead, as a benchmark baseline.
 func (s *Server) Value(key int) (float64, bool) {
 	sh := s.shardFor(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.src.Value(key)
+	if s.cfg.LockedValueReads {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return sh.src.Value(key)
+	}
+	return sh.vals.Load(key)
+}
+
+// hasKeyLocked reports whether the shard hosts key; the caller holds sh.mu.
+// The lock-free table is authoritative on the default path (it is written
+// under the same lock, after the source map, so it can never trail src while
+// mu is held); the baseline flag routes through the source map itself.
+func (s *Server) hasKeyLocked(sh *srcShard, key int) bool {
+	if s.cfg.LockedValueReads {
+		_, ok := sh.src.Value(key)
+		return ok
+	}
+	return sh.vals.Contains(key)
+}
+
+// observeCost folds one measured query-initiated refresh latency into the
+// shard's cost EWMA (alpha = 1/8, nanoseconds). The caller holds the shard
+// lock, so the stripe keeps its single-writer discipline; RefreshCost reads
+// all stripes lock-free.
+func (s *Server) observeCost(sh *srcShard, d time.Duration) {
+	ns := int64(d)
+	if ns <= 0 {
+		ns = 1 // clock granularity floor: a measured refresh is never free
+	}
+	old := s.shardStats.Load(sh.idx, sCost)
+	if old == 0 {
+		s.shardStats.Store(sh.idx, sCost, ns)
+		return
+	}
+	s.shardStats.Store(sh.idx, sCost, old+(ns-old)/8)
+}
+
+// RefreshCost returns the server's measured per-key refresh latency: the
+// mean of the shards' cost EWMAs, skipping shards that have served no reads
+// yet. Zero means no measurement exists. Handshakes advertise this to v3
+// clients (HelloAck.CqrCost) so their ramp heuristic can weigh real refresh
+// cost against observed RTT instead of a hardcoded constant.
+func (s *Server) RefreshCost() time.Duration {
+	var sum, n int64
+	for i := range s.shards {
+		if c := s.shardStats.Load(i, sCost); c > 0 {
+			sum += c
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(sum / n)
 }
 
 // Clients returns the number of connected caches.
@@ -400,6 +470,9 @@ type Stats struct {
 	// would all have been dropped outright.
 	PushOverflows int
 	PushMerges    int
+	// RefreshCost is the measured per-key query-initiated refresh latency
+	// (mean of the shards' EWMAs); zero until the server has served reads.
+	RefreshCost time.Duration
 }
 
 // Stats reports per-shard occupancy. The gauges are read from the per-shard
@@ -411,6 +484,7 @@ func (s *Server) Stats() Stats {
 		PerShard:      make([]ShardStats, len(s.shards)),
 		PushOverflows: int(s.pushOverflows.Load()),
 		PushMerges:    int(s.pushMerges.Load()),
+		RefreshCost:   s.RefreshCost(),
 	}
 	for i := range s.shards {
 		st.PerShard[i] = ShardStats{
@@ -855,7 +929,15 @@ func (s *Server) handleHello(c *clientConn, m *netproto.Hello) {
 	}
 	c.batchLimit.Store(int32(limit))
 	c.proto.Store(int32(ver))
-	s.reply(c, &netproto.HelloAck{ID: m.ID, Version: uint8(ver), MaxBatch: uint16(limit)})
+	ack := &netproto.HelloAck{ID: m.ID, Version: uint8(ver), MaxBatch: uint16(limit)}
+	if ver >= netproto.Version3 {
+		// Advertise the measured query-initiated refresh cost so the
+		// client's ramp heuristic can use it in place of its built-in
+		// default. Zero (no reads served yet) tells the client to keep
+		// its default; v2 and v1 peers never see the field at all.
+		ack.CqrCost = uint64(s.RefreshCost())
+	}
+	s.reply(c, ack)
 }
 
 // handleKeyed serves a single-key request: lock the key's shard, compute the
@@ -876,7 +958,7 @@ func (s *Server) respondLocked(c *clientConn, msg netproto.Message) netproto.Mes
 	switch m := msg.(type) {
 	case *netproto.Subscribe:
 		sh := s.shardFor(int(m.Key))
-		if _, ok := sh.src.Value(int(m.Key)); !ok {
+		if !s.hasKeyLocked(sh, int(m.Key)) {
 			return errUnknownKey(c, m.ID, m.Key)
 		}
 		r := sh.src.Subscribe(c.id, int(m.Key))
@@ -894,10 +976,12 @@ func (s *Server) respondLocked(c *clientConn, msg netproto.Message) netproto.Mes
 		return resp
 	case *netproto.Read:
 		sh := s.shardFor(int(m.Key))
-		if _, ok := sh.src.Value(int(m.Key)); !ok {
+		if !s.hasKeyLocked(sh, int(m.Key)) {
 			return errUnknownKey(c, m.ID, m.Key)
 		}
+		start := time.Now()
 		r := sh.src.Read(c.id, int(m.Key))
+		s.observeCost(sh, time.Since(start))
 		s.syncShard(sh)
 		resp := netproto.GetRefresh()
 		*resp = netproto.Refresh{
@@ -979,13 +1063,29 @@ func (s *Server) handleMulti(c *clientConn, id uint64, keys []int64, read bool) 
 		s.reply(c, errFrame(c, id, netproto.CodeUnsupported, 0, "batched request before handshake"))
 		return
 	}
+	// Validate the key set lock-free, before any shard lock is taken: the
+	// value tables are safe from any goroutine, and source keys are never
+	// deleted, so a key present at check time is still present when the
+	// locked fill runs. (A key added between the check and the fill fails
+	// the whole request, exactly as if the request had been serialized
+	// before the Set — the same linearization the locked check provided.)
+	if !s.cfg.LockedValueReads {
+		for _, k := range keys {
+			if !s.shardFor(int(k)).vals.Contains(int(k)) {
+				s.reply(c, errUnknownKey(c, id, k))
+				return
+			}
+		}
+	}
 	shardSet, byShard := s.shardSetFor(c, keys)
 	s.lockShardSet(shardSet)
 	defer s.unlockShardSet(shardSet)
-	for _, k := range keys {
-		if _, ok := s.shardFor(int(k)).src.Value(int(k)); !ok {
-			s.reply(c, errUnknownKey(c, id, k))
-			return
+	if s.cfg.LockedValueReads {
+		for _, k := range keys {
+			if _, ok := s.shardFor(int(k)).src.Value(int(k)); !ok {
+				s.reply(c, errUnknownKey(c, id, k))
+				return
+			}
 		}
 	}
 	rb := netproto.GetRefreshBatch()
@@ -998,6 +1098,10 @@ func (s *Server) handleMulti(c *clientConn, id uint64, keys []int64, read bool) 
 	items := rb.Items
 	fill := func(shardIdx int) {
 		sh := s.shards[shardIdx]
+		var start time.Time
+		if read {
+			start = time.Now()
+		}
 		for _, pos := range byShard[shardIdx] {
 			k := keys[pos]
 			var r source.Refresh
@@ -1016,6 +1120,11 @@ func (s *Server) handleMulti(c *clientConn, id uint64, keys []int64, read bool) 
 				Hi:            r.Interval.Hi,
 				OriginalWidth: r.OriginalWidth,
 			}
+		}
+		if n := len(byShard[shardIdx]); read && n > 0 {
+			// Amortize the batch's timer reads: one measurement for the
+			// shard's whole slice, folded in at per-key granularity.
+			s.observeCost(sh, time.Since(start)/time.Duration(n))
 		}
 		s.syncShard(sh)
 	}

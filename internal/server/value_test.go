@@ -1,0 +1,193 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"apcache/internal/netproto"
+)
+
+// TestValueLockFree proves Server.Value takes no shard mutex: it is called
+// while the test itself holds the key's shard lock, which would deadlock
+// (Go mutexes are not reentrant) if Value still went through the mutex.
+func TestValueLockFree(t *testing.T) {
+	s := New(testConfig())
+	s.SetInitial(5, 42)
+	sh := s.shardFor(5)
+	sh.mu.Lock()
+	v, ok := s.Value(5)
+	if _, miss := s.Value(6); miss {
+		t.Errorf("unknown key reported present")
+	}
+	sh.mu.Unlock()
+	if !ok || v != 42 {
+		t.Fatalf("Value under held shard lock = %g, %v; want 42, true", v, ok)
+	}
+}
+
+// TestValueSeesUpdates checks the lock-free table tracks Set exactly, not
+// just SetInitial.
+func TestValueSeesUpdates(t *testing.T) {
+	s := New(testConfig())
+	for k := 0; k < 64; k++ {
+		s.SetInitial(k, float64(k))
+	}
+	for k := 0; k < 64; k++ {
+		s.Set(k, float64(k)*10)
+	}
+	for k := 0; k < 64; k++ {
+		if v, ok := s.Value(k); !ok || v != float64(k)*10 {
+			t.Fatalf("Value(%d) = %g, %v; want %g", k, v, ok, float64(k)*10)
+		}
+	}
+}
+
+// TestLockedValueReadsBaseline exercises the benchmark-baseline path end to
+// end: the mutex route must answer exactly like the lock-free one.
+func TestLockedValueReadsBaseline(t *testing.T) {
+	cfg := testConfig()
+	cfg.LockedValueReads = true
+	s := New(cfg)
+	s.SetInitial(3, 7)
+	if v, ok := s.Value(3); !ok || v != 7 {
+		t.Fatalf("locked Value = %g, %v", v, ok)
+	}
+	if _, ok := s.Value(4); ok {
+		t.Fatalf("locked Value reported unknown key present")
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn := rawDial(t, addr.String())
+	hello(t, conn, 16)
+	if err := netproto.Write(conn, &netproto.ReadMulti{ID: 2, Keys: []int64{3, 999}}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := netproto.ReadMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := msg.(*netproto.Error2); !ok || e.Code != netproto.CodeUnknownKey {
+		t.Fatalf("locked multi-key validation: got %#v, want unknown-key error", msg)
+	}
+}
+
+// TestRefreshCostMeasured drives query-initiated reads through the wire path
+// and checks the server distills them into a nonzero cost estimate.
+func TestRefreshCostMeasured(t *testing.T) {
+	s := New(testConfig())
+	s.SetInitial(1, 10)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.RefreshCost(); got != 0 {
+		t.Fatalf("RefreshCost before any read = %v, want 0", got)
+	}
+
+	conn := rawDial(t, addr.String())
+	for i := 0; i < 4; i++ {
+		if err := netproto.Write(conn, &netproto.Read{ID: uint64(i + 1), Key: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := netproto.ReadMsg(conn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cost := s.RefreshCost()
+	if cost <= 0 {
+		t.Fatalf("RefreshCost after reads = %v, want > 0", cost)
+	}
+	if cost > time.Second {
+		t.Fatalf("RefreshCost absurdly large: %v", cost)
+	}
+	if st := s.Stats(); st.RefreshCost != cost {
+		t.Errorf("Stats.RefreshCost = %v, RefreshCost() = %v", st.RefreshCost, cost)
+	}
+}
+
+// TestHelloAckAdvertisesRefreshCost checks the handshake carries the
+// measured cost to v3 peers once one exists, and that v2 peers — whose
+// HelloAck has no such field — still negotiate cleanly afterward.
+func TestHelloAckAdvertisesRefreshCost(t *testing.T) {
+	s := New(testConfig())
+	s.SetInitial(1, 10)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// First client handshakes before any read has been served: no
+	// measurement to advertise yet.
+	first := rawDial(t, addr.String())
+	if ack := hello(t, first, 16); ack.CqrCost != 0 {
+		t.Fatalf("first handshake advertised cost %d before any read", ack.CqrCost)
+	}
+	for i := 0; i < 4; i++ {
+		if err := netproto.Write(first, &netproto.Read{ID: uint64(i + 1), Key: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := netproto.ReadMsg(first); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A v3 client connecting now receives the measurement.
+	second := rawDial(t, addr.String())
+	ack := hello(t, second, 16)
+	if ack.CqrCost == 0 {
+		t.Fatalf("second handshake advertised no cost after reads were served")
+	}
+	if got, want := time.Duration(ack.CqrCost), s.RefreshCost(); got != want {
+		t.Errorf("advertised cost %v, server RefreshCost %v", got, want)
+	}
+
+	// A v2 client negotiates cleanly: its ack frame has no cost field and
+	// the connection keeps working.
+	third := rawDial(t, addr.String())
+	ack2 := helloVersion(t, third, netproto.Version2, 16)
+	if ack2.Version != netproto.Version2 {
+		t.Fatalf("v2 offer negotiated version %d", ack2.Version)
+	}
+	if ack2.CqrCost != 0 {
+		t.Errorf("v2 ack decoded cost %d, want 0 (field absent on the wire)", ack2.CqrCost)
+	}
+	if err := netproto.Write(third, &netproto.Read{ID: 9, Key: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := netproto.ReadMsg(third); err != nil {
+		t.Fatal(err)
+	} else if r, ok := msg.(*netproto.Refresh); !ok || r.ID != 9 {
+		t.Fatalf("v2 read after handshake: %#v", msg)
+	}
+}
+
+// BenchmarkServerValue compares the lock-free value read against the
+// pre-lock-free mutex baseline under concurrent readers.
+func BenchmarkServerValue(b *testing.B) {
+	run := func(b *testing.B, locked bool) {
+		cfg := testConfig()
+		cfg.LockedValueReads = locked
+		s := New(cfg)
+		const keys = 1024
+		for k := 0; k < keys; k++ {
+			s.SetInitial(k, float64(k))
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			k := 0
+			for pb.Next() {
+				if _, ok := s.Value(k & (keys - 1)); !ok {
+					b.Fatal("missing key")
+				}
+				k++
+			}
+		})
+	}
+	b.Run("lockfree", func(b *testing.B) { run(b, false) })
+	b.Run("locked", func(b *testing.B) { run(b, true) })
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"apcache/internal/core"
 )
@@ -39,6 +40,13 @@ const snapshotVersion = 1
 // precision settings instead of re-adapting from scratch. All shards are
 // locked (in ascending order) for the duration, so the snapshot is globally
 // consistent.
+//
+// The walk is driven by the source's key set, not the cache's: per the
+// paper the source keeps subscriptions (and their learned widths) for keys
+// the cache has silently evicted, and a snapshot that walked only cached
+// entries would discard exactly that state — the restored store would fail
+// reads of evicted keys and re-adapt their precision from scratch. Keys are
+// emitted in ascending order, so identical state yields identical bytes.
 func (s *Store) Save(w io.Writer) error {
 	s.lockAll()
 	defer s.unlockAll()
@@ -50,22 +58,54 @@ func (s *Store) Save(w io.Writer) error {
 		QIR:     st.QueryRefreshes,
 		Cost:    st.Cost,
 	}
-	for _, sh := range s.shards {
-		for _, e := range sh.cache.Entries() {
-			v, ok := sh.src.Value(e.Key)
-			if !ok {
-				continue
-			}
-			ks := keySnapshot{Key: e.Key, Value: v, Cached: true,
-				Lo: e.Interval.Lo, Hi: e.Interval.Hi, OrigW: e.OriginalWidth}
-			if p, ok := sh.src.PolicyFor(storeCacheID, e.Key); ok {
+	for i, sh := range s.shards {
+		cached := 0
+		sh.src.ForEach(func(key int, v float64) {
+			ks := keySnapshot{Key: key, Value: v}
+			if p, ok := sh.src.PolicyFor(storeCacheID, key); ok {
 				ks.Width = p.Width()
 			}
+			if e, ok := sh.cache.Entry(key); ok {
+				cached++
+				ks.Cached = true
+				ks.Lo, ks.Hi, ks.OrigW = e.Interval.Lo, e.Interval.Hi, e.OriginalWidth
+			}
 			snap.Keys = append(snap.Keys, ks)
+		})
+		// Every cached entry's key must be known to the source (the cache
+		// only ever installs refreshes the source produced). A mismatch
+		// means corrupted state; snapshotting it silently would launder
+		// the corruption into the next process.
+		if n := sh.cache.Len(); cached != n {
+			return fmt.Errorf("apcache: save: shard %d has %d cached entries but only %d known to the source", i, n, cached)
 		}
 	}
+	sort.Slice(snap.Keys, func(a, b int) bool { return snap.Keys[a].Key < snap.Keys[b].Key })
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("apcache: save: %w", err)
+	}
+	return nil
+}
+
+// validateSnapshot rejects snapshots whose numeric state would corrupt a
+// store: NaN or negative widths (SetWidth would install them verbatim) and
+// inverted or NaN intervals. Validation runs to completion before any store
+// state is built, so a corrupt snapshot can never yield a partially
+// restored store.
+func validateSnapshot(snap *snapshot) error {
+	for _, ks := range snap.Keys {
+		if math.IsNaN(ks.Width) || math.IsInf(ks.Width, 0) || ks.Width < 0 {
+			return fmt.Errorf("apcache: load: key %d has invalid width %g", ks.Key, ks.Width)
+		}
+		if !ks.Cached {
+			continue
+		}
+		if math.IsNaN(ks.Lo) || math.IsNaN(ks.Hi) || ks.Lo > ks.Hi {
+			return fmt.Errorf("apcache: load: key %d has invalid interval [%g, %g]", ks.Key, ks.Lo, ks.Hi)
+		}
+		if math.IsNaN(ks.OrigW) || math.IsInf(ks.OrigW, 0) || ks.OrigW < 0 {
+			return fmt.Errorf("apcache: load: key %d has invalid original width %g", ks.Key, ks.OrigW)
+		}
 	}
 	return nil
 }
@@ -92,6 +132,9 @@ func LoadOptions(r io.Reader, opts Options) (*Store, error) {
 	if snap.Version != snapshotVersion {
 		return nil, fmt.Errorf("apcache: snapshot version %d unsupported", snap.Version)
 	}
+	if err := validateSnapshot(&snap); err != nil {
+		return nil, err
+	}
 	opts.Params = snap.Params
 	s, err := NewStore(opts)
 	if err != nil {
@@ -107,9 +150,13 @@ func LoadOptions(r io.Reader, opts Options) (*Store, error) {
 		sh.mu.Lock()
 		sh.src.SetInitial(ks.Key, ks.Value)
 		sh.src.Subscribe(storeCacheID, ks.Key)
-		if p, ok := sh.src.PolicyFor(storeCacheID, ks.Key); ok {
-			if c, ok := p.(*core.Controller); ok {
-				c.SetWidth(ks.Width)
+		// Width 0 marks a key snapshotted without a recorded policy; the
+		// fresh subscription's InitialWidth stands in that case.
+		if ks.Width > 0 {
+			if p, ok := sh.src.PolicyFor(storeCacheID, ks.Key); ok {
+				if c, ok := p.(*core.Controller); ok {
+					c.SetWidth(ks.Width)
+				}
 			}
 		}
 		if ks.Cached {

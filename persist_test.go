@@ -81,6 +81,139 @@ func TestLoadPreservesAdaptedWidths(t *testing.T) {
 	}
 }
 
+// TestSaveKeepsEvictedSubscriptions is the regression test for snapshots
+// walking the cache instead of the source: a key whose cache entry was
+// evicted still has a live subscription and a learned width, and both must
+// survive a Save/Load cycle. Before the fix the key vanished from the
+// snapshot entirely — the restored store failed reads of it and re-adapted
+// its precision from the initial width.
+func TestSaveKeepsEvictedSubscriptions(t *testing.T) {
+	s, err := NewStore(Options{
+		Params:       Params{Cvr: 1, Cqr: 2, Alpha: 1, Lambda0: 0, Lambda1: math.Inf(1)},
+		InitialWidth: 10,
+		CacheSize:    2,
+		Shards:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Track(0, 100)
+	s.Track(1, 200)
+	// Four escaping updates double key 0's width each time (theta = 1, so
+	// every value-initiated refresh grows deterministically): 10 -> 160.
+	for _, v := range []float64{300, 500, 700, 900} {
+		s.Set(0, v)
+	}
+	// Admitting key 2 with a full cache evicts the widest entry — key 0.
+	s.Track(2, 300)
+	if _, ok := s.Get(0); ok {
+		t.Fatalf("key 0 still cached; eviction setup broken")
+	}
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	restored, err := LoadOptions(&buf, Options{Seed: 1, Shards: 1, CacheSize: 2})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// The learned width must have survived the round trip...
+	p, ok := restored.shardFor(0).src.PolicyFor(storeCacheID, 0)
+	if !ok {
+		t.Fatalf("restored store has no subscription for the evicted key")
+	}
+	if got := p.Width(); got != 160 {
+		t.Fatalf("restored width %g, want learned 160", got)
+	}
+	// ...the evicted key's value must still be readable...
+	v, err := restored.ReadExact(0)
+	if err != nil {
+		t.Fatalf("ReadExact(0) on restored store: %v", err)
+	}
+	if v != 900 {
+		t.Errorf("restored value %g, want 900", v)
+	}
+	// ...and the read continues adapting from 160 (one query-initiated
+	// shrink halves it to 80), not from the initial 10.
+	if got := p.Width(); math.Abs(got-80) > 1e-9 {
+		t.Errorf("post-read width %g, want 80 (continued from learned 160)", got)
+	}
+}
+
+// TestLoadRejectsTruncatedSnapshot feeds Load every proper prefix of a
+// valid snapshot: each must fail with a clean error, never a panic or a
+// silently partial store.
+func TestLoadRejectsTruncatedSnapshot(t *testing.T) {
+	s := newStore(t)
+	for k := 0; k < 8; k++ {
+		s.Track(k, float64(k*10))
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for n := 0; n < len(full); n += 7 {
+		if _, err := Load(bytes.NewReader(full[:n]), 1); err == nil {
+			t.Fatalf("truncated snapshot (%d of %d bytes) accepted", n, len(full))
+		}
+	}
+}
+
+// TestLoadRejectsCorruptNumericState: a snapshot carrying NaN or negative
+// widths or an inverted interval must be rejected with an error — the
+// controller panics on such widths, so letting them through would crash the
+// restoring process.
+func TestLoadRejectsCorruptNumericState(t *testing.T) {
+	corrupt := func(name string, mutate func(*keySnapshot)) {
+		s := newStore(t)
+		s.Track(0, 1)
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var snap snapshot
+		if err := decodeSnap(&buf, &snap); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&snap.Keys[0])
+		var buf2 bytes.Buffer
+		if err := encodeSnap(&buf2, snap); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(&buf2, 1); err == nil {
+			t.Errorf("%s: corrupt snapshot accepted", name)
+		}
+	}
+	corrupt("nan width", func(ks *keySnapshot) { ks.Width = math.NaN() })
+	corrupt("negative width", func(ks *keySnapshot) { ks.Width = -1 })
+	corrupt("inf width", func(ks *keySnapshot) { ks.Width = math.Inf(1) })
+	corrupt("inverted interval", func(ks *keySnapshot) { ks.Lo, ks.Hi = 5, -5 })
+	corrupt("nan interval", func(ks *keySnapshot) { ks.Lo = math.NaN() })
+	corrupt("negative original width", func(ks *keySnapshot) { ks.OrigW = -2 })
+}
+
+// TestSaveDeterministicBytes: identical state must serialize to identical
+// bytes (keys are emitted sorted), so snapshot diffing and content-addressed
+// storage work.
+func TestSaveDeterministicBytes(t *testing.T) {
+	build := func() *bytes.Buffer {
+		s := newStore(t)
+		for k := 19; k >= 0; k-- {
+			s.Track(k, float64(k))
+		}
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	if !bytes.Equal(build().Bytes(), build().Bytes()) {
+		t.Errorf("two saves of identical state differ")
+	}
+}
+
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(strings.NewReader("not a snapshot"), 1); err == nil {
 		t.Errorf("garbage accepted")
