@@ -62,6 +62,7 @@ import (
 	"apcache/internal/core"
 	"apcache/internal/hierarchy"
 	"apcache/internal/interval"
+	"apcache/internal/netpoll"
 	"apcache/internal/netproto"
 	"apcache/internal/query"
 	"apcache/internal/server"
@@ -554,6 +555,20 @@ type Server = server.Server
 
 // ServerConfig parameterizes Serve.
 type ServerConfig = server.Config
+
+// Connection-core selectors for ServerConfig.ConnMode: the classic
+// two-goroutines-per-connection core, or the event-driven poller core that
+// multiplexes every connection over a shared epoll loop, decode workers,
+// and a writer pool. Unsupported platforms fall back to the goroutine core.
+const (
+	ConnModeGoroutine = server.ConnModeGoroutine
+	ConnModePoller    = server.ConnModePoller
+)
+
+// PollerSupported reports whether this platform has an event-driven
+// connection core; when false, ConnModePoller downgrades to the goroutine
+// core at Listen time.
+func PollerSupported() bool { return netpoll.Supported() }
 
 // Serve starts a server on addr ("host:port", port 0 picks a free one) and
 // returns it with its bound address.

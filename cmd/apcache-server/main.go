@@ -42,6 +42,7 @@ func main() {
 		maxBatch  = flag.Int("maxbatch", 0, "max messages per batch frame (0 = default 128)")
 		flush     = flag.Duration("maxflush", 2*time.Millisecond, "cap on the adaptive per-connection push-coalescing window (0 = always flush immediately)")
 		protoVer  = flag.Int("protover", 0, "cap the wire protocol: 1 = v1 single frames, 2 = batched v2, 0/3 = v3 with structured errors")
+		connMode  = flag.String("connmode", "", "connection core: 'goroutine' (default; two goroutines per connection) or 'poller' (event-driven, shared loops + writer pool)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func main() {
 		MaxBatch:      *maxBatch,
 		FlushInterval: *flush,
 		ProtoVersion:  *protoVer,
+		ConnMode:      *connMode,
 		Logf:          log.Printf,
 	})
 
@@ -87,7 +89,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("apcache-server: %v", err)
 	}
-	log.Printf("serving %d keys on %s (update period %v)", len(updates), bound, *period)
+	log.Printf("serving %d keys on %s (%s connection core, update period %v)", len(updates), bound, srv.ConnMode(), *period)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)

@@ -19,7 +19,7 @@ import (
 	"apcache/internal/workload"
 )
 
-func benchServer(b *testing.B, keys int) (*server.Server, string) {
+func benchServer(b *testing.B, keys int, connMode string) (*server.Server, string) {
 	b.Helper()
 	// Alpha 0 freezes the widths at InitialWidth, so a Delta-0 query keeps
 	// refetching every key on every iteration: the benchmark measures the
@@ -29,7 +29,11 @@ func benchServer(b *testing.B, keys int) (*server.Server, string) {
 		Params:       core.Params{Cvr: 1, Cqr: 2, Alpha: 0, Lambda0: 0, Lambda1: math.Inf(1)},
 		InitialWidth: 10,
 		Seed:         1,
+		ConnMode:     connMode,
 	})
+	if connMode != "" && srv.ConnMode() != connMode {
+		b.Skipf("conn mode %q unsupported on this platform", connMode)
+	}
 	for k := 0; k < keys; k++ {
 		srv.SetInitial(k, float64(k))
 	}
@@ -60,40 +64,42 @@ func BenchmarkNetPipeline(b *testing.B) {
 	const keys = 256
 	const queryKeys = 32
 	for _, proto := range []int{netproto.Version1, netproto.Version2} {
-		b.Run(fmt.Sprintf("proto=v%d", proto), func(b *testing.B) {
-			_, addr := benchServer(b, keys)
-			c := benchDial(b, addr, keys, proto)
-			all := make([]int, keys)
-			for k := range all {
-				all[k] = k
-			}
-			if err := c.SubscribeMulti(all); err != nil {
-				b.Fatal(err)
-			}
-			var seed atomic.Int64
-			b.ReportAllocs()
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				rng := rand.New(rand.NewSource(seed.Add(1)))
-				qkeys := make([]int, queryKeys)
-				for pb.Next() {
-					if rng.Intn(8) == 0 {
-						for i := range qkeys {
-							qkeys[i] = rng.Intn(keys)
-						}
-						if _, err := c.Query(workload.Query{Kind: workload.Sum, Keys: qkeys, Delta: 0}); err != nil {
-							b.Error(err)
-							return
-						}
-					} else {
-						if _, err := c.ReadExact(rng.Intn(keys)); err != nil {
-							b.Error(err)
-							return
+		for _, mode := range []string{server.ConnModeGoroutine, server.ConnModePoller} {
+			b.Run(fmt.Sprintf("proto=v%d/connmode=%s", proto, mode), func(b *testing.B) {
+				_, addr := benchServer(b, keys, mode)
+				c := benchDial(b, addr, keys, proto)
+				all := make([]int, keys)
+				for k := range all {
+					all[k] = k
+				}
+				if err := c.SubscribeMulti(all); err != nil {
+					b.Fatal(err)
+				}
+				var seed atomic.Int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					rng := rand.New(rand.NewSource(seed.Add(1)))
+					qkeys := make([]int, queryKeys)
+					for pb.Next() {
+						if rng.Intn(8) == 0 {
+							for i := range qkeys {
+								qkeys[i] = rng.Intn(keys)
+							}
+							if _, err := c.Query(workload.Query{Kind: workload.Sum, Keys: qkeys, Delta: 0}); err != nil {
+								b.Error(err)
+								return
+							}
+						} else {
+							if _, err := c.ReadExact(rng.Intn(keys)); err != nil {
+								b.Error(err)
+								return
+							}
 						}
 					}
-				}
+				})
 			})
-		})
+		}
 	}
 }
 
@@ -103,24 +109,26 @@ func BenchmarkNetPipeline(b *testing.B) {
 func BenchmarkQueryFanout(b *testing.B) {
 	const keys = 64
 	for _, proto := range []int{netproto.Version1, netproto.Version2} {
-		b.Run(fmt.Sprintf("proto=v%d", proto), func(b *testing.B) {
-			_, addr := benchServer(b, keys)
-			c := benchDial(b, addr, keys, proto)
-			all := make([]int, keys)
-			for k := range all {
-				all[k] = k
-			}
-			if err := c.SubscribeMulti(all); err != nil {
-				b.Fatal(err)
-			}
-			q := workload.Query{Kind: workload.Sum, Keys: all, Delta: 0}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := c.Query(q); err != nil {
+		for _, mode := range []string{server.ConnModeGoroutine, server.ConnModePoller} {
+			b.Run(fmt.Sprintf("proto=v%d/connmode=%s", proto, mode), func(b *testing.B) {
+				_, addr := benchServer(b, keys, mode)
+				c := benchDial(b, addr, keys, proto)
+				all := make([]int, keys)
+				for k := range all {
+					all[k] = k
+				}
+				if err := c.SubscribeMulti(all); err != nil {
 					b.Fatal(err)
 				}
-			}
-		})
+				q := workload.Query{Kind: workload.Sum, Keys: all, Delta: 0}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := c.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

@@ -117,10 +117,11 @@ type Stats struct {
 	// signal the adaptive MAX/MIN refinement ramp is derived from. Zero
 	// until the first call completes.
 	SmoothedRTT time.Duration
-	// ServerCqrCost is the per-key refresh cost the server advertised in
-	// its v3 HelloAck (its measured query-initiated refresh latency). Zero
-	// when the server sent no measurement or the connection negotiated a
-	// protocol below v3.
+	// ServerCqrCost is the per-key refresh cost the server most recently
+	// advertised (its measured query-initiated refresh latency): the v3
+	// HelloAck value, superseded by any update piggybacked on a later
+	// RefreshBatch. Zero when the server sent no measurement or the
+	// connection negotiated a protocol below v3.
 	ServerCqrCost time.Duration
 	// Cache snapshots the local store's counters.
 	Cache cache.Stats
@@ -224,9 +225,11 @@ type Client struct {
 	cqrCost time.Duration // modeled per-key refresh cost for the adaptive ramp
 	cqrSet  bool          // Config.CqrCost was explicit: ignore the server's advertisement
 
-	// srvCqrCost is the refresh cost the server advertised in its v3
-	// HelloAck, nanoseconds; 0 until (unless) a measurement arrives.
-	// Written by the handshake, read by every rampFor call.
+	// srvCqrCost is the refresh cost the server most recently advertised,
+	// nanoseconds; 0 until (unless) a measurement arrives. Seeded by the
+	// v3 HelloAck and refreshed by cost updates piggybacked on
+	// RefreshBatch frames when the server's measurement drifts. Written by
+	// the handshake and the read loop, read by every rampFor call.
 	srvCqrCost atomic.Int64
 
 	// sendq feeds the writer goroutine; readDone/writeDone close when the
@@ -387,8 +390,8 @@ func (c *Client) observeRTT(d time.Duration) {
 
 // effectiveCqrCost resolves the per-key refresh cost the adaptive ramp
 // divides the RTT by, in precedence order: an explicit Config.CqrCost, then
-// the cost the server measured and advertised in its v3 HelloAck, then the
-// modeled DefaultCqrCost.
+// the cost the server most recently measured and advertised (HelloAck, or a
+// later RefreshBatch piggyback), then the modeled DefaultCqrCost.
 func (c *Client) effectiveCqrCost() time.Duration {
 	if c.cqrSet {
 		return c.cqrCost
@@ -480,6 +483,13 @@ func (c *Client) handleMsg(msg netproto.Message) {
 			ch <- callResult{msg: cp, at: time.Now()}
 		}
 	case *netproto.RefreshBatch:
+		if m.CqrCost > 0 {
+			// The server re-advertised its measured refresh cost (it
+			// drifted >25% from what this connection last saw); fold it
+			// into the adaptive ramp exactly like the HelloAck value. An
+			// explicit Config.CqrCost still wins in effectiveCqrCost.
+			c.srvCqrCost.Store(int64(m.CqrCost))
+		}
 		c.mu.Lock()
 		for _, it := range m.Items {
 			c.installLocked(it.Key, it.Lo, it.Hi, it.OriginalWidth)

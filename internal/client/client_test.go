@@ -18,17 +18,38 @@ import (
 
 func newServer(t *testing.T) (*server.Server, string) {
 	t.Helper()
+	return newServerMode(t, "")
+}
+
+func newServerMode(t *testing.T, connMode string) (*server.Server, string) {
+	t.Helper()
 	srv := server.New(server.Config{
 		Params:       core.Params{Cvr: 1, Cqr: 2, Alpha: 1, Lambda0: 0, Lambda1: math.Inf(1)},
 		InitialWidth: 10,
 		Seed:         1,
+		ConnMode:     connMode,
 	})
+	if connMode != "" && srv.ConnMode() != connMode {
+		t.Skipf("conn mode %q unsupported on this platform", connMode)
+	}
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("Listen: %v", err)
 	}
 	t.Cleanup(func() { srv.Close() })
 	return srv, addr.String()
+}
+
+// forEachConnMode runs fn against a server under each connection core. The
+// client must be unable to tell the cores apart, so the lifecycle tests —
+// push delivery, close, server-side teardown — run under both.
+func forEachConnMode(t *testing.T, fn func(t *testing.T, mode string)) {
+	t.Helper()
+	for _, mode := range []string{server.ConnModeGoroutine, server.ConnModePoller} {
+		t.Run("connmode="+mode, func(t *testing.T) {
+			fn(t, mode)
+		})
+	}
 }
 
 func dial(t *testing.T, addr string, size int) *Client {
@@ -69,7 +90,11 @@ func TestSubscribeUnknownKey(t *testing.T) {
 }
 
 func TestValueInitiatedPush(t *testing.T) {
-	srv, addr := newServer(t)
+	forEachConnMode(t, testValueInitiatedPush)
+}
+
+func testValueInitiatedPush(t *testing.T, mode string) {
+	srv, addr := newServerMode(t, mode)
 	srv.SetInitial(0, 100)
 	c := dial(t, addr, 10)
 	if err := c.Subscribe(0); err != nil {
@@ -292,7 +317,11 @@ func TestUpdatesDuringQueries(t *testing.T) {
 }
 
 func TestClosedClientErrors(t *testing.T) {
-	_, addr := newServer(t)
+	forEachConnMode(t, testClosedClientErrors)
+}
+
+func testClosedClientErrors(t *testing.T, mode string) {
+	_, addr := newServerMode(t, mode)
 	c := dial(t, addr, 4)
 	if err := c.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
@@ -309,7 +338,11 @@ func TestClosedClientErrors(t *testing.T) {
 }
 
 func TestServerCloseUnblocksClients(t *testing.T) {
-	srv, addr := newServer(t)
+	forEachConnMode(t, testServerCloseUnblocksClients)
+}
+
+func testServerCloseUnblocksClients(t *testing.T, mode string) {
+	srv, addr := newServerMode(t, mode)
 	srv.SetInitial(0, 1)
 	c := dial(t, addr, 4)
 	if err := c.Subscribe(0); err != nil {
@@ -697,7 +730,11 @@ func TestLateResponseAfterTimeout(t *testing.T) {
 }
 
 func TestCloseRacesInflightCalls(t *testing.T) {
-	srv, addr := newServer(t)
+	forEachConnMode(t, testCloseRacesInflightCalls)
+}
+
+func testCloseRacesInflightCalls(t *testing.T, mode string) {
+	srv, addr := newServerMode(t, mode)
 	for k := 0; k < 8; k++ {
 		srv.SetInitial(k, float64(k))
 	}

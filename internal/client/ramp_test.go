@@ -156,3 +156,92 @@ func TestV2HandshakeCarriesNoCost(t *testing.T) {
 		t.Errorf("v2 read after handshake: %v", err)
 	}
 }
+
+// newMidConnCostStub is a raw v3 server that advertises no cost at the
+// handshake and instead piggybacks one on the RefreshBatch answering each
+// ReadMulti — the mid-connection re-advertisement a long-lived client must
+// pick up.
+func newMidConnCostStub(t *testing.T, cost time.Duration) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					msg, err := netproto.ReadMsg(conn)
+					if err != nil {
+						return
+					}
+					switch m := msg.(type) {
+					case *netproto.Hello:
+						netproto.Write(conn, &netproto.HelloAck{
+							ID: m.ID, Version: netproto.Version3, MaxBatch: m.MaxBatch,
+						})
+					case *netproto.ReadMulti:
+						rb := &netproto.RefreshBatch{ID: m.ID, CqrCost: uint64(cost)}
+						for _, k := range m.Keys {
+							rb.Items = append(rb.Items, netproto.RefreshItem{
+								Key: k, Kind: netproto.KindQueryInitiated,
+								Value: 1, Lo: 0, Hi: 2, OriginalWidth: 2,
+							})
+						}
+						netproto.Write(conn, rb)
+					case *netproto.Ping:
+						netproto.Write(conn, &netproto.Pong{ID: m.ID})
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestMidConnectionAdvertUpdatesRamp: a cost advertised on a RefreshBatch
+// mid-connection replaces the handshake-time value (here: none) as the
+// ramp's denominator.
+func TestMidConnectionAdvertUpdatesRamp(t *testing.T) {
+	addr := newMidConnCostStub(t, 10*time.Millisecond)
+	c := dialCfg(t, addr, Config{CacheSize: 4})
+	if got := c.Stats().ServerCqrCost; got != 0 {
+		t.Fatalf("ServerCqrCost = %v before any advertisement, want 0", got)
+	}
+	if _, err := c.ReadMulti([]int{1, 2}); err != nil {
+		t.Fatalf("ReadMulti: %v", err)
+	}
+	if got := c.Stats().ServerCqrCost; got != 10*time.Millisecond {
+		t.Fatalf("ServerCqrCost after piggybacked advert = %v, want 10ms", got)
+	}
+	c.SeedSmoothedRTT(time.Millisecond)
+	if got, want := c.ResolvedRamp(), 1.1; math.Abs(got-want) > 1e-9 {
+		t.Errorf("ramp with mid-connection 10ms cost = %g, want %g", got, want)
+	}
+}
+
+// TestConfiguredCostBeatsMidConnectionAdvert: the precedence that holds at
+// the handshake holds for re-advertisements too — an explicit Config.CqrCost
+// is never overridden by the server.
+func TestConfiguredCostBeatsMidConnectionAdvert(t *testing.T) {
+	addr := newMidConnCostStub(t, 10*time.Millisecond)
+	c := dialCfg(t, addr, Config{CacheSize: 4, CqrCost: time.Millisecond})
+	if _, err := c.ReadMulti([]int{1}); err != nil {
+		t.Fatalf("ReadMulti: %v", err)
+	}
+	// The advertisement is still recorded (observable in Stats)...
+	if got := c.Stats().ServerCqrCost; got != 10*time.Millisecond {
+		t.Fatalf("ServerCqrCost = %v, want 10ms", got)
+	}
+	// ...but the configured cost drives the ramp: 1 + 1ms/1ms = 2.
+	c.SeedSmoothedRTT(time.Millisecond)
+	if got, want := c.ResolvedRamp(), 2.0; got != want {
+		t.Errorf("ramp with configured 1ms cost = %g, want %g (advert ignored)", got, want)
+	}
+}

@@ -1,0 +1,360 @@
+//go:build linux
+
+package netpoll
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// ErrClosed is returned by Wait after Close.
+var ErrClosed = errors.New("netpoll: poller closed")
+
+// wakeToken is the reserved token for the poller's internal wakeup pipe;
+// caller tokens must stay below it.
+const wakeToken = ^uint32(0)
+
+// Poller multiplexes read-readiness for many descriptors over one epoll
+// instance. Add/Rearm/Remove/Wake are safe from any goroutine; Wait must be
+// called from a single owner goroutine, which also performs the final
+// teardown when Wait observes Close.
+type Poller struct {
+	// fdMu orders concurrent Add/Rearm/Remove/Wake against the final
+	// destroy: control callers hold it shared and bail once destroyed is
+	// set, so the descriptors can never be recycled under a control call.
+	fdMu      sync.RWMutex
+	destroyed bool
+	epfd      int
+	wakeR     int // wakeup pipe, read end (registered in the epoll set)
+	wakeW     int
+
+	// epf wraps epfd so the wait loop can park on it through the runtime
+	// netpoller instead of blocking an OS thread in epoll_wait. An epoll
+	// descriptor is itself pollable — it reads as ready whenever its
+	// interest set has pending events — so readiness propagates through
+	// the runtime's own poller and a waking event loop is scheduled like
+	// any other goroutine, with no kernel thread wakeup on the hot path.
+	epf  *os.File
+	eprc syscall.RawConn
+
+	// collect's raw-read callback and its in/out slots, built once so the
+	// steady-state wait loop does not allocate a closure per park. Owned
+	// by the Wait goroutine.
+	parkEvs []syscall.EpollEvent
+	parkN   int
+	parkErr error
+	parkFn  func(uintptr) bool
+
+	closed atomic.Bool
+	raw    []syscall.EpollEvent // kernel event scratch; owned by the Wait goroutine
+}
+
+// Supported reports whether this platform has a poller implementation.
+func Supported() bool { return true }
+
+// New creates a Poller.
+func New() (*Poller, error) {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, fmt.Errorf("netpoll: epoll_create1: %w", err)
+	}
+	var pipeFds [2]int
+	if err := syscall.Pipe2(pipeFds[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return nil, fmt.Errorf("netpoll: pipe2: %w", err)
+	}
+	p := &Poller{epfd: epfd, wakeR: pipeFds[0], wakeW: pipeFds[1]}
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: -1} // int32(-1) reads back as wakeToken
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, p.wakeR, &ev); err != nil {
+		p.destroy()
+		return nil, fmt.Errorf("netpoll: register wakeup pipe: %w", err)
+	}
+	// Hand the epoll descriptor to the runtime netpoller. os.NewFile only
+	// registers pollable descriptors that are already non-blocking; the flag
+	// is harmless for epoll_wait itself, which takes an explicit timeout.
+	if err := syscall.SetNonblock(epfd, true); err != nil {
+		p.destroy()
+		return nil, fmt.Errorf("netpoll: set epoll fd non-blocking: %w", err)
+	}
+	p.epf = os.NewFile(uintptr(epfd), "netpoll-epoll")
+	rc, err := p.epf.SyscallConn()
+	if err != nil {
+		p.destroy()
+		return nil, fmt.Errorf("netpoll: raw conn for epoll fd: %w", err)
+	}
+	p.eprc = rc
+	p.parkFn = func(uintptr) bool {
+		for {
+			n, cerr := syscall.EpollWait(p.epfd, p.parkEvs, 0)
+			if cerr == syscall.EINTR {
+				continue
+			}
+			p.parkN, p.parkErr = n, cerr
+			// Empty and healthy: stay parked until the runtime reports
+			// the epoll descriptor readable again.
+			return n != 0 || cerr != nil
+		}
+	}
+	return p, nil
+}
+
+// readyFlags is the event set every descriptor is armed with: read
+// readiness plus peer-hangup, one-shot so a descriptor reports at most once
+// until its owner re-arms it.
+const readyFlags = syscall.EPOLLIN | syscall.EPOLLRDHUP | syscall.EPOLLONESHOT
+
+// Add registers fd with the poller under token. The descriptor is armed
+// one-shot: after its first event it is disarmed until Rearm.
+func (p *Poller) Add(fd int, token uint32) error {
+	if token == wakeToken {
+		return fmt.Errorf("netpoll: token %d is reserved", token)
+	}
+	ev := syscall.EpollEvent{Events: readyFlags, Fd: int32(token)}
+	if err := p.ctl(syscall.EPOLL_CTL_ADD, fd, &ev); err != nil {
+		return fmt.Errorf("netpoll: add fd %d: %w", fd, err)
+	}
+	return nil
+}
+
+// ctl issues an epoll_ctl while holding the descriptor lock shared, so the
+// epoll fd cannot be destroyed (and its number recycled) under the call.
+func (p *Poller) ctl(op int, fd int, ev *syscall.EpollEvent) error {
+	p.fdMu.RLock()
+	defer p.fdMu.RUnlock()
+	if p.destroyed {
+		return ErrClosed
+	}
+	return syscall.EpollCtl(p.epfd, op, fd, ev)
+}
+
+// Rearm re-enables a one-shot descriptor after its owner drained it. With
+// level-triggered semantics a descriptor that still has buffered bytes
+// fires again immediately, so a bounded read budget never strands data.
+func (p *Poller) Rearm(fd int, token uint32) error {
+	ev := syscall.EpollEvent{Events: readyFlags, Fd: int32(token)}
+	if err := p.ctl(syscall.EPOLL_CTL_MOD, fd, &ev); err != nil {
+		return fmt.Errorf("netpoll: rearm fd %d: %w", fd, err)
+	}
+	return nil
+}
+
+// Remove deregisters fd. Removing a descriptor that the kernel already
+// dropped (it was closed), or removing after the poller shut down, is not an
+// error.
+func (p *Poller) Remove(fd int) error {
+	err := p.ctl(syscall.EPOLL_CTL_DEL, fd, nil)
+	if err != nil && !errors.Is(err, ErrClosed) &&
+		!errors.Is(err, syscall.EBADF) && !errors.Is(err, syscall.ENOENT) {
+		return fmt.Errorf("netpoll: remove fd %d: %w", fd, err)
+	}
+	return nil
+}
+
+// Wait blocks until at least one registered descriptor is ready, filling
+// evs and returning the count. It returns ErrClosed (after releasing the
+// poller's descriptors) once Close has been called; only the owning
+// goroutine may call it. The kernel event scratch is retained on the
+// Poller, so the steady-state loop does not allocate.
+func (p *Poller) Wait(evs []Event) (int, error) {
+	if len(p.raw) < len(evs) {
+		p.raw = make([]syscall.EpollEvent, len(evs))
+	}
+	raw := p.raw[:len(evs)]
+	for {
+		if p.closed.Load() {
+			p.destroy()
+			return 0, ErrClosed
+		}
+		n, err := p.collect(raw)
+		if err != nil {
+			if p.closed.Load() {
+				continue // destroy and report ErrClosed on the next pass
+			}
+			return 0, err
+		}
+		out := 0
+		for i := 0; i < n; i++ {
+			token := uint32(raw[i].Fd)
+			if token == wakeToken {
+				p.drainWake()
+				continue
+			}
+			evs[out] = Event{
+				Token:  token,
+				Hangup: raw[i].Events&(syscall.EPOLLRDHUP|syscall.EPOLLHUP|syscall.EPOLLERR) != 0,
+			}
+			out++
+		}
+		if out > 0 {
+			return out, nil
+		}
+		// Only the wakeup pipe fired: loop back, re-checking closed.
+	}
+}
+
+// collect fills raw with pending epoll events, parking the calling
+// goroutine — in the runtime netpoller, not an OS thread — while the set is
+// empty. The zero-timeout epoll_wait runs inside the raw-read callback,
+// which the runtime invokes only after re-arming its readiness latch for
+// the descriptor: an event that lands between an empty poll and the park
+// sets the latch and wakes us. Polling first and parking second would
+// discard exactly that event — the latch reset precedes the wait — and
+// with the inner ready list non-empty the outer edge-triggered poller would
+// never fire again: a permanent stall.
+func (p *Poller) collect(raw []syscall.EpollEvent) (int, error) {
+	p.parkEvs = raw
+	err := p.eprc.Read(p.parkFn)
+	n, werr := p.parkN, p.parkErr
+	p.parkEvs, p.parkErr = nil, nil
+	if err != nil {
+		return 0, fmt.Errorf("netpoll: park: %w", err)
+	}
+	if werr != nil {
+		return 0, fmt.Errorf("netpoll: epoll_wait: %w", werr)
+	}
+	return n, nil
+}
+
+// Wake forces a blocked Wait to return (used by Close and by callers that
+// changed state the wait loop must observe). Safe from any goroutine.
+func (p *Poller) Wake() {
+	p.fdMu.RLock()
+	defer p.fdMu.RUnlock()
+	if p.destroyed {
+		return // nothing left to wake
+	}
+	var b [1]byte
+	syscall.Write(p.wakeW, b[:]) // EAGAIN means a wake is already pending
+}
+
+func (p *Poller) drainWake() {
+	var buf [64]byte
+	for {
+		n, err := syscall.Read(p.wakeR, buf[:])
+		if n < len(buf) || err != nil {
+			return
+		}
+	}
+}
+
+// Close marks the poller closed and wakes the wait loop, which releases the
+// kernel resources on its way out. Safe from any goroutine, idempotent.
+func (p *Poller) Close() error {
+	if p.closed.CompareAndSwap(false, true) {
+		p.Wake()
+	}
+	return nil
+}
+
+// ConnIO performs non-blocking reads and writes on one connection through
+// its RawConn. The raw-conn callbacks are built once at construction and
+// reused for the connection's lifetime: RawConn methods take the callback
+// through an interface, so a closure built per call escapes to the heap —
+// at one read and one write per served frame that was a measurable share of
+// the request path's allocations. The RawConn detour itself is what keeps
+// the runtime holding a reference on the descriptor, so a concurrent Close
+// cannot recycle the fd under an I/O attempt. Not safe for concurrent use;
+// the connection's single-drainer invariants provide the exclusion.
+type ConnIO struct {
+	rc syscall.RawConn
+
+	rbuf []byte
+	rn   int
+	rerr error
+	rfn  func(uintptr) bool
+
+	wbuf []byte
+	wn   int
+	werr error
+	wfn  func(uintptr) bool
+}
+
+// NewConnIO builds the reusable I/O state for one connection.
+func NewConnIO(rc syscall.RawConn) *ConnIO {
+	io := &ConnIO{rc: rc}
+	io.rfn = func(fd uintptr) bool {
+		io.rn, io.rerr = syscall.Read(int(fd), io.rbuf)
+		return true // one attempt only: never let the runtime park this goroutine
+	}
+	io.wfn = func(fd uintptr) bool {
+		for io.wn < len(io.wbuf) {
+			n, e := syscall.Write(int(fd), io.wbuf[io.wn:])
+			if n > 0 {
+				io.wn += n
+			}
+			if e != nil {
+				if e == syscall.EINTR {
+					continue
+				}
+				if e != syscall.EAGAIN {
+					io.werr = e
+				}
+				return true // one pass only: report the short write instead of parking
+			}
+		}
+		return true
+	}
+	return io
+}
+
+// Read performs exactly one non-blocking read into buf. It returns ErrAgain
+// when no bytes are available (re-arm and wait), (0, nil) on EOF, and any
+// other error when the connection is closed or broken.
+func (io *ConnIO) Read(buf []byte) (int, error) {
+	io.rbuf = buf
+	err := io.rc.Read(io.rfn)
+	n, rerr := io.rn, io.rerr
+	io.rbuf, io.rerr = nil, nil
+	if err != nil {
+		return 0, err // connection closed under us
+	}
+	if rerr != nil {
+		if rerr == syscall.EAGAIN || rerr == syscall.EINTR {
+			// EINTR maps to "try later" too: the level-triggered poller
+			// re-fires immediately on re-arm while bytes remain.
+			return 0, ErrAgain
+		}
+		return 0, rerr
+	}
+	return n, nil
+}
+
+// Write writes as much of buf as the socket accepts without blocking,
+// returning the byte count. A short count with a nil error means the socket
+// buffer filled (EAGAIN): the caller must hand the remainder to a goroutine
+// that may block. Like Read it never lets the runtime park the calling
+// goroutine.
+func (io *ConnIO) Write(buf []byte) (int, error) {
+	io.wbuf, io.wn, io.werr = buf, 0, nil
+	err := io.rc.Write(io.wfn)
+	n, werr := io.wn, io.werr
+	io.wbuf, io.werr = nil, nil
+	if err != nil {
+		return n, err // connection closed under us
+	}
+	return n, werr
+}
+
+// destroy releases the poller's descriptors. Called by the Wait owner after
+// observing Close, or by New on a failed construction; never while a wait
+// is in flight. Taking fdMu exclusively fences out in-flight control calls,
+// so no epoll_ctl can run on a recycled descriptor number.
+func (p *Poller) destroy() {
+	p.fdMu.Lock()
+	defer p.fdMu.Unlock()
+	if p.destroyed {
+		return
+	}
+	p.destroyed = true
+	if p.epf != nil {
+		p.epf.Close() // closes epfd and deregisters it from the runtime
+	} else {
+		syscall.Close(p.epfd)
+	}
+	syscall.Close(p.wakeR)
+	syscall.Close(p.wakeW)
+}

@@ -280,9 +280,17 @@ type RefreshItem struct {
 // RefreshBatch delivers several approximations in one frame: the response to
 // a ReadMulti/SubscribeMulti (echoing its ID) or, with ID 0, a coalesced run
 // of value-initiated pushes. v2 only.
+//
+// CqrCost piggybacks a refreshed per-key refresh-cost measurement
+// (nanoseconds) on batches bound for v3 peers, so a long-lived client
+// tracks the server's cost drift without re-handshaking; 0 means "no
+// update" and encodes nothing. Like HelloAck.CqrCost it is a trailing
+// optional field: senders must leave it 0 on connections below v3 (older
+// decoders reject trailing bytes), and decoders accept its absence.
 type RefreshBatch struct {
-	ID    uint64
-	Items []RefreshItem
+	ID      uint64
+	Items   []RefreshItem
+	CqrCost uint64
 }
 
 // Batch wraps several independent sub-messages into one frame, preserving
@@ -792,6 +800,11 @@ func (m *RefreshBatch) encode(b []byte) []byte {
 		b = putF64(b, it.Hi)
 		b = putF64(b, it.OriginalWidth)
 	}
+	if m.CqrCost > 0 {
+		// Trailing optional field, v3 only: the sender gates on the
+		// negotiated version (a v2 decoder rejects trailing bytes).
+		b = putU64(b, m.CqrCost)
+	}
 	return b
 }
 func (m *RefreshBatch) decode(b []byte) error {
@@ -823,6 +836,13 @@ func (m *RefreshBatch) decode(b []byte) error {
 			return fmt.Errorf("netproto: bad refresh kind %d in batch item %d", it.Kind, i)
 		}
 		m.Items = append(m.Items, it)
+	}
+	// The trailing cost field is optional (absent on v2 frames and on v3
+	// frames with no update). The explicit zero matters on reused decode
+	// boxes: a batch without the field must not leak the previous one's.
+	m.CqrCost = 0
+	if r.err == nil && len(r.b) > 0 {
+		m.CqrCost = r.u64()
 	}
 	return r.done()
 }

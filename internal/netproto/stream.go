@@ -1,0 +1,111 @@
+// StreamDecoder: the non-blocking receive path. Where Decoder pulls frames
+// out of a blocking io.Reader, StreamDecoder is pushed arbitrary byte chunks
+// as a readiness-driven read loop produces them — a chunk may end in the
+// middle of a frame header or body — and emits each complete frame as it
+// forms. It shares Decoder's reuse discipline (per-type boxes, a typed arena
+// for Batch sub-messages), so an event-driven connection core decodes
+// without allocating in steady state and an idle connection retains no
+// buffer at all: only the bytes of an incomplete trailing frame are carried
+// between chunks.
+
+package netproto
+
+import "fmt"
+
+// A StreamDecoder incrementally decodes frames from byte chunks.
+//
+// Release semantics match Decoder: every Message passed to emit is valid
+// only during that emit call — the next frame reclaims its storage — and is
+// not a pool member (never pass it to Release). A StreamDecoder is not safe
+// for concurrent use; each connection owns exactly one, and only one
+// goroutine may Feed it at a time.
+type StreamDecoder struct {
+	boxes Decoder // reused message boxes and Batch arena; its reader is nil
+	pend  []byte  // carry-over bytes of an incomplete trailing frame
+}
+
+// NewStreamDecoder returns an empty StreamDecoder.
+func NewStreamDecoder() *StreamDecoder { return &StreamDecoder{} }
+
+// Pending reports how many bytes of an incomplete frame are buffered,
+// waiting for the rest to arrive.
+func (s *StreamDecoder) Pending() int { return len(s.pend) }
+
+// Feed consumes chunk, invoking emit once per complete frame in stream
+// order. Bytes of a trailing incomplete frame are copied into the decoder's
+// carry buffer, so the caller may reuse chunk as soon as Feed returns (read
+// buffers can be shared across connections). A malformed frame or a non-nil
+// error from emit aborts the feed and poisons nothing beyond this stream:
+// the caller is expected to tear the connection down.
+func (s *StreamDecoder) Feed(chunk []byte, emit func(Message) error) error {
+	src := chunk
+	if len(s.pend) > 0 {
+		s.pend = append(s.pend, chunk...)
+		src = s.pend
+	}
+	off := 0
+	for {
+		m, n, err := s.next(src[off:])
+		if err != nil {
+			s.pend = s.pend[:0]
+			return err
+		}
+		if n == 0 {
+			break // incomplete frame: wait for more bytes
+		}
+		off += n
+		if err := emit(m); err != nil {
+			s.pend = s.pend[:0]
+			return err
+		}
+	}
+	rest := src[off:]
+	if len(s.pend) > 0 {
+		// rest aliases pend's tail; copy handles the forward overlap.
+		s.pend = s.pend[:copy(s.pend, rest)]
+	} else if len(rest) > 0 {
+		s.pend = append(s.pend[:0], rest...)
+	}
+	if len(s.pend) == 0 && cap(s.pend) > maxPooledBuf {
+		// One oversized frame must not pin its high-water mark on an
+		// otherwise idle connection.
+		s.pend = nil
+	}
+	return nil
+}
+
+// next decodes the first frame of b, returning the message and the bytes
+// consumed. n == 0 with a nil error means b holds only a partial frame.
+func (s *StreamDecoder) next(b []byte) (m Message, n int, err error) {
+	if len(b) < headerLen {
+		return nil, 0, nil
+	}
+	ln := int(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+	if ln == 0 {
+		return nil, 0, fmt.Errorf("netproto: zero-length frame")
+	}
+	if ln > MaxFrame {
+		return nil, 0, fmt.Errorf("netproto: frame of %d bytes exceeds limit", ln)
+	}
+	total := headerLen - 1 + ln // 4 length bytes + type byte + body
+	if len(b) < total {
+		return nil, 0, nil
+	}
+	t := MsgType(b[4])
+	body := b[headerLen:total]
+	if t == TBatch {
+		s.boxes.arena.reset()
+		if err := s.boxes.batch.decodeWith(body, s.boxes.arena.get); err != nil {
+			return nil, 0, err
+		}
+		return &s.boxes.batch, total, nil
+	}
+	m, err = s.boxes.box(t)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := m.decode(body); err != nil {
+		return nil, 0, err
+	}
+	return m, total, nil
+}

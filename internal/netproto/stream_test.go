@@ -1,0 +1,245 @@
+package netproto
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// streamFrames is a representative frame mix: every hot type, a Batch with
+// mixed cargo, and the optional trailing CqrCost field both present and
+// absent.
+func streamFrames(t *testing.T) ([]Message, []byte) {
+	t.Helper()
+	msgs := []Message{
+		&Hello{ID: 1, Version: 3, MaxBatch: 64},
+		&HelloAck{ID: 1, Version: 3, MaxBatch: 64, CqrCost: 1500},
+		&Subscribe{ID: 2, Key: 7},
+		&Refresh{ID: 2, Key: 7, Kind: KindInitial, Value: 3.5, Lo: 1, Hi: 5, OriginalWidth: 4},
+		&ReadMulti{ID: 3, Keys: []int64{1, 2, 3}},
+		&RefreshBatch{ID: 3, Items: []RefreshItem{
+			{Key: 1, Kind: KindQueryInitiated, Value: 1, Lo: 1, Hi: 1},
+			{Key: 2, Kind: KindQueryInitiated, Value: 2, Lo: 2, Hi: 2},
+		}},
+		&RefreshBatch{ID: 0, Items: []RefreshItem{
+			{Key: 9, Kind: KindValueInitiated, Value: 4, Lo: 3, Hi: 5, OriginalWidth: 2},
+		}, CqrCost: 2750},
+		&Batch{Msgs: []Message{
+			&Read{ID: 4, Key: 1},
+			&Ping{ID: 5},
+			&Subscribe{ID: 6, Key: 2},
+		}},
+		&Error2{ID: 7, Code: CodeUnknownKey, Key: 42, Msg: "unknown key 42"},
+		&Pong{ID: 5},
+	}
+	var wire []byte
+	var err error
+	for _, m := range msgs {
+		wire, err = AppendFrame(wire, m)
+		if err != nil {
+			t.Fatalf("AppendFrame(%T): %v", m, err)
+		}
+	}
+	return msgs, wire
+}
+
+// snapshot deep-copies a decoded message out of the decoder's reused boxes
+// so it can be compared after the stream moves on.
+func snapshot(t *testing.T, m Message) Message {
+	t.Helper()
+	switch v := m.(type) {
+	case *Batch:
+		cp := &Batch{}
+		for _, sub := range v.Msgs {
+			cp.Msgs = append(cp.Msgs, snapshot(t, sub))
+		}
+		return cp
+	case *RefreshBatch:
+		cp := *v
+		cp.Items = append([]RefreshItem(nil), v.Items...)
+		return &cp
+	case *ReadMulti:
+		cp := *v
+		cp.Keys = append([]int64(nil), v.Keys...)
+		return &cp
+	case *SubscribeMulti:
+		cp := *v
+		cp.Keys = append([]int64(nil), v.Keys...)
+		return &cp
+	default:
+		cp := reflect.New(reflect.TypeOf(m).Elem())
+		cp.Elem().Set(reflect.ValueOf(m).Elem())
+		return cp.Interface().(Message)
+	}
+}
+
+// feedChunks drives a StreamDecoder with the wire bytes split into chunks
+// of the given size and returns the decoded messages.
+func feedChunks(t *testing.T, wire []byte, chunk int) []Message {
+	t.Helper()
+	sd := NewStreamDecoder()
+	var got []Message
+	for off := 0; off < len(wire); off += chunk {
+		end := off + chunk
+		if end > len(wire) {
+			end = len(wire)
+		}
+		// Feed through a scratch copy that is poisoned afterwards, proving
+		// the decoder does not retain chunk memory.
+		scratch := append([]byte(nil), wire[off:end]...)
+		err := sd.Feed(scratch, func(m Message) error {
+			got = append(got, snapshot(t, m))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Feed(chunk %d at %d): %v", chunk, off, err)
+		}
+		for i := range scratch {
+			scratch[i] = 0xAA
+		}
+	}
+	if sd.Pending() != 0 {
+		t.Fatalf("chunk %d: %d bytes still pending after full stream", chunk, sd.Pending())
+	}
+	return got
+}
+
+// TestStreamDecoderChunkSizes decodes the same stream at every pathological
+// chunking — including one byte at a time, the partial-frame torture case —
+// and requires exact parity with the blocking Decoder's view.
+func TestStreamDecoderChunkSizes(t *testing.T) {
+	msgs, wire := streamFrames(t)
+	for _, chunk := range []int{1, 2, 3, 4, 5, 7, 16, len(wire)} {
+		t.Run(fmt.Sprintf("chunk=%d", chunk), func(t *testing.T) {
+			got := feedChunks(t, wire, chunk)
+			if len(got) != len(msgs) {
+				t.Fatalf("decoded %d messages, want %d", len(got), len(msgs))
+			}
+			for i := range msgs {
+				if !reflect.DeepEqual(got[i], msgs[i]) {
+					t.Errorf("message %d: got %#v, want %#v", i, got[i], msgs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestStreamDecoderMatchesDecoder is a parity check against the io.Reader
+// Decoder over the same bytes.
+func TestStreamDecoderMatchesDecoder(t *testing.T) {
+	_, wire := streamFrames(t)
+	d := NewDecoder(bytes.NewReader(wire))
+	var want []Message
+	for {
+		m, err := d.Decode()
+		if err != nil {
+			break
+		}
+		want = append(want, snapshot(t, m))
+	}
+	got := feedChunks(t, wire, 3)
+	if len(got) != len(want) {
+		t.Fatalf("stream decoded %d messages, Decoder %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("message %d: stream %#v, Decoder %#v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStreamDecoderRejectsBadFrames(t *testing.T) {
+	cases := []struct {
+		name string
+		wire []byte
+	}{
+		{"zero-length", []byte{0, 0, 0, 0, byte(TPing)}},
+		{"oversized", []byte{0xFF, 0xFF, 0xFF, 0x7F, byte(TPing)}},
+		{"unknown-type", func() []byte {
+			b, _ := AppendFrame(nil, &Ping{ID: 1})
+			b[4] = 0xEE
+			return b
+		}()},
+		{"truncated-body", func() []byte {
+			b, _ := AppendFrame(nil, &Refresh{ID: 1, Key: 2})
+			b[0]-- // shrink the declared length: body decode must fail
+			return b[:len(b)-1]
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sd := NewStreamDecoder()
+			err := sd.Feed(tc.wire, func(Message) error { return nil })
+			if err == nil {
+				t.Fatalf("Feed accepted %s frame", tc.name)
+			}
+		})
+	}
+}
+
+// TestStreamDecoderEmitError verifies a handler error aborts the feed.
+func TestStreamDecoderEmitError(t *testing.T) {
+	_, wire := streamFrames(t)
+	sd := NewStreamDecoder()
+	boom := fmt.Errorf("handler rejected")
+	n := 0
+	err := sd.Feed(wire, func(Message) error {
+		n++
+		if n == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("Feed error = %v, want the handler's", err)
+	}
+	if n != 2 {
+		t.Fatalf("emit ran %d times, want 2", n)
+	}
+}
+
+// TestStreamDecodeAllocs locks the incremental decoder into the same
+// zero-allocation budget as the blocking Decoder: steady-state feeding of
+// whole and split frames must not allocate.
+func TestStreamDecodeAllocs(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	var wire []byte
+	var err error
+	for _, m := range []Message{
+		&Read{ID: 1, Key: 2},
+		&Refresh{ID: 1, Key: 2, Kind: KindQueryInitiated, Value: 1, Lo: 0, Hi: 2},
+		&RefreshBatch{ID: 0, Items: []RefreshItem{
+			{Key: 1, Kind: KindValueInitiated, Value: 1, Lo: 0, Hi: 2},
+			{Key: 2, Kind: KindValueInitiated, Value: 2, Lo: 1, Hi: 3},
+		}},
+	} {
+		wire, err = AppendFrame(wire, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sd := NewStreamDecoder()
+	emit := func(Message) error { return nil }
+	// Warm the pending buffer's capacity.
+	if err := sd.Feed(wire[:7], emit); err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.Feed(wire[7:], emit); err != nil {
+		t.Fatal(err)
+	}
+	split := len(wire) / 2
+	avg := testing.AllocsPerRun(200, func() {
+		if err := sd.Feed(wire[:split], emit); err != nil {
+			t.Fatal(err)
+		}
+		if err := sd.Feed(wire[split:], emit); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("steady-state Feed allocates %.1f times per stream, want 0", avg)
+	}
+}

@@ -46,6 +46,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -58,6 +59,7 @@ import (
 
 	"apcache/internal/cache"
 	"apcache/internal/core"
+	"apcache/internal/netpoll"
 	"apcache/internal/netproto"
 	"apcache/internal/shard"
 	"apcache/internal/source"
@@ -66,6 +68,20 @@ import (
 
 // DefaultMaxBatch is the batch limit offered when Config.MaxBatch is 0.
 const DefaultMaxBatch = 128
+
+// Connection-core selectors for Config.ConnMode.
+const (
+	// ConnModeGoroutine serves each connection with a read goroutine and a
+	// write goroutine — the classic core, and the benchmark baseline.
+	ConnModeGoroutine = "goroutine"
+	// ConnModePoller serves every connection from a shared event-driven
+	// core: a small set of event loops owns read readiness through epoll
+	// and serves reads, decode, dispatch, and inline reply flushes, with a
+	// shared writer pool taking only the flushes that may block, so an
+	// idle connection costs a registered descriptor plus its state
+	// instead of two goroutine stacks.
+	ConnModePoller = "poller"
+)
 
 // Config parameterizes a server.
 type Config struct {
@@ -101,6 +117,24 @@ type Config struct {
 	// Hello, forcing all clients onto v1 single-message frames (the
 	// compatibility/testing escape hatch).
 	ProtoVersion int
+	// ConnMode selects the connection-serving core: ConnModeGoroutine (or
+	// "") keeps two dedicated goroutines per connection; ConnModePoller
+	// multiplexes all connections over the event-driven core in
+	// internal/netpoll. On platforms without a poller implementation (or
+	// when the poller fails to start) the server logs the downgrade and
+	// falls back to the goroutine core, preserving today's behavior.
+	ConnMode string
+	// PollWorkers is the number of event loops the poller core runs;
+	// connections are sharded across them round-robin and each loop
+	// serves its connections' reads, decodes, dispatch, and inline reply
+	// flushes. 0 scales to GOMAXPROCS. Ignored by the goroutine core.
+	PollWorkers int
+	// PollWriters is the number of shared writer goroutines the poller
+	// core runs for the flushes that may block: value-initiated pushes,
+	// flush-window expiries, and inline-flush remainders a full socket
+	// deferred. 0 scales to GOMAXPROCS/2, minimum 1. Ignored by the
+	// goroutine core.
+	PollWriters int
 	// LockedValueReads routes Value and the request paths' key-existence
 	// checks through the shard mutex instead of the lock-free value table.
 	// It exists purely as a benchmark baseline for the pre-lock-free
@@ -136,7 +170,12 @@ const (
 type Server struct {
 	cfg      Config
 	maxBatch int
+	connMode string // resolved ConnMode (never empty)
 	shards   []*srcShard
+
+	// poll is the shared event-driven connection core; nil when the
+	// server runs the goroutine core.
+	poll *pollCore
 
 	// shardStats holds each shard's occupancy gauges in its own padded
 	// counter stripe, published by the shard's lock holder after every
@@ -163,8 +202,23 @@ type Server struct {
 type clientConn struct {
 	id   int
 	conn net.Conn
-	out  chan netproto.Message
+	out  chan netproto.Message // goroutine core's delivery queue; nil in poller mode
 	done chan struct{}
+
+	// ctx is cancelled the moment the connection leaves the registry, so
+	// in-flight work on its behalf — in particular the multi-key fan-out
+	// goroutines — stops generating source reads for a dead peer.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// pc is the connection's poller-core state; nil under the goroutine
+	// core. Its presence selects the event-driven push/reply paths.
+	pc *pollConn
+
+	// costAdv is the refresh cost (ns) last advertised to this peer — in
+	// the HelloAck, then piggybacked on RefreshBatch frames whenever the
+	// measured EWMA drifts more than 25% from it. v3 connections only.
+	costAdv atomic.Int64
 
 	// proto is the negotiated protocol version: netproto.Version1 until a
 	// Hello is accepted, the negotiated version (v2 or v3) after.
@@ -282,6 +336,14 @@ func New(cfg Config) *Server {
 	if cfg.ProtoVersion != 0 && (cfg.ProtoVersion < netproto.Version1 || cfg.ProtoVersion > netproto.Version3) {
 		panic(fmt.Sprintf("server: unsupported protocol version %d", cfg.ProtoVersion))
 	}
+	mode := cfg.ConnMode
+	switch mode {
+	case "":
+		mode = ConnModeGoroutine
+	case ConnModeGoroutine, ConnModePoller:
+	default:
+		panic(fmt.Sprintf("server: unknown ConnMode %q", cfg.ConnMode))
+	}
 	maxBatch := cfg.MaxBatch
 	if maxBatch <= 0 {
 		maxBatch = DefaultMaxBatch
@@ -293,9 +355,14 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		maxBatch:   maxBatch,
+		connMode:   mode,
 		shards:     make([]*srcShard, n),
 		shardStats: stats.NewStripes(n, srvCounters),
 		conns:      make(map[int]*clientConn),
+	}
+	if mode == ConnModePoller && !netpoll.Supported() {
+		s.connMode = ConnModeGoroutine
+		s.logf("server: netpoll unsupported on this platform; using goroutine connection core")
 	}
 	for i := range s.shards {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
@@ -310,6 +377,11 @@ func New(cfg Config) *Server {
 
 // Shards returns the number of lock shards the server was built with.
 func (s *Server) Shards() int { return len(s.shards) }
+
+// ConnMode reports the connection core actually in use — the configured
+// mode, downgraded to ConnModeGoroutine when the poller is unavailable.
+// Meaningful after Listen.
+func (s *Server) ConnMode() string { return s.connMode }
 
 // shardFor returns the shard owning key.
 func (s *Server) shardFor(key int) *srcShard {
@@ -502,6 +574,15 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
 	}
+	if s.connMode == ConnModePoller && s.poll == nil {
+		core, perr := s.startPollCore()
+		if perr != nil {
+			s.connMode = ConnModeGoroutine
+			s.logf("server: poller core unavailable (%v); using goroutine connection core", perr)
+		} else {
+			s.poll = core
+		}
+	}
 	s.connMu.Lock()
 	s.ln = ln
 	s.connMu.Unlock()
@@ -527,14 +608,39 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		c := &clientConn{
 			id:   s.nextID,
 			conn: conn,
-			out:  make(chan netproto.Message, 1024),
 			done: make(chan struct{}),
-			kick: make(chan struct{}, 1),
+		}
+		c.ctx, c.cancel = context.WithCancel(context.Background())
+		if s.poll != nil {
+			// Attach before the registry insert so every registered conn
+			// has its poller state (c.pc is immutable once visible); the
+			// descriptor is armed only after the insert, so a readiness
+			// event can never beat the registry.
+			if err := s.poll.attach(c); err != nil {
+				s.connMu.Unlock()
+				s.logf("client %d: poller attach: %v", c.id, err)
+				c.cancel()
+				conn.Close()
+				continue
+			}
+		} else {
+			// The goroutine core's delivery queue and overflow kick; the
+			// poller core replaces both with the shared writer pool's
+			// per-connection out slice, saving ~16KB per idle connection.
+			c.out = make(chan netproto.Message, 1024)
+			c.kick = make(chan struct{}, 1)
 		}
 		c.proto.Store(netproto.Version1)
 		c.batchLimit.Store(int32(s.maxBatch))
 		s.conns[c.id] = c
 		s.connMu.Unlock()
+		if s.poll != nil {
+			if err := s.poll.arm(c); err != nil {
+				s.logf("client %d: poller register: %v", c.id, err)
+				s.dropClient(c)
+			}
+			continue
+		}
 		s.serveWG.Add(2)
 		go s.writeLoop(c)
 		go s.readLoop(c)
@@ -568,6 +674,10 @@ const fanoutThreshold = 32
 // concurrent drain. Ownership of m passes to the queue, the buffer, or back
 // to the pool on merge.
 func (s *Server) push(c *clientConn, m *netproto.Refresh) {
+	if c.pc != nil {
+		s.pushPoll(c, m)
+		return
+	}
 	c.ovMu.Lock()
 	if p, ok := c.overflow[m.Key]; ok {
 		p.Lo = math.Min(p.Lo, m.Lo)
@@ -654,6 +764,10 @@ func (c *clientConn) overflowPending() bool {
 // the client sees a clean connection loss instead of silent divergence.
 // reply never blocks, because callers hold shard locks.
 func (s *Server) reply(c *clientConn, m netproto.Message) {
+	if c.pc != nil {
+		s.replyPoll(c, m)
+		return
+	}
 	select {
 	case c.out <- m:
 	case <-c.done:
@@ -843,8 +957,10 @@ func (s *Server) appendFrames(c *clientConn, w *connWriter, msgs []netproto.Mess
 		default:
 			w.rb.ID = 0
 			w.rb.Items = w.run
+			s.maybeAdvertiseCost(c, &w.rb)
 			w.buf, err = netproto.AppendFrame(w.buf, &w.rb)
 			w.rb.Items = nil
+			w.rb.CqrCost = 0 // the envelope is reused; never carry a stale advert
 			w.run = w.run[:0]
 			return err
 		}
@@ -858,6 +974,9 @@ func (s *Server) appendFrames(c *clientConn, w *connWriter, msgs []netproto.Mess
 		if err := flushRun(); err != nil {
 			return err
 		}
+		if rb, ok := m.(*netproto.RefreshBatch); ok {
+			s.maybeAdvertiseCost(c, rb)
+		}
 		w.buf, err = netproto.AppendFrame(w.buf, m)
 		netproto.Release(m)
 		if err != nil {
@@ -865,6 +984,33 @@ func (s *Server) appendFrames(c *clientConn, w *connWriter, msgs []netproto.Mess
 		}
 	}
 	return flushRun()
+}
+
+// maybeAdvertiseCost piggybacks a refresh-cost update on an outgoing
+// RefreshBatch when the measured EWMA has drifted more than 25% from the
+// value this peer last saw (the HelloAck advertisement, or an earlier
+// piggyback). Long-lived connections thereby track the server's real load
+// instead of trusting a handshake-time snapshot forever. Only v3 peers get
+// the field: it rides as a trailing optional, and pre-v3 decoders reject
+// trailing bytes.
+func (s *Server) maybeAdvertiseCost(c *clientConn, rb *netproto.RefreshBatch) {
+	if c.proto.Load() < netproto.Version3 {
+		return
+	}
+	cur := int64(s.RefreshCost())
+	if cur <= 0 {
+		return
+	}
+	last := c.costAdv.Load()
+	drift := cur - last
+	if drift < 0 {
+		drift = -drift
+	}
+	if last != 0 && drift*4 <= last {
+		return
+	}
+	rb.CqrCost = uint64(cur)
+	c.costAdv.Store(cur)
 }
 
 // readLoop decodes and dispatches inbound frames. It owns a reusing
@@ -884,26 +1030,34 @@ func (s *Server) readLoop(c *clientConn) {
 			}
 			return
 		}
-		switch m := msg.(type) {
-		case *netproto.Subscribe:
-			s.handleKeyed(c, m, int(m.Key))
-		case *netproto.Unsubscribe:
-			s.handleKeyed(c, m, int(m.Key))
-		case *netproto.Read:
-			s.handleKeyed(c, m, int(m.Key))
-		case *netproto.Ping:
-			s.reply(c, &netproto.Pong{ID: m.ID})
-		case *netproto.Hello:
-			s.handleHello(c, m)
-		case *netproto.ReadMulti:
-			s.handleMulti(c, m.ID, m.Keys, true)
-		case *netproto.SubscribeMulti:
-			s.handleMulti(c, m.ID, m.Keys, false)
-		case *netproto.Batch:
-			s.handleBatch(c, m)
-		default:
-			s.reply(c, errFrame(c, 0, netproto.CodeUnsupported, 0, fmt.Sprintf("unexpected %T", msg)))
-		}
+		s.dispatch(c, msg)
+	}
+}
+
+// dispatch routes one decoded request to its handler. Both cores call it —
+// the goroutine core from the connection's read loop, the poller core from
+// a decode worker — under the same ownership rule: one goroutine per
+// connection at a time, and the message is consumed before it returns.
+func (s *Server) dispatch(c *clientConn, msg netproto.Message) {
+	switch m := msg.(type) {
+	case *netproto.Subscribe:
+		s.handleKeyed(c, m, int(m.Key))
+	case *netproto.Unsubscribe:
+		s.handleKeyed(c, m, int(m.Key))
+	case *netproto.Read:
+		s.handleKeyed(c, m, int(m.Key))
+	case *netproto.Ping:
+		s.reply(c, &netproto.Pong{ID: m.ID})
+	case *netproto.Hello:
+		s.handleHello(c, m)
+	case *netproto.ReadMulti:
+		s.handleMulti(c, m.ID, m.Keys, true)
+	case *netproto.SubscribeMulti:
+		s.handleMulti(c, m.ID, m.Keys, false)
+	case *netproto.Batch:
+		s.handleBatch(c, m)
+	default:
+		s.reply(c, errFrame(c, 0, netproto.CodeUnsupported, 0, fmt.Sprintf("unexpected %T", msg)))
 	}
 }
 
@@ -935,7 +1089,10 @@ func (s *Server) handleHello(c *clientConn, m *netproto.Hello) {
 		// client's ramp heuristic can use it in place of its built-in
 		// default. Zero (no reads served yet) tells the client to keep
 		// its default; v2 and v1 peers never see the field at all.
+		// Later drift beyond 25% is re-advertised on RefreshBatch frames
+		// (maybeAdvertiseCost), anchored on this value.
 		ack.CqrCost = uint64(s.RefreshCost())
+		c.costAdv.Store(int64(ack.CqrCost))
 	}
 	s.reply(c, ack)
 }
@@ -1096,6 +1253,10 @@ func (s *Server) handleMulti(c *clientConn, id uint64, keys []int64, read bool) 
 		rb.Items = rb.Items[:len(keys)]
 	}
 	items := rb.Items
+	// A connection that dies mid-request cancels its context (dropClient);
+	// the fill loops poll it per key so a large fan-out stops generating
+	// source reads for a dead peer instead of running to completion.
+	dying := c.ctx.Done()
 	fill := func(shardIdx int) {
 		sh := s.shards[shardIdx]
 		var start time.Time
@@ -1103,6 +1264,11 @@ func (s *Server) handleMulti(c *clientConn, id uint64, keys []int64, read bool) 
 			start = time.Now()
 		}
 		for _, pos := range byShard[shardIdx] {
+			select {
+			case <-dying:
+				return
+			default:
+			}
 			k := keys[pos]
 			var r source.Refresh
 			kind := netproto.KindInitial
@@ -1145,6 +1311,15 @@ func (s *Server) handleMulti(c *clientConn, id uint64, keys []int64, read bool) 
 			}(i)
 		}
 		wg.Wait()
+	}
+	select {
+	case <-dying:
+		// The fills bailed early, so items may be partially filled; the
+		// peer is gone anyway. Subscriptions already created are reaped by
+		// dropClient's UnsubscribeCache sweep.
+		netproto.Release(rb)
+		return
+	default:
 	}
 	s.reply(c, rb)
 }
@@ -1190,6 +1365,7 @@ func (s *Server) handleBatch(c *clientConn, b *netproto.Batch) {
 	sort.Ints(sc.shardSet)
 	shardSet, byShard := sc.shardSet, sc.byShard
 	s.lockShardSet(shardSet)
+	dying := c.ctx.Done()
 	if len(shardSet) <= 1 || len(b.Msgs) < fanoutThreshold {
 		for _, idx := range shardSet {
 			for _, i := range byShard[idx] {
@@ -1204,11 +1380,30 @@ func (s *Server) handleBatch(c *clientConn, b *netproto.Batch) {
 			go func(positions []int) {
 				defer wg.Done()
 				for _, i := range positions {
+					select {
+					case <-dying:
+						return // peer gone: stop generating source work
+					default:
+					}
 					resp[i] = s.respondLocked(c, b.Msgs[i])
 				}
 			}(positions)
 		}
 		wg.Wait()
+		select {
+		case <-dying:
+			// The workers bailed early; release what they did produce and
+			// send nothing — the peer cannot receive it.
+			for i := range resp {
+				if resp[i] != nil {
+					netproto.Release(resp[i])
+					resp[i] = nil
+				}
+			}
+			s.unlockShardSet(shardSet)
+			return
+		default:
+		}
 	}
 	// Assemble the reply while the shard locks are still held, preserving
 	// per-key refresh order against concurrent Sets. The scratch resp slice
@@ -1241,8 +1436,16 @@ func (s *Server) handleBatch(c *clientConn, b *netproto.Batch) {
 	s.unlockShardSet(shardSet)
 }
 
-// dropClient removes a disconnected client and its subscriptions.
+// dropClient removes a disconnected client and its subscriptions. It is
+// the single teardown path for both cores: the goroutine core reaches it
+// from the read loop's exit, the poller core from read/write errors, reply
+// overflow, and Close. Idempotent; concurrent callers race benignly on the
+// registry check.
 func (s *Server) dropClient(c *clientConn) {
+	// Cancel before anything else: in-flight fan-out work for this peer
+	// (handleMulti, handleBatch) polls the context and bails, releasing
+	// the shard locks the subscription sweep below needs.
+	c.cancel()
 	s.connMu.Lock()
 	if _, ok := s.conns[c.id]; !ok {
 		s.connMu.Unlock()
@@ -1252,6 +1455,9 @@ func (s *Server) dropClient(c *clientConn) {
 	close(c.done)
 	c.conn.Close()
 	s.connMu.Unlock()
+	if c.pc != nil {
+		s.poll.unregister(c)
+	}
 	// Release any pushes still parked in the merge buffer; no new ones can
 	// arrive because the connection is out of the registry.
 	c.ovMu.Lock()
@@ -1286,6 +1492,12 @@ func (s *Server) Close() error {
 	}
 	for _, c := range conns {
 		s.dropClient(c)
+	}
+	if s.poll != nil {
+		// Every connection is out of the registry (the accept loop refuses
+		// new ones once closed is set), so no goroutine can schedule new
+		// work on the core; shut its loops down and join them.
+		s.poll.shutdown()
 	}
 	s.serveWG.Wait()
 	return nil

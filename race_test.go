@@ -200,6 +200,25 @@ func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
 // assertions are therefore about race-cleanliness, query-width guarantees,
 // and counter sanity rather than end-state validity.
 func TestNetHammerPooledWire(t *testing.T) {
+	forEachConnMode(t, netHammerPooledWire)
+}
+
+// forEachConnMode runs a server-exercising test once per connection core.
+// The poller subtest asserts the event-driven core actually engaged (no
+// silent fallback) on platforms that support it, and is skipped elsewhere.
+func forEachConnMode(t *testing.T, fn func(t *testing.T, mode string)) {
+	t.Helper()
+	for _, mode := range []string{ConnModeGoroutine, ConnModePoller} {
+		t.Run("connmode="+mode, func(t *testing.T) {
+			if mode == ConnModePoller && !PollerSupported() {
+				t.Skip("poller core unsupported on this platform")
+			}
+			fn(t, mode)
+		})
+	}
+}
+
+func netHammerPooledWire(t *testing.T, mode string) {
 	const (
 		keys          = 48
 		clients       = 3
@@ -212,11 +231,15 @@ func TestNetHammerPooledWire(t *testing.T) {
 		Shards:        4,
 		MaxBatch:      32,
 		FlushInterval: 500 * time.Microsecond,
+		ConnMode:      mode,
 	})
 	if err != nil {
 		t.Fatalf("Serve: %v", err)
 	}
 	defer srv.Close()
+	if got := srv.ConnMode(); got != mode {
+		t.Fatalf("server runs ConnMode %q, want %q", got, mode)
+	}
 	for k := 0; k < keys; k++ {
 		srv.SetInitial(k, float64(k))
 	}
