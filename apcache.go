@@ -585,8 +585,21 @@ func Serve(addr string, cfg ServerConfig) (*Server, net.Addr, error) {
 type Client = client.Client
 
 // ClientConfig parameterizes DialConfig: cache capacity plus the batched
-// protocol knobs (MaxBatch, ProtoVersion, Timeout).
+// protocol knobs (MaxBatch, ProtoVersion, Timeout) and the fault-tolerance
+// knobs (Reconnect, StaleReads, StaleWidthGrowth).
 type ClientConfig = client.Config
+
+// ReconnectPolicy configures the client's automatic redial loop
+// (ClientConfig.Reconnect): exponential backoff with full jitter, after
+// which the session re-runs its handshake and replays every live
+// subscription, and open Watch streams resume instead of failing. Disabled
+// by default; set Enabled to opt in.
+type ReconnectPolicy = client.ReconnectPolicy
+
+// Approx is a locally served approximation with its degradation status:
+// Stale marks a read served from last-known state during an outage (see
+// ClientConfig.StaleReads), Age how long the connection has been down.
+type Approx = client.Approx
 
 // Protocol versions for ServerConfig.ProtoVersion and
 // ClientConfig.ProtoVersion. The default (0) negotiates up to v3 — the
@@ -616,9 +629,24 @@ func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
 // those methods.
 type Watch = watch.Watch
 
-// Update is one observed refresh: the key and its freshly installed
-// interval approximation.
+// Update is one observed refresh (the key and its freshly installed
+// interval approximation) or — on a networked watch riding a reconnecting
+// client — a connection lifecycle event (Key is -1; see EventKind).
 type Update = watch.Update
+
+// EventKind classifies an Update: an ordinary refresh, or a connection
+// lifecycle event of the feed the watch rides on.
+type EventKind = watch.EventKind
+
+// Watch update kinds. Lifecycle events are delivered only by networked
+// watches whose client reconnects automatically (ClientConfig.Reconnect):
+// EventDisconnected announces an outage, EventReconnected that the
+// connection is back with every subscription replayed.
+const (
+	EventRefresh      = watch.EventRefresh
+	EventDisconnected = watch.EventDisconnected
+	EventReconnected  = watch.EventReconnected
+)
 
 // Hierarchy is a multi-level cache chain over one source (the paper's
 // Section 5 future-work direction): each level runs its own adaptive width

@@ -40,6 +40,8 @@ func main() {
 		ramp     = flag.Float64("ramp", 0, "MAX/MIN batched refinement ramp factor (0 = adaptive from measured RTT, 1 = paper-minimal)")
 		cqrCost  = flag.Duration("cqrcost", 0, "modeled per-key refresh cost for the adaptive ramp (0 = default 100µs)")
 		qlimit   = flag.Duration("qdeadline", 0, "per-query context deadline (0 = client default timeout only)")
+		reconn   = flag.Bool("reconnect", false, "survive server restarts: redial with backoff and replay subscriptions")
+		stale    = flag.Float64("stale", 0, "serve cached reads during outages, widening intervals at this rate (units/s); 0 = fail instead (requires -reconnect)")
 	)
 	flag.Parse()
 
@@ -48,12 +50,15 @@ func main() {
 		size = *keys
 	}
 	c, err := client.DialConfig(*addr, client.Config{
-		CacheSize:    size,
-		MaxBatch:     *maxBatch,
-		ProtoVersion: *protoVer,
-		Timeout:      *timeout,
-		RampFactor:   *ramp,
-		CqrCost:      *cqrCost,
+		CacheSize:        size,
+		MaxBatch:         *maxBatch,
+		ProtoVersion:     *protoVer,
+		Timeout:          *timeout,
+		RampFactor:       *ramp,
+		CqrCost:          *cqrCost,
+		Reconnect:        client.ReconnectPolicy{Enabled: *reconn},
+		StaleReads:       *stale > 0,
+		StaleWidthGrowth: *stale,
 	})
 	if err != nil {
 		log.Fatalf("apcache-client: %v", err)
@@ -101,6 +106,12 @@ func main() {
 				log.Printf("apcache-client: query #%d timed out: %v", n+1, err)
 				continue
 			}
+			if *reconn && errors.Is(err, aperrs.ErrConnLost) {
+				// The redial loop owns recovery; queries resume once the
+				// replayed subscriptions land.
+				log.Printf("apcache-client: query #%d lost the connection (reconnecting): %v", n+1, err)
+				continue
+			}
 			log.Fatalf("apcache-client: query: %v", err)
 		}
 		if (n+1)%10 == 0 {
@@ -114,8 +125,8 @@ func main() {
 	}
 	st := c.Stats()
 	cost := float64(st.ValueRefreshes)*(*cvr) + float64(st.QueryRefreshes)*(*cqr)
-	log.Printf("done: VIR=%d QIR=%d total-cost=%.4g hit-rate=%.2f frames-sent=%d frames-recv=%d rtt=%v server-cqr-cost=%v",
+	log.Printf("done: VIR=%d QIR=%d total-cost=%.4g hit-rate=%.2f frames-sent=%d frames-recv=%d rtt=%v server-cqr-cost=%v reconnects=%d",
 		st.ValueRefreshes, st.QueryRefreshes, cost,
 		float64(st.Cache.Hits)/float64(st.Cache.Hits+st.Cache.Misses+1),
-		st.FramesSent, st.FramesReceived, st.SmoothedRTT, st.ServerCqrCost)
+		st.FramesSent, st.FramesReceived, st.SmoothedRTT, st.ServerCqrCost, st.Reconnects)
 }

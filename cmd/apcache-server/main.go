@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -16,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"apcache/internal/core"
@@ -43,6 +45,7 @@ func main() {
 		flush     = flag.Duration("maxflush", 2*time.Millisecond, "cap on the adaptive per-connection push-coalescing window (0 = always flush immediately)")
 		protoVer  = flag.Int("protover", 0, "cap the wire protocol: 1 = v1 single frames, 2 = batched v2, 0/3 = v3 with structured errors")
 		connMode  = flag.String("connmode", "", "connection core: 'goroutine' (default; two goroutines per connection) or 'poller' (event-driven, shared loops + writer pool)")
+		drain     = flag.Duration("drain", 5*time.Second, "graceful-drain bound on SIGTERM/interrupt: flush queued pushes before closing connections (0 = close immediately)")
 	)
 	flag.Parse()
 
@@ -92,7 +95,7 @@ func main() {
 	log.Printf("serving %d keys on %s (%s connection core, update period %v)", len(updates), bound, srv.ConnMode(), *period)
 
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	ticker := time.NewTicker(*period)
 	defer ticker.Stop()
 	var pushes, ticks int
@@ -111,7 +114,15 @@ func main() {
 			st := srv.Stats()
 			log.Printf("shutting down: %d updates applied, %d refreshes pushed (%d parked on congestion, %d merged), measured refresh cost %v",
 				ticks*len(updates), pushes, st.PushOverflows, st.PushMerges, st.RefreshCost)
-			srv.Close()
+			if *drain > 0 {
+				ctx, cancel := context.WithTimeout(context.Background(), *drain)
+				if err := srv.Shutdown(ctx); err != nil {
+					log.Printf("drain incomplete after %v: %v", *drain, err)
+				}
+				cancel()
+			} else {
+				srv.Close()
+			}
 			return
 		}
 	}

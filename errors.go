@@ -33,6 +33,19 @@ var (
 	// reply with it across the wire, because an oversized inbound frame
 	// is rejected before its request ID is known.
 	ErrBatchTooLarge = aperrs.ErrBatchTooLarge
+	// ErrConnLost reports a call failed by a transport failure: the TCP
+	// connection died underneath an in-flight call, or was still down
+	// when the call started. With ClientConfig.Reconnect enabled the
+	// condition is transient — the client redials, replays its
+	// subscriptions, and resumes Watch streams — so callers should treat
+	// a match as "retry", not "give up":
+	//
+	//	v, err := client.ReadExactCtx(ctx, key)
+	//	if errors.Is(err, apcache.ErrConnLost) { /* back off and retry */ }
+	//
+	// Use errors.As with *apcache.ConnLostError to reach the underlying
+	// transport error.
+	ErrConnLost = aperrs.ErrConnLost
 )
 
 // KeyError is the concrete unknown-key failure, carrying the offending
@@ -43,3 +56,7 @@ type KeyError = aperrs.KeyError
 // deadline that expired; it matches ErrTimeout and
 // context.DeadlineExceeded under errors.Is.
 type TimeoutError = aperrs.TimeoutError
+
+// ConnLostError is the concrete connection-loss failure, wrapping the
+// underlying transport error; it matches ErrConnLost under errors.Is.
+type ConnLostError = aperrs.ConnLostError

@@ -79,3 +79,81 @@ func ExampleClient_QueryCtx() {
 	// exact sum: 60
 	// typed miss across the wire: true
 }
+
+// ExampleReconnectPolicy shows the fault-tolerant session layer: a client
+// with reconnection enabled rides out a server restart. Calls that hit the
+// outage window fail with the typed apcache.ErrConnLost — the signal to
+// retry — and once the replacement server is up the redial loop replays the
+// subscription, so the retried read succeeds without any re-Subscribe.
+func ExampleReconnectPolicy() {
+	srv, addr, err := apcache.Serve("127.0.0.1:0", apcache.ServerConfig{
+		Params:       apcache.DefaultParams(1, 2, 0),
+		InitialWidth: 10,
+		Seed:         1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	srv.SetInitial(0, 42)
+
+	c, err := apcache.DialConfig(addr.String(), apcache.ClientConfig{
+		CacheSize: 4,
+		Reconnect: apcache.ReconnectPolicy{
+			Enabled:   true,
+			BaseDelay: 5 * time.Millisecond, // exponential backoff with full jitter
+			MaxDelay:  100 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	if err := c.Subscribe(0); err != nil {
+		panic(err)
+	}
+
+	// Restart the server on the same port. The client notices the loss and
+	// starts redialing in the background.
+	srv.Close()
+	srv2, err := restartOn(addr.String())
+	if err != nil {
+		panic(err)
+	}
+	defer srv2.Close()
+	srv2.SetInitial(0, 43)
+
+	// Retry loop: ErrConnLost is the transient, typed "try again" error.
+	for {
+		v, err := c.ReadExact(0)
+		if errors.Is(err, apcache.ErrConnLost) {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println("read after restart:", v)
+		break
+	}
+	fmt.Println("reconnects:", c.Stats().Reconnects)
+	// Output:
+	// read after restart: 43
+	// reconnects: 1
+}
+
+// restartOn rebinds a fresh server on a just-released address, retrying
+// briefly while the kernel frees the port.
+func restartOn(addr string) (srv *apcache.Server, err error) {
+	for attempt := 0; attempt < 200; attempt++ {
+		srv, _, err = apcache.Serve(addr, apcache.ServerConfig{
+			Params:       apcache.DefaultParams(1, 2, 0),
+			InitialWidth: 10,
+			Seed:         2,
+		})
+		if err == nil {
+			return srv, nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil, err
+}

@@ -16,7 +16,10 @@
 // networked run also demonstrates the API v1 surface: queries run under a
 // context deadline via QueryCtx, and a Watch stream observes the pushed
 // refreshes of the four busiest hosts — the monitoring dashboard the
-// paper's scenario implies, without polling.
+// paper's scenario implies, without polling. Halfway through the replay the
+// server is killed and restarted: the client's ReconnectPolicy redials,
+// replays all subscriptions, and the Watch stream reports the outage as
+// Disconnected/Reconnected events instead of dying.
 //
 // Run with:
 //
@@ -25,6 +28,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -120,27 +124,22 @@ func runScenario(tr *trace.Trace, lambda1 float64) float64 {
 // (FlushInterval caps the window; the per-connection EWMA of push gaps
 // shrinks it so sparse pushes flush immediately).
 func runNetworked(tr *trace.Trace) {
-	srv, addr, err := apcache.Serve("127.0.0.1:0", apcache.ServerConfig{
-		Params: apcache.Params{
-			Cvr: cvr, Cqr: cqr, Alpha: 1,
-			Lambda0: 1000, Lambda1: math.Inf(1),
-		},
-		InitialWidth:  10_000,
-		Seed:          3,
-		MaxBatch:      128,
-		FlushInterval: time.Millisecond,
-	})
+	srv, addr, err := serveHosts("127.0.0.1:0", tr, 0)
 	if err != nil {
 		panic(err)
 	}
-	defer srv.Close()
-	for h := 0; h < tr.Hosts(); h++ {
-		srv.SetInitial(h, tr.Host(h)[0])
-	}
+	defer func() { srv.Close() }() // closure: srv is swapped by the mid-replay restart
 
-	c, err := apcache.DialConfig(addr.String(), apcache.ClientConfig{
+	c, err := apcache.DialConfig(addr, apcache.ClientConfig{
 		CacheSize: tr.Hosts(),
 		MaxBatch:  128,
+		// Survive the mid-replay restart below: redial with backoff and
+		// replay every subscription against the replacement server.
+		Reconnect: apcache.ReconnectPolicy{
+			Enabled:   true,
+			BaseDelay: 5 * time.Millisecond,
+			MaxDelay:  100 * time.Millisecond,
+		},
 	})
 	if err != nil {
 		panic(err)
@@ -161,18 +160,38 @@ func runNetworked(tr *trace.Trace) {
 	if err != nil {
 		panic(err)
 	}
-	observed := make(chan int, 1)
+	type watchTally struct{ refreshes, events int }
+	observed := make(chan watchTally, 1)
 	go func() {
-		n := 0
-		for range w.Updates() {
-			n++
+		var tally watchTally
+		for u := range w.Updates() {
+			if u.Event != apcache.EventRefresh {
+				tally.events++ // Disconnected/Reconnected around the restart
+			} else {
+				tally.refreshes++
+			}
 		}
-		observed <- n
+		observed <- tally
 	}()
 
 	rng := rand.New(rand.NewSource(5))
-	queries := 0
+	queries, lost := 0, 0
+	restartAt := tr.Duration() / 2
 	for t := 1; t < tr.Duration(); t++ {
+		if t == restartAt {
+			// Kill the server mid-replay and bring a replacement up on the
+			// same port, seeded with the trace's current values. The client
+			// is none the wiser: its redial loop replays the subscriptions.
+			prev := c.Stats().Reconnects
+			srv.Close()
+			srv = mustRestart(addr, tr, t)
+			for waited := 0; c.Stats().Reconnects <= prev; waited++ {
+				if waited > 5000 {
+					panic("client never reconnected to the restarted server")
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
 		for h := 0; h < tr.Hosts(); h++ {
 			srv.Set(h, tr.Host(h)[t])
 		}
@@ -187,6 +206,10 @@ func runNetworked(tr *trace.Trace) {
 			_, err := c.QueryCtx(ctx, apcache.Query{Kind: kind, Keys: keys, Delta: delta})
 			cancel()
 			if err != nil {
+				if errors.Is(err, apcache.ErrConnLost) {
+					lost++ // outage window: the redial loop owns recovery
+					continue
+				}
 				panic(err)
 			}
 			queries++
@@ -202,5 +225,44 @@ func runNetworked(tr *trace.Trace) {
 		st.ValueRefreshes+st.QueryRefreshes, st.ValueRefreshes, st.QueryRefreshes,
 		st.FramesReceived, st.FramesSent)
 	fmt.Printf("  the Watch over the 4 busiest hosts streamed %d updates (%d coalesced latest-wins)\n",
-		watched, w.Coalesced())
+		watched.refreshes, w.Coalesced())
+	fmt.Printf("  survived a mid-replay server restart: %d reconnect(s), %d queries lost to the outage, %d connectivity events on the Watch\n",
+		st.Reconnects, lost, watched.events)
+}
+
+// serveHosts starts a server on addr seeded with every host's traffic level
+// at trace second t, returning the bound address as a string.
+func serveHosts(addr string, tr *trace.Trace, t int) (*apcache.Server, string, error) {
+	srv, bound, err := apcache.Serve(addr, apcache.ServerConfig{
+		Params: apcache.Params{
+			Cvr: cvr, Cqr: cqr, Alpha: 1,
+			Lambda0: 1000, Lambda1: math.Inf(1),
+		},
+		InitialWidth:  10_000,
+		Seed:          3,
+		MaxBatch:      128,
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	for h := 0; h < tr.Hosts(); h++ {
+		srv.SetInitial(h, tr.Host(h)[t])
+	}
+	return srv, bound.String(), nil
+}
+
+// mustRestart rebinds a replacement server on the address the dead one
+// held, retrying briefly while the kernel releases the port.
+func mustRestart(addr string, tr *trace.Trace, t int) *apcache.Server {
+	var lastErr error
+	for attempt := 0; attempt < 200; attempt++ {
+		srv, _, err := serveHosts(addr, tr, t)
+		if err == nil {
+			return srv
+		}
+		lastErr = err
+		time.Sleep(5 * time.Millisecond)
+	}
+	panic(lastErr)
 }

@@ -29,6 +29,13 @@ var (
 	// ErrBatchTooLarge reports a frame whose batch payload exceeds the wire
 	// protocol's per-frame item limit.
 	ErrBatchTooLarge = errors.New("apcache: batch too large")
+	// ErrConnLost reports a call failed by a transport failure: the
+	// connection died underneath it, or was still down when the call
+	// started. Concrete instances are *ConnLostError values carrying the
+	// transport cause. The condition is transient when the client
+	// reconnects automatically (see the client's ReconnectPolicy), so
+	// callers should errors.Is for this sentinel and retry.
+	ErrConnLost = errors.New("apcache: connection lost")
 )
 
 // KeyError is the concrete unknown-key failure: it carries the offending
@@ -60,3 +67,26 @@ func (e *TimeoutError) Error() string {
 func (e *TimeoutError) Is(target error) bool {
 	return target == ErrTimeout || target == context.DeadlineExceeded
 }
+
+// ConnLostError is the concrete connection-loss failure: it matches
+// ErrConnLost under errors.Is and carries the underlying transport error
+// (reachable through errors.Unwrap/As) for diagnostics.
+type ConnLostError struct {
+	Cause error
+}
+
+func (e *ConnLostError) Error() string {
+	if e.Cause == nil {
+		return "apcache: connection lost"
+	}
+	return "apcache: connection lost: " + e.Cause.Error()
+}
+
+// Is matches the ErrConnLost sentinel.
+func (e *ConnLostError) Is(target error) bool { return target == ErrConnLost }
+
+// Unwrap exposes the transport cause.
+func (e *ConnLostError) Unwrap() error { return e.Cause }
+
+// ConnLost wraps a transport failure into the typed connection-loss error.
+func ConnLost(cause error) error { return &ConnLostError{Cause: cause} }

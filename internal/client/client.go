@@ -35,6 +35,24 @@
 // and failures carry the apcache error taxonomy: on connections that
 // negotiate protocol v3, the server's structured error frame makes
 // errors.Is(err, aperrs.ErrUnknownKey) hold across the TCP boundary.
+//
+// # Fault-tolerant sessions
+//
+// The connection is a session that can outlive any single TCP stream. With
+// Config.Reconnect enabled, a transport failure does not kill the client:
+// in-flight calls fail promptly with an error matching aperrs.ErrConnLost
+// (so callers can errors.Is and retry), and a redial loop — exponential
+// backoff with full jitter, capped, optionally bounded by MaxAttempts —
+// re-establishes the connection, re-runs the protocol handshake (the new
+// peer may negotiate a different version), and replays the client's desired
+// state: every live subscription goes back out in batched SubscribeMulti
+// chunks, so learned approximations flow again without caller involvement.
+// Open Watch streams are not failed; they observe an EventDisconnected /
+// EventReconnected pair and keep streaming across the gap. Config.StaleReads
+// additionally serves degraded local reads during the outage: the
+// last-known interval, flagged stale, its width optionally growing at a
+// configured rate — principled in this system because an interval's width
+// is an explicit statement of its uncertainty.
 package client
 
 import (
@@ -43,7 +61,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -123,6 +143,15 @@ type Stats struct {
 	// RefreshBatch. Zero when the server sent no measurement or the
 	// connection negotiated a protocol below v3.
 	ServerCqrCost time.Duration
+	// Reconnects counts completed automatic reconnections: sessions that
+	// redialed, renegotiated the protocol, and replayed the subscription
+	// set after a transport failure (see Config.Reconnect).
+	Reconnects int
+	// Degraded reports that the connection is currently down: local reads
+	// are serving last-known state while the redial loop (if enabled)
+	// works on recovery. It clears once the subscription set has been
+	// replayed.
+	Degraded bool
 	// Cache snapshots the local store's counters.
 	Cache cache.Stats
 }
@@ -167,6 +196,102 @@ type Config struct {
 	// drive the ramp, falling back to DefaultCqrCost when no measurement
 	// arrives; a positive value pins the cost and ignores the server.
 	CqrCost time.Duration
+	// Reconnect configures automatic redial after a transport failure. The
+	// zero value disables it — a transport failure then closes the client,
+	// exactly the historical behavior; set Enabled to opt in. See
+	// ReconnectPolicy.
+	Reconnect ReconnectPolicy
+	// StaleReads keeps Get/GetCtx/GetApprox answering from the last-known
+	// approximations while the connection is down, instead of the caller
+	// having to treat an outage as a cold cache. GetApprox flags such
+	// answers Stale and reports the outage's age. Typically combined with
+	// Reconnect; without it the degradation is permanent once the
+	// connection dies.
+	StaleReads bool
+	// StaleWidthGrowth widens stale intervals at this rate — value units
+	// per second of outage, split evenly between both bounds — so a
+	// degraded answer's width keeps stating honest uncertainty about a
+	// source that may be drifting unobserved. 0 leaves widths frozen.
+	// Requires StaleReads; must be finite and non-negative.
+	StaleWidthGrowth float64
+}
+
+// DefaultReconnectBase and DefaultReconnectCap are the backoff bounds an
+// Enabled but otherwise zero ReconnectPolicy uses.
+const (
+	DefaultReconnectBase = 50 * time.Millisecond
+	DefaultReconnectCap  = 5 * time.Second
+)
+
+// ReconnectPolicy drives the client's automatic redial loop. When a live
+// connection dies, in-flight calls fail with an error matching
+// aperrs.ErrConnLost, and — with Enabled set — the client redials in the
+// background: each attempt re-dials the original address, re-runs the
+// protocol handshake (the replacement peer may negotiate a different
+// version), and replays every live subscription in batched SubscribeMulti
+// chunks before the session is considered recovered. Open Watch streams
+// ride across the gap, observing an EventDisconnected/EventReconnected
+// pair instead of failing. Calls started during the outage fail fast with
+// the same typed loss, so callers retry on errors.Is(err, ErrConnLost).
+type ReconnectPolicy struct {
+	// Enabled turns automatic reconnection on. Off by default: a client
+	// that has not opted in observes the historical semantics, where a
+	// transport failure closes the client and fails its watches.
+	Enabled bool
+	// BaseDelay seeds the exponential backoff: attempt n (0-based) waits a
+	// uniformly random duration in [0, min(MaxDelay, BaseDelay·2ⁿ)] — full
+	// jitter, so a fleet of clients losing one server does not reconnect
+	// in lockstep. 0 selects DefaultReconnectBase.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff bound. 0 selects DefaultReconnectCap.
+	MaxDelay time.Duration
+	// MaxAttempts bounds consecutive failed attempts before the client
+	// gives up: it closes, and the surviving watches fail with the typed
+	// loss. 0 retries until the client is closed.
+	MaxAttempts int
+}
+
+// delay computes the backoff before attempt (0-based) from a jitter draw r
+// in [0, 1): full jitter over an exponentially growing bound, clamped to
+// [BaseDelay, MaxDelay].
+func (p ReconnectPolicy) delay(attempt int, r float64) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = DefaultReconnectBase
+	}
+	ceil := p.MaxDelay
+	if ceil <= 0 {
+		ceil = DefaultReconnectCap
+	}
+	if ceil < base {
+		ceil = base
+	}
+	bound := base
+	for i := 0; i < attempt && bound < ceil; i++ {
+		bound *= 2
+	}
+	if bound > ceil {
+		bound = ceil
+	}
+	d := time.Duration(r * float64(bound))
+	if d < 0 {
+		d = 0
+	}
+	if d > bound {
+		d = bound
+	}
+	return d
+}
+
+// Approx is a locally served approximation together with its degradation
+// status: Stale reports it was read during an outage (Config.StaleReads)
+// and Age how long the connection has been down. A stale interval's width
+// grows at Config.StaleWidthGrowth, so it remains an honest statement of
+// uncertainty about a source that may be drifting unobserved.
+type Approx struct {
+	Interval interval.Interval
+	Stale    bool
+	Age      time.Duration
 }
 
 // DefaultCqrCost is the modeled per-key refresh cost used by the adaptive
@@ -193,24 +318,70 @@ type callResult struct {
 	at  time.Time
 }
 
+// sess is one TCP stream of the client's logical session. The redial loop
+// replaces the whole struct under mu, so the read and write loops of a dead
+// stream never share channels — or the writer's scratch buffer — with its
+// replacement.
+type sess struct {
+	conn      net.Conn
+	sendq     chan netproto.Message // feeds this stream's writer goroutine
+	dead      chan struct{}         // closed when the stream's read loop exits
+	writeDone chan struct{}         // closed when the stream's writer exits
+	runBuf    []netproto.Message    // writer scratch for batchable runs
+}
+
+func newSess(conn net.Conn) *sess {
+	return &sess{
+		conn:      conn,
+		sendq:     make(chan netproto.Message, 256),
+		dead:      make(chan struct{}),
+		writeDone: make(chan struct{}),
+	}
+}
+
 // Client is a networked approximate cache. All methods are safe for
 // concurrent use.
 type Client struct {
-	conn net.Conn
+	// addr is the dial target, kept for the redial loop. The knobs below
+	// it are immutable after DialConfig.
+	addr        string
+	policy      ReconnectPolicy
+	staleReads  bool
+	staleGrowth float64
+	offerProto  int // protocol ceiling offered on every handshake; Version1 = none
+	offerBatch  int // batch limit offered on every handshake
 
 	// mu guards the local store, the correlation table, the watch
-	// registry, and the counters. It is never held across a network
-	// operation.
+	// registry, the counters, and the session/reconnect state. It is
+	// never held across a network operation.
 	mu       sync.Mutex
+	sess     *sess
 	store    *cache.Cache
 	pending  map[uint64]chan callResult
-	watchers watch.Registry // watches by observed key
+	watchers watch.Registry   // watches by observed key
+	subs     map[int]struct{} // desired-state subscriptions, replayed on reconnect
 	nextID   uint64
 	closed   bool
 	byUser   bool // closed by an explicit Close, not a transport failure
 	vir      int
 	qir      int
 	readErr  error
+
+	// down marks the gap between a stream dying and the redial loop
+	// publishing its replacement: calls started inside it fail fast with
+	// the typed loss. reconnecting is true while a redial goroutine runs;
+	// downSince anchors the outage's age for stale reads and clears only
+	// once the subscription set has been replayed.
+	down         bool
+	reconnecting bool
+	downSince    time.Time
+	reconnects   int
+
+	// closeCh aborts the redial loop's backoff sleeps; redialWG lets
+	// Close join the loop.
+	closeCh   chan struct{}
+	closeOnce sync.Once
+	redialWG  sync.WaitGroup
 
 	// defTimeout is the default per-call deadline in nanoseconds, applied
 	// when a call's context carries no deadline. Atomic so SetTimeout can
@@ -231,17 +402,6 @@ type Client struct {
 	// RefreshBatch frames when the server's measurement drifts. Written by
 	// the handshake and the read loop, read by every rampFor call.
 	srvCqrCost atomic.Int64
-
-	// sendq feeds the writer goroutine; readDone/writeDone close when the
-	// respective loop exits (readDone doubles as the connection-dead
-	// signal for enqueuers).
-	sendq     chan netproto.Message
-	readDone  chan struct{}
-	writeDone chan struct{}
-
-	// runBuf is the writer goroutine's scratch for collecting batchable
-	// runs; only writeLoop touches it.
-	runBuf []netproto.Message
 
 	// proto is the negotiated protocol version, maxBatch the negotiated
 	// batch limit. Written during the Dial handshake, read by the writer
@@ -283,32 +443,44 @@ func DialConfig(addr string, cfg Config) (*Client, error) {
 	if cqrCost <= 0 {
 		cqrCost = DefaultCqrCost
 	}
+	if cfg.StaleWidthGrowth < 0 || math.IsNaN(cfg.StaleWidthGrowth) || math.IsInf(cfg.StaleWidthGrowth, 1) {
+		return nil, fmt.Errorf("client: stale width growth %g outside [0, +Inf)", cfg.StaleWidthGrowth)
+	}
+	offerProto := netproto.Version1
+	if cfg.ProtoVersion != netproto.Version1 {
+		offerProto = netproto.Version3
+		if cfg.ProtoVersion != 0 && cfg.ProtoVersion < offerProto {
+			offerProto = cfg.ProtoVersion
+		}
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
 	c := &Client{
-		conn:      conn,
-		store:     cache.New(cfg.CacheSize),
-		pending:   make(map[uint64]chan callResult),
-		ramp:      ramp,
-		cqrCost:   cqrCost,
-		cqrSet:    cfg.CqrCost > 0,
-		sendq:     make(chan netproto.Message, 256),
-		readDone:  make(chan struct{}),
-		writeDone: make(chan struct{}),
+		addr:        addr,
+		policy:      cfg.Reconnect,
+		staleReads:  cfg.StaleReads,
+		staleGrowth: cfg.StaleWidthGrowth,
+		offerProto:  offerProto,
+		offerBatch:  maxBatch,
+		store:       cache.New(cfg.CacheSize),
+		pending:     make(map[uint64]chan callResult),
+		subs:        make(map[int]struct{}),
+		ramp:        ramp,
+		cqrCost:     cqrCost,
+		cqrSet:      cfg.CqrCost > 0,
+		closeCh:     make(chan struct{}),
 	}
 	c.defTimeout.Store(int64(timeout))
 	c.proto.Store(netproto.Version1)
 	c.maxBatch.Store(int32(maxBatch))
-	go c.readLoop()
-	go c.writeLoop()
-	if cfg.ProtoVersion != netproto.Version1 {
-		offer := netproto.Version3
-		if cfg.ProtoVersion != 0 && cfg.ProtoVersion < offer {
-			offer = cfg.ProtoVersion
-		}
-		if err := c.handshake(offer, maxBatch); err != nil {
+	s := newSess(conn)
+	c.sess = s
+	go c.readLoop(s)
+	go c.writeLoop(s)
+	if offerProto != netproto.Version1 {
+		if err := c.handshake(context.Background(), offerProto, maxBatch); err != nil {
 			c.Close()
 			return nil, err
 		}
@@ -319,9 +491,10 @@ func DialConfig(addr string, cfg Config) (*Client, error) {
 // handshake offers protocol version offer (v2 or v3); the connection lands
 // on the minimum of the offer and the server's ack. A ServerError reply
 // means the server declined — the client stays on v1 frames; transport
-// failures abort.
-func (c *Client) handshake(offer, maxBatch int) error {
-	msg, err := c.call(context.Background(), &netproto.Hello{Version: uint8(offer), MaxBatch: uint16(maxBatch)})
+// failures abort. It runs at Dial time and again on every reconnect, since
+// the replacement peer may speak an older protocol.
+func (c *Client) handshake(ctx context.Context, offer, maxBatch int) error {
+	msg, err := c.call(ctx, &netproto.Hello{Version: uint8(offer), MaxBatch: uint16(maxBatch)})
 	if err != nil {
 		var se *ServerError
 		if errors.As(err, &se) {
@@ -419,43 +592,226 @@ func (c *Client) rampFor() float64 {
 	return query.AdaptiveRamp(time.Duration(c.rttEWMA.Load()), c.effectiveCqrCost(), MaxAdaptiveRamp)
 }
 
-// readLoop dispatches inbound frames: responses to waiting requests, pushes
-// into the local store. It owns a reusing netproto.Decoder, so handleMsg
-// must never hand a decoded message itself to a waiter — waiters get copies.
-func (c *Client) readLoop() {
-	defer close(c.readDone)
-	d := netproto.NewDecoder(bufio.NewReader(c.conn))
+// readLoop dispatches one stream's inbound frames: responses to waiting
+// requests, pushes into the local store. It owns a reusing netproto.Decoder,
+// so handleMsg must never hand a decoded message itself to a waiter —
+// waiters get copies. On a decode error the stream is gone: connLost fails
+// the in-flight calls and decides between teardown and reconnection.
+func (c *Client) readLoop(s *sess) {
+	defer close(s.dead)
+	d := netproto.NewDecoder(bufio.NewReader(s.conn))
 	for {
 		msg, err := d.Decode()
 		if err != nil {
-			c.mu.Lock()
-			c.readErr = err
-			c.closed = true
-			for _, ch := range c.pending {
-				close(ch)
-			}
-			c.pending = map[uint64]chan callResult{}
-			// Collect the live watches (deduplicated: one watch may observe
-			// many keys) and detach the registry so late Notify calls are
-			// no-ops.
-			failed := c.watchers.Detach()
-			byUser := c.byUser
-			c.mu.Unlock()
-			// Fail the watches outside mu (Fail runs the unregister hook,
-			// which relocks). An explicitly closed client surfaces as
-			// ErrClosed; anything else as the transport error.
-			werr := err
-			if byUser || errors.Is(err, net.ErrClosed) {
-				werr = ErrClosed
-			}
-			for _, w := range failed {
-				w.Fail(werr)
-			}
+			c.connLost(s, err)
 			return
 		}
 		c.framesRecv.Add(1)
 		c.handleMsg(msg)
 	}
+}
+
+// connLost is the single teardown path for a dead stream, run by its read
+// loop. Every in-flight call fails (their result channels close; awaiters
+// surface the typed loss via closeReason). Then, either the client closes —
+// reconnect disabled, or the user closed it — and the watches fail; or
+// recovery is handed to the redial loop and the watches stay attached,
+// observing EventDisconnected instead.
+func (c *Client) connLost(s *sess, err error) {
+	c.mu.Lock()
+	if c.sess != s {
+		// A stream the redial loop already replaced; its state is gone.
+		c.mu.Unlock()
+		return
+	}
+	c.readErr = err
+	c.down = true
+	if !c.byUser && c.downSince.IsZero() {
+		c.downSince = time.Now()
+	}
+	retry := c.policy.Enabled && !c.byUser && !c.closed
+	if !retry {
+		c.closed = true
+	}
+	for _, ch := range c.pending {
+		close(ch)
+	}
+	c.pending = map[uint64]chan callResult{}
+	// Collect the live watches (deduplicated: one watch may observe many
+	// keys). The terminal path detaches the registry so late Notify calls
+	// are no-ops; the retry path leaves it intact — the same watches
+	// resume when the replayed subscriptions start refreshing again.
+	var failed, live []*watch.Watch
+	spawn := false
+	if retry {
+		if !c.reconnecting {
+			// First loss of an established session: announce the outage
+			// and start the redial loop. A half-established reconnect
+			// attempt dying lands here too and changes nothing — the
+			// running loop already owns recovery.
+			c.reconnecting = true
+			spawn = true
+			live = c.watchers.All()
+		}
+	} else {
+		failed = c.watchers.Detach()
+	}
+	byUser := c.byUser
+	c.mu.Unlock()
+	s.conn.Close() // stop the stream's writer when the loss was a decode error, not a dead socket
+	// Fail the watches outside mu (Fail runs the unregister hook, which
+	// relocks). An explicitly closed client surfaces as ErrClosed;
+	// anything else as the typed connection loss.
+	werr := err
+	if byUser || errors.Is(err, net.ErrClosed) {
+		werr = ErrClosed
+	} else {
+		werr = aperrs.ConnLost(err)
+	}
+	for _, w := range failed {
+		w.Fail(werr)
+	}
+	for _, w := range live {
+		w.NotifyEvent(watch.EventDisconnected)
+	}
+	if spawn {
+		c.redialWG.Add(1)
+		go c.redial()
+	}
+}
+
+// redial re-establishes the session: exponential backoff with full jitter
+// between attempts, each attempt a fresh dial, handshake, and replay of the
+// desired-state subscription set. It exits when a reconnect succeeds, the
+// client closes, or MaxAttempts consecutive failures exhaust the policy.
+func (c *Client) redial() {
+	defer c.redialWG.Done()
+	for attempt := 0; ; attempt++ {
+		if c.policy.MaxAttempts > 0 && attempt >= c.policy.MaxAttempts {
+			c.giveUp()
+			return
+		}
+		if d := c.policy.delay(attempt, rand.Float64()); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-c.closeCh:
+				t.Stop()
+				return
+			}
+		}
+		select {
+		case <-c.closeCh:
+			return
+		default:
+		}
+		if c.tryReconnect() {
+			return
+		}
+	}
+}
+
+// tryReconnect runs one reconnection attempt end to end. It reports true
+// when the redial loop should stop: the session is back, or the client
+// closed underneath the attempt.
+func (c *Client) tryReconnect() bool {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return false
+	}
+	s := newSess(conn)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return true
+	}
+	c.sess = s
+	c.down = false
+	// The replacement peer negotiates from scratch: back to v1 until the
+	// handshake lands, with the configured offer restored.
+	c.proto.Store(netproto.Version1)
+	c.maxBatch.Store(int32(c.offerBatch))
+	keys := make([]int, 0, len(c.subs))
+	for k := range c.subs {
+		keys = append(keys, k)
+	}
+	c.mu.Unlock()
+	go c.readLoop(s)
+	go c.writeLoop(s)
+	if c.offerProto != netproto.Version1 {
+		ctx, cancel := context.WithTimeout(context.Background(), c.stepTimeout())
+		err := c.handshake(ctx, c.offerProto, c.offerBatch)
+		cancel()
+		if err != nil {
+			c.failSession(s)
+			return false
+		}
+	}
+	if len(keys) > 0 {
+		sort.Ints(keys) // deterministic replay order
+		ctx, cancel := context.WithTimeout(context.Background(), c.stepTimeout())
+		err := c.SubscribeMultiCtx(ctx, keys)
+		cancel()
+		if err != nil {
+			c.failSession(s)
+			return false
+		}
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return true
+	}
+	c.reconnecting = false
+	c.downSince = time.Time{}
+	c.readErr = nil
+	c.reconnects++
+	live := c.watchers.All()
+	c.mu.Unlock()
+	for _, w := range live {
+		w.NotifyEvent(watch.EventReconnected)
+	}
+	return true
+}
+
+// failSession abandons a half-established reconnect attempt: kill the
+// stream and wait for its loops, so consecutive attempts never overlap. The
+// stream's connLost sees reconnecting already set and leaves recovery to
+// the caller.
+func (c *Client) failSession(s *sess) {
+	s.conn.Close()
+	<-s.dead
+	<-s.writeDone
+}
+
+// giveUp makes an exhausted redial policy terminal: the client closes and
+// the surviving watches fail with the typed loss.
+func (c *Client) giveUp() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.reconnecting = false
+	err := c.readErr
+	failed := c.watchers.Detach()
+	c.mu.Unlock()
+	werr := aperrs.ConnLost(err)
+	for _, w := range failed {
+		w.Fail(werr)
+	}
+}
+
+// stepTimeout bounds one reconnection step (handshake, subscription
+// replay): the default call timeout when one is set, a conservative
+// constant when the default is disabled.
+func (c *Client) stepTimeout() time.Duration {
+	if t := time.Duration(c.defTimeout.Load()); t > 0 {
+		return t
+	}
+	return 10 * time.Second
 }
 
 // handleMsg routes one inbound message. Batch frames recurse one level (the
@@ -554,21 +910,21 @@ func (c *Client) installLocked(key int64, lo, hi, originalWidth float64) {
 	c.watchers.Notify(int(key), iv)
 }
 
-// writeLoop drains the send queue onto the wire. Backed-up simple requests
-// are coalesced into one Batch frame on v2 connections; multi-key requests
-// are already batches and go out as their own frames. Either way one drain
-// is encoded into one pooled buffer and flushed with a single write, so
-// concurrent callers share syscalls.
-func (c *Client) writeLoop() {
-	defer close(c.writeDone)
+// writeLoop drains one stream's send queue onto the wire. Backed-up simple
+// requests are coalesced into one Batch frame on v2 connections; multi-key
+// requests are already batches and go out as their own frames. Either way
+// one drain is encoded into one pooled buffer and flushed with a single
+// write, so concurrent callers share syscalls.
+func (c *Client) writeLoop(s *sess) {
+	defer close(s.writeDone)
 	bp := netproto.GetBuf()
 	defer netproto.PutBuf(bp)
 	var drained []netproto.Message
 	for {
 		var first netproto.Message
 		select {
-		case first = <-c.sendq:
-		case <-c.readDone:
+		case first = <-s.sendq:
+		case <-s.dead:
 			return
 		}
 		drained = append(drained[:0], first)
@@ -576,20 +932,20 @@ func (c *Client) writeLoop() {
 	drain:
 		for len(drained) < max {
 			select {
-			case m := <-c.sendq:
+			case m := <-s.sendq:
 				drained = append(drained, m)
 			default:
 				break drain
 			}
 		}
-		buf, err := c.appendFrames((*bp)[:0], drained)
+		buf, err := c.appendFrames(s, (*bp)[:0], drained)
 		*bp = buf
 		if err != nil {
-			c.conn.Close() // wakes readLoop, which fails the pending calls
+			s.conn.Close() // wakes the stream's readLoop, which fails the pending calls
 			return
 		}
-		if _, err := c.conn.Write(buf); err != nil {
-			c.conn.Close()
+		if _, err := s.conn.Write(buf); err != nil {
+			s.conn.Close()
 			return
 		}
 		if cap(buf) > 1<<20 {
@@ -615,7 +971,7 @@ func batchable(m netproto.Message) bool {
 // consecutive batchable messages collapse into one Batch frame. Every
 // message is released back to its pool once encoded (the writer owns
 // enqueued messages outright).
-func (c *Client) appendFrames(buf []byte, msgs []netproto.Message) ([]byte, error) {
+func (c *Client) appendFrames(s *sess, buf []byte, msgs []netproto.Message) ([]byte, error) {
 	var err error
 	if c.proto.Load() < netproto.Version2 || len(msgs) == 1 {
 		for _, m := range msgs {
@@ -628,7 +984,7 @@ func (c *Client) appendFrames(buf []byte, msgs []netproto.Message) ([]byte, erro
 		}
 		return buf, nil
 	}
-	run := c.runBuf[:0]
+	run := s.runBuf[:0]
 	flushRun := func() error {
 		var err error
 		switch len(run) {
@@ -657,19 +1013,19 @@ func (c *Client) appendFrames(buf []byte, msgs []netproto.Message) ([]byte, erro
 			continue
 		}
 		if err := flushRun(); err != nil {
-			c.runBuf = run
+			s.runBuf = run
 			return buf, err
 		}
 		buf, err = netproto.AppendFrame(buf, m)
 		netproto.Release(m)
 		if err != nil {
-			c.runBuf = run
+			s.runBuf = run
 			return buf, err
 		}
 		c.framesSent.Add(1)
 	}
 	err = flushRun()
-	c.runBuf = run
+	s.runBuf = run
 	return buf, err
 }
 
@@ -720,6 +1076,15 @@ func (c *Client) startCall(ctx context.Context, m netproto.Message) (uint64, cha
 		netproto.Release(m)
 		return 0, nil, time.Time{}, ErrClosed
 	}
+	if c.down {
+		// The stream is down and the redial loop owns recovery; fail fast
+		// with the typed loss instead of parking the call on a dead queue.
+		err := c.closeReasonLocked()
+		c.mu.Unlock()
+		netproto.Release(m)
+		return 0, nil, time.Time{}, err
+	}
+	s := c.sess
 	c.nextID++
 	id := c.nextID
 	ch := resultChanPool.Get().(chan callResult)
@@ -729,13 +1094,13 @@ func (c *Client) startCall(ctx context.Context, m netproto.Message) (uint64, cha
 	start := time.Now()
 
 	select {
-	case c.sendq <- m:
+	case s.sendq <- m:
 		return id, ch, start, nil
 	case <-ctx.Done():
 		c.abandon(id)
 		netproto.Release(m)
 		return 0, nil, start, ctx.Err()
-	case <-c.readDone:
+	case <-s.dead:
 		c.abandon(id)
 		netproto.Release(m)
 		return 0, nil, start, c.closeReason()
@@ -819,8 +1184,15 @@ func (c *Client) call(ctx context.Context, m netproto.Message) (netproto.Message
 func (c *Client) closeReason() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.closeReasonLocked()
+}
+
+// closeReasonLocked types the failure a dead stream imposes on a call: the
+// connection loss (matching aperrs.ErrConnLost, with the transport cause
+// wrapped for errors.As) unless the user closed the client. Caller holds mu.
+func (c *Client) closeReasonLocked() error {
 	if !c.byUser && c.readErr != nil {
-		return fmt.Errorf("client: connection lost: %w", c.readErr)
+		return aperrs.ConnLost(c.readErr)
 	}
 	return ErrClosed
 }
@@ -840,7 +1212,19 @@ func (c *Client) SubscribeCtx(ctx context.Context, key int) error {
 		return err
 	}
 	netproto.Release(msg)
+	c.noteSubscribed(key)
 	return nil
+}
+
+// noteSubscribed records keys in the desired-state set the redial loop
+// replays after a reconnect. Only acknowledged subscriptions are recorded,
+// so replay never asks a server for keys it might have rejected.
+func (c *Client) noteSubscribed(keys ...int) {
+	c.mu.Lock()
+	for _, k := range keys {
+		c.subs[k] = struct{}{}
+	}
+	c.mu.Unlock()
 }
 
 // SubscribeMulti registers interest in all keys with one request per
@@ -895,6 +1279,7 @@ func (c *Client) SubscribeMultiCtx(ctx context.Context, keys []int) error {
 			continue
 		}
 		netproto.Release(rb)
+		c.noteSubscribed(keys[cc.off : cc.off+cc.n]...)
 	}
 	return firstErr
 }
@@ -906,6 +1291,9 @@ func (c *Client) Unsubscribe(key int) error {
 
 // UnsubscribeCtx is Unsubscribe bounded by ctx. The request is
 // fire-and-forget; ctx bounds only the (rare) wait for send-queue space.
+// During an outage, with reconnection enabled, removing the key from the
+// replay set is the whole job — the server side of the subscription died
+// with the stream — so the call succeeds without touching the network.
 func (c *Client) UnsubscribeCtx(ctx context.Context, key int) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -916,22 +1304,38 @@ func (c *Client) UnsubscribeCtx(ctx context.Context, key int) error {
 		return ErrClosed
 	}
 	c.store.Drop(key)
+	delete(c.subs, key)
+	if c.down && c.policy.Enabled {
+		c.mu.Unlock()
+		return nil
+	}
+	if c.down {
+		err := c.closeReasonLocked()
+		c.mu.Unlock()
+		return err
+	}
+	s := c.sess
 	c.mu.Unlock()
 	select {
-	case c.sendq <- &netproto.Unsubscribe{Key: int64(key)}:
+	case s.sendq <- &netproto.Unsubscribe{Key: int64(key)}:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
-	case <-c.readDone:
+	case <-s.dead:
+		if c.policy.Enabled {
+			return nil
+		}
 		return c.closeReason()
 	}
 }
 
-// Get returns the locally cached approximation.
+// Get returns the locally cached approximation. With Config.StaleReads set
+// and the connection down, the answer is the last-known interval, widened
+// by Config.StaleWidthGrowth for the age of the outage; see GetApprox for
+// the variant that reports the degradation explicitly.
 func (c *Client) Get(key int) (interval.Interval, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.store.Get(key)
+	a, ok := c.approx(key)
+	return a.Interval, ok
 }
 
 // GetCtx is Get with the context convention of the rest of API v1. The
@@ -943,6 +1347,42 @@ func (c *Client) GetCtx(ctx context.Context, key int) (interval.Interval, bool) 
 		return interval.Interval{}, false
 	}
 	return c.Get(key)
+}
+
+// GetApprox is Get with the degradation status made explicit: with
+// Config.StaleReads enabled and the connection down, the answer is the
+// last-known approximation flagged Stale, its width grown by
+// Config.StaleWidthGrowth for the Age of the outage. While connected (or
+// without StaleReads) the answer is the live local entry with Stale false.
+// The ctx convention matches GetCtx: a done context reads as not-found.
+func (c *Client) GetApprox(ctx context.Context, key int) (Approx, bool) {
+	if ctx.Err() != nil {
+		return Approx{}, false
+	}
+	return c.approx(key)
+}
+
+// approx serves one local read under the stale-read policy. The interval
+// widens symmetrically: without observations the source may have drifted
+// either way, so the bound loosens but keeps its claim to contain the true
+// value under the configured drift model.
+func (c *Client) approx(key int) (Approx, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	iv, ok := c.store.Get(key)
+	if !ok {
+		return Approx{}, false
+	}
+	if !c.staleReads || c.downSince.IsZero() {
+		return Approx{Interval: iv}, true
+	}
+	age := time.Since(c.downSince)
+	if c.staleGrowth > 0 {
+		half := c.staleGrowth * age.Seconds() / 2
+		iv.Lo -= half
+		iv.Hi += half
+	}
+	return Approx{Interval: iv, Stale: true, Age: age}, true
 }
 
 // ReadExact fetches the exact value of key from the server — a
@@ -1216,20 +1656,30 @@ func (c *Client) Stats() Stats {
 		FramesReceived: int(c.framesRecv.Load()),
 		SmoothedRTT:    time.Duration(c.rttEWMA.Load()),
 		ServerCqrCost:  time.Duration(c.srvCqrCost.Load()),
+		Reconnects:     c.reconnects,
+		Degraded:       !c.downSince.IsZero(),
 		Cache:          c.store.Stats(),
 	}
 }
 
-// Close tears down the connection and waits for the client's goroutines.
+// Close tears down the connection, cancels any reconnection in progress,
+// and waits for the client's goroutines.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	already := c.closed
 	c.closed = true
 	c.byUser = true
+	s := c.sess
+	failed := c.watchers.Detach()
 	c.mu.Unlock()
-	err := c.conn.Close()
-	<-c.readDone
-	<-c.writeDone
+	c.closeOnce.Do(func() { close(c.closeCh) })
+	for _, w := range failed {
+		w.Fail(ErrClosed)
+	}
+	err := s.conn.Close()
+	<-s.dead
+	<-s.writeDone
+	c.redialWG.Wait()
 	if already {
 		return nil
 	}

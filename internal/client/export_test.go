@@ -16,3 +16,9 @@ func (c *Client) SeedSmoothedRTT(d time.Duration) { c.rttEWMA.Store(int64(d)) }
 
 // ResolvedRamp exposes rampFor, the per-query refinement ramp resolution.
 func (c *Client) ResolvedRamp() float64 { return c.rampFor() }
+
+// BackoffDelay exposes ReconnectPolicy's delay computation with the jitter
+// draw r pinned, so the backoff tests are deterministic.
+func BackoffDelay(p ReconnectPolicy, attempt int, r float64) time.Duration {
+	return p.delay(attempt, r)
+}

@@ -128,7 +128,13 @@ func TestServerMeasuredCostReachesSecondClient(t *testing.T) {
 	if got := b.ResolvedRamp(); got != MaxAdaptiveRamp {
 		t.Errorf("ramp at RTT >> advertised cost = %g, want %g", got, MaxAdaptiveRamp)
 	}
-	b.SeedSmoothedRTT(cost / 1000)
+	// Fast machines can measure a sub-microsecond cost, where cost/1000
+	// truncates to 0 and would read as "no RTT sample yet"; clamp to 1ns.
+	tiny := cost / 1000
+	if tiny <= 0 {
+		tiny = time.Nanosecond
+	}
+	b.SeedSmoothedRTT(tiny)
 	if got := b.ResolvedRamp(); got >= 1.1 {
 		t.Errorf("ramp at RTT << advertised cost = %g, want near 1", got)
 	}

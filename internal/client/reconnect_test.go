@@ -1,0 +1,362 @@
+package client
+
+// Edge cases of the fault-tolerant session layer: deterministic backoff
+// bounds, Close racing an active redial loop, protocol renegotiation
+// against a downgraded replacement server, degraded stale reads during an
+// outage, redial exhaustion, and desired-state bookkeeping for keys
+// unsubscribed while down. The happy-path restart scenario (full replay
+// under 1k subscriptions) lives in the root chaos suite.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"apcache/internal/aperrs"
+	"apcache/internal/core"
+	"apcache/internal/faultnet"
+	"apcache/internal/netproto"
+	"apcache/internal/server"
+)
+
+// expectedBound mirrors the documented backoff ceiling: min(MaxDelay,
+// BaseDelay doubled attempt times), with the policy's defaulting rules.
+func expectedBound(p ReconnectPolicy, attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = DefaultReconnectBase
+	}
+	ceil := p.MaxDelay
+	if ceil <= 0 {
+		ceil = DefaultReconnectCap
+	}
+	if ceil < base {
+		ceil = base
+	}
+	bound := base
+	for i := 0; i < attempt && bound < ceil; i++ {
+		bound *= 2
+	}
+	if bound > ceil {
+		bound = ceil
+	}
+	return bound
+}
+
+func TestBackoffDelayBounds(t *testing.T) {
+	p := ReconnectPolicy{Enabled: true, BaseDelay: 10 * time.Millisecond, MaxDelay: 75 * time.Millisecond}
+	for attempt := 0; attempt < 70; attempt++ {
+		bound := expectedBound(p, attempt)
+		if got := BackoffDelay(p, attempt, 1); got != bound {
+			t.Fatalf("attempt %d: delay(r=1) = %v, want the full bound %v", attempt, got, bound)
+		}
+		if got := BackoffDelay(p, attempt, 0); got != 0 {
+			t.Fatalf("attempt %d: delay(r=0) = %v, want 0 (full jitter reaches zero)", attempt, got)
+		}
+		if got := BackoffDelay(p, attempt, 0.5); got != bound/2 {
+			t.Fatalf("attempt %d: delay(r=0.5) = %v, want %v", attempt, got, bound/2)
+		}
+	}
+	// Far past any doubling horizon the bound is exactly the cap — no
+	// overflow, no negative sleeps.
+	if got := BackoffDelay(p, 1<<20, 1); got != 75*time.Millisecond {
+		t.Fatalf("huge attempt: delay = %v, want the 75ms cap", got)
+	}
+	// The zero policy gets the documented defaults.
+	var zero ReconnectPolicy
+	if got := BackoffDelay(zero, 0, 1); got != DefaultReconnectBase {
+		t.Fatalf("zero policy first delay = %v, want DefaultReconnectBase %v", got, DefaultReconnectBase)
+	}
+	if got := BackoffDelay(zero, 1<<20, 1); got != DefaultReconnectCap {
+		t.Fatalf("zero policy capped delay = %v, want DefaultReconnectCap %v", got, DefaultReconnectCap)
+	}
+	// A cap below the base is raised to the base rather than inverting the
+	// range.
+	inv := ReconnectPolicy{BaseDelay: 20 * time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	for _, attempt := range []int{0, 1, 8} {
+		if got := BackoffDelay(inv, attempt, 1); got != 20*time.Millisecond {
+			t.Fatalf("inverted policy attempt %d: delay = %v, want the 20ms base", attempt, got)
+		}
+	}
+}
+
+// proxied dials a client through a fresh fault proxy in front of addr.
+func proxied(t *testing.T, addr string, cfg Config) (*faultnet.Proxy, *Client) {
+	t.Helper()
+	p, err := faultnet.Listen(addr)
+	if err != nil {
+		t.Fatalf("faultnet.Listen: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p, dialCfg(t, p.Addr(), cfg)
+}
+
+// waitDown polls until the client observes the outage (a call fails).
+func waitDown(t *testing.T, c *Client) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := c.ReadExact(0); err != nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client never observed the outage")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCloseRacesRedial closes the client while its redial loop is spinning
+// against a dead target — in the backoff sleep, mid-dial, or before the
+// outage is even noticed. Close must win promptly, calls after it must be
+// ErrClosed, and no correlation-table entries may leak.
+func TestCloseRacesRedial(t *testing.T) {
+	forEachConnMode(t, testCloseRacesRedial)
+}
+
+func testCloseRacesRedial(t *testing.T, mode string) {
+	for i := 0; i < 8; i++ {
+		srv, addr := newServerMode(t, mode)
+		srv.SetInitial(0, 1)
+		p, c := proxied(t, addr, Config{CacheSize: 8, Reconnect: ReconnectPolicy{
+			Enabled:   true,
+			BaseDelay: time.Millisecond,
+			MaxDelay:  4 * time.Millisecond,
+		}})
+		if err := c.Subscribe(0); err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		srv.Close()
+		p.Sever()
+		if i%2 == 0 {
+			// Half the iterations let the redial loop get going before the
+			// close; the other half race it against outage detection.
+			waitDown(t, c)
+		}
+		done := make(chan error, 1)
+		go func() { done <- c.Close() }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iteration %d: Close blocked on an active redial loop", i)
+		}
+		if err := c.Subscribe(0); !errors.Is(err, ErrClosed) {
+			t.Fatalf("iteration %d: Subscribe after Close = %v, want ErrClosed", i, err)
+		}
+		if n := c.PendingCalls(); n != 0 {
+			t.Fatalf("iteration %d: %d correlation entries leaked across Close", i, n)
+		}
+		p.Close()
+	}
+}
+
+// TestReconnectRenegotiatesProtocol replaces a v3 server with a v2-capped
+// one behind the same proxy address. The reconnect handshake must land on
+// v2 — not assume the old session's negotiated version — and calls must
+// work on the downgraded wire.
+func TestReconnectRenegotiatesProtocol(t *testing.T) {
+	srv1, addr1 := newServer(t)
+	srv1.SetInitial(0, 5)
+	p, c := proxied(t, addr1, Config{CacheSize: 8, Reconnect: ReconnectPolicy{
+		Enabled:   true,
+		BaseDelay: time.Millisecond,
+		MaxDelay:  10 * time.Millisecond,
+	}})
+	if err := c.Subscribe(0); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if got := c.Proto(); got != netproto.Version3 {
+		t.Fatalf("fresh session negotiated v%d, want v%d", got, netproto.Version3)
+	}
+	srv1.Close()
+	p.Sever()
+
+	srv2 := server.New(server.Config{
+		Params:       core.Params{Cvr: 1, Cqr: 2, Alpha: 1, Lambda0: 0, Lambda1: math.Inf(1)},
+		InitialWidth: 10,
+		Seed:         2,
+		ProtoVersion: netproto.Version2,
+	})
+	srv2.SetInitial(0, 6)
+	addr2, err := srv2.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+	p.SetTarget(addr2.String())
+
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Stats().Reconnects < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("client never reconnected to the replacement server")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := c.Proto(); got != netproto.Version2 {
+		t.Fatalf("reconnected session negotiated v%d, want v%d (replacement server's cap)", got, netproto.Version2)
+	}
+	if v, err := c.ReadExact(0); err != nil || v != 6 {
+		t.Fatalf("ReadExact over renegotiated session = %g, %v; want 6", v, err)
+	}
+}
+
+// TestStaleReadsWidenDuringOutage: with StaleReads enabled, cached
+// approximations stay readable during an outage but their intervals widen
+// at StaleWidthGrowth units/second — uncertainty about the unreachable
+// source made explicit, midpoint untouched.
+func TestStaleReadsWidenDuringOutage(t *testing.T) {
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 50)
+	p, c := proxied(t, addr, Config{
+		CacheSize:        8,
+		StaleReads:       true,
+		StaleWidthGrowth: 1000,
+		// A huge backoff holds the outage open for the duration of the
+		// test; Close must still cut the sleep short at cleanup.
+		Reconnect: ReconnectPolicy{Enabled: true, BaseDelay: time.Hour, MaxDelay: time.Hour},
+	})
+	if err := c.Subscribe(0); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	ctx := context.Background()
+	a0, ok := c.GetApprox(ctx, 0)
+	if !ok || a0.Stale || a0.Age != 0 {
+		t.Fatalf("healthy approx = %+v, %v; want fresh", a0, ok)
+	}
+	if st := c.Stats(); st.Degraded {
+		t.Fatalf("healthy client reports Degraded")
+	}
+	mid0 := (a0.Interval.Lo + a0.Interval.Hi) / 2
+
+	srv.Close()
+	p.Sever()
+	waitDown(t, c)
+
+	a1, ok := c.GetApprox(ctx, 0)
+	if !ok || !a1.Stale {
+		t.Fatalf("outage approx = %+v, %v; want a stale read", a1, ok)
+	}
+	if a1.Age <= 0 {
+		t.Fatalf("stale read carries age %v, want > 0", a1.Age)
+	}
+	if !c.Stats().Degraded {
+		t.Fatalf("client in outage does not report Degraded")
+	}
+	time.Sleep(20 * time.Millisecond)
+	a2, ok := c.GetApprox(ctx, 0)
+	if !ok || !a2.Stale {
+		t.Fatalf("second outage approx = %+v, %v; want stale", a2, ok)
+	}
+	if a2.Age <= a1.Age {
+		t.Fatalf("age did not advance: %v then %v", a1.Age, a2.Age)
+	}
+	// 20ms at 1000 units/s is 20 units of extra width; allow generous
+	// scheduling slack but demand real growth.
+	if grew := a2.Interval.Width() - a1.Interval.Width(); grew < 5 {
+		t.Fatalf("interval width grew %g over 20ms, want >= 5 (growth rate 1000/s)", grew)
+	}
+	if a2.Interval.Width() <= a0.Interval.Width() {
+		t.Fatalf("stale width %g not wider than fresh width %g", a2.Interval.Width(), a0.Interval.Width())
+	}
+	if mid := (a2.Interval.Lo + a2.Interval.Hi) / 2; math.Abs(mid-mid0) > 1e-9 {
+		t.Fatalf("stale widening moved the midpoint: %g -> %g", mid0, mid)
+	}
+	if !a2.Interval.Valid(50) {
+		t.Fatalf("widened interval %v no longer contains the last known value", a2.Interval)
+	}
+}
+
+// TestRedialGivesUpAfterMaxAttempts: an exhausted policy is terminal — the
+// watches fail with the typed connection loss and the client behaves as
+// closed afterwards.
+func TestRedialGivesUpAfterMaxAttempts(t *testing.T) {
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 1)
+	p, c := proxied(t, addr, Config{CacheSize: 8, Reconnect: ReconnectPolicy{
+		Enabled:     true,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    2 * time.Millisecond,
+		MaxAttempts: 3,
+	}})
+	if err := c.Subscribe(0); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	w, err := c.Watch(0)
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	defer w.Close()
+	srv.Close()
+	p.Sever()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for w.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatalf("watch never failed; redial loop did not give up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := w.Err(); !errors.Is(err, aperrs.ErrConnLost) {
+		t.Fatalf("give-up failed the watch with %v, want errors.Is(err, ErrConnLost)", err)
+	}
+	if st := c.Stats(); st.Reconnects != 0 {
+		t.Fatalf("%d reconnects recorded against an unreachable target", st.Reconnects)
+	}
+	if err := c.Subscribe(0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call after give-up = %v, want ErrClosed", err)
+	}
+}
+
+// TestUnsubscribeDuringOutageNotReplayed: Unsubscribe while down succeeds
+// locally (the whole job is updating desired state) and the key must not be
+// replayed to the replacement server.
+func TestUnsubscribeDuringOutageNotReplayed(t *testing.T) {
+	srv1, addr1 := newServer(t)
+	srv1.SetInitial(0, 1)
+	srv1.SetInitial(1, 2)
+	p, c := proxied(t, addr1, Config{CacheSize: 8, Reconnect: ReconnectPolicy{
+		Enabled:   true,
+		BaseDelay: time.Millisecond,
+		MaxDelay:  10 * time.Millisecond,
+	}})
+	if err := c.SubscribeMulti([]int{0, 1}); err != nil {
+		t.Fatalf("SubscribeMulti: %v", err)
+	}
+	srv1.Close()
+	p.Sever()
+	waitDown(t, c)
+	if err := c.Unsubscribe(1); err != nil {
+		t.Fatalf("Unsubscribe during outage = %v, want local success", err)
+	}
+	if _, cached := c.Get(1); cached {
+		t.Fatalf("unsubscribed key still cached during the outage")
+	}
+
+	srv2, addr2 := newServer(t)
+	srv2.SetInitial(0, 3)
+	srv2.SetInitial(1, 4)
+	p.SetTarget(addr2)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Stats().Reconnects < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("client never reconnected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	subs := 0
+	for _, sh := range srv2.Stats().PerShard {
+		subs += sh.Subscriptions
+	}
+	if subs != 1 {
+		t.Fatalf("replacement server holds %d subscriptions, want 1 (key 1 was unsubscribed while down)", subs)
+	}
+	if _, cached := c.Get(1); cached {
+		t.Fatalf("unsubscribed key reappeared after the reconnect replay")
+	}
+	if v, err := c.ReadExact(0); err != nil || v != 3 {
+		t.Fatalf("surviving key reads %g, %v; want 3", v, err)
+	}
+}

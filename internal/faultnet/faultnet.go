@@ -1,0 +1,299 @@
+// Package faultnet is a scriptable fault-injection TCP proxy for chaos
+// testing the networked client/server pair. A Proxy listens on an ephemeral
+// loopback port and forwards byte streams to a retargetable backend, with
+// knobs for the failure modes a long-lived cache session meets in practice:
+//
+//   - latency injection (SetLatency): every forwarded chunk is delayed,
+//     simulating a slow link without breaking it;
+//   - hard drop (Sever): every live link is cut at once, the TCP-RST-style
+//     failure of a crashing server;
+//   - mid-frame truncation (TruncateAfter): a link dies after forwarding an
+//     exact byte count, so decoders on both sides observe a partial frame;
+//   - blackhole (SetBlackhole): connections accept and then stall —
+//     forwarding stops but sockets stay open, the worst failure mode for a
+//     client, which sees neither data nor an error;
+//   - flapping (Flap): scripted up/down cycling for reconnect storms.
+//
+// Retargeting (SetTarget) is the piece that makes server-restart chaos
+// tests possible: the client dials the proxy's stable address once, the
+// test kills the server, starts a replacement on a fresh port, points the
+// proxy at it, and the client's redial loop recovers none the wiser.
+//
+// The zero configuration is a transparent pass-through proxy.
+package faultnet
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a scriptable TCP proxy. All methods are safe for concurrent use;
+// knob changes apply to live links (per forwarded chunk) as well as to
+// links accepted later.
+type Proxy struct {
+	ln net.Listener
+
+	// target is the current backend address (a string, swapped atomically
+	// so per-chunk forwarding never takes the registry mutex).
+	target atomic.Value // string
+
+	// latency delays every forwarded chunk; blackhole stalls forwarding
+	// entirely until cleared or the link dies.
+	latency   atomic.Int64 // time.Duration
+	blackhole atomic.Bool
+
+	// truncateAt, when positive, severs a link once its server->client
+	// forwarding has shipped that many bytes — mid-frame for any frame
+	// spanning the boundary. Counted per link, armed per SetTruncate call.
+	truncateAt atomic.Int64
+
+	mu     sync.Mutex
+	links  map[int]*link
+	nextID int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// link is one proxied connection pair.
+type link struct {
+	client net.Conn
+	server net.Conn
+	once   sync.Once
+	done   chan struct{} // closed by drop
+
+	// sent counts server->client bytes for the truncation knob.
+	sent atomic.Int64
+}
+
+func (l *link) drop() {
+	l.once.Do(func() {
+		l.client.Close()
+		l.server.Close()
+		close(l.done)
+	})
+}
+
+// dead reports whether the link has been dropped.
+func (l *link) dead() bool {
+	select {
+	case <-l.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Listen starts a proxy on an ephemeral loopback port, forwarding to
+// target.
+func Listen(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, links: make(map[int]*link)}
+	p.target.Store(target)
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — the stable address chaos-test
+// clients dial instead of any particular server's.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetTarget points the proxy at a new backend. Live links keep forwarding
+// to the old one until they die; new connections dial the new target.
+func (p *Proxy) SetTarget(addr string) { p.target.Store(addr) }
+
+// SetLatency delays every forwarded chunk by d (both directions). 0
+// restores transparent forwarding.
+func (p *Proxy) SetLatency(d time.Duration) { p.latency.Store(int64(d)) }
+
+// SetBlackhole stalls forwarding on every link — connections stay open and
+// accept keeps working, but no byte moves — until cleared. The cruelest
+// failure mode for a client: no data, no error.
+func (p *Proxy) SetBlackhole(on bool) { p.blackhole.Store(on) }
+
+// TruncateAfter arms the mid-frame truncation knob: each link (current and
+// future) is severed once its server->client stream has forwarded n more
+// bytes past each link's current position, so a frame spanning the boundary
+// reaches the client incomplete. n <= 0 disarms.
+func (p *Proxy) TruncateAfter(n int64) {
+	p.mu.Lock()
+	for _, l := range p.links {
+		l.sent.Store(0)
+	}
+	p.mu.Unlock()
+	p.truncateAt.Store(n)
+}
+
+// Sever drops every live link at once — the failure a crashing server
+// inflicts on its clients. The listener stays up; new connections proceed
+// (against the current target) unless blackholed or closed.
+func (p *Proxy) Sever() {
+	p.mu.Lock()
+	links := make([]*link, 0, len(p.links))
+	for _, l := range p.links {
+		links = append(links, l)
+	}
+	p.mu.Unlock()
+	for _, l := range links {
+		l.drop()
+	}
+}
+
+// Flap cycles the proxy between up and down states: up of forwarding, then
+// a Sever plus down of blackhole, repeating until the returned stop
+// function is called. stop leaves the proxy up.
+func (p *Proxy) Flap(up, down time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-time.After(up):
+			case <-done:
+				return
+			}
+			p.SetBlackhole(true)
+			p.Sever()
+			select {
+			case <-time.After(down):
+			case <-done:
+				p.SetBlackhole(false)
+				return
+			}
+			p.SetBlackhole(false)
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+		p.SetBlackhole(false)
+	}
+}
+
+// Close stops the proxy: the listener closes and every live link drops.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	links := make([]*link, 0, len(p.links))
+	for _, l := range p.links {
+		links = append(links, l)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, l := range links {
+		l.drop()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		target, _ := p.target.Load().(string)
+		backend, err := net.Dial("tcp", target)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		l := &link{client: conn, server: backend, done: make(chan struct{})}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			l.drop()
+			continue
+		}
+		p.nextID++
+		id := p.nextID
+		p.links[id] = l
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.pump(l, id, l.client, l.server, false)
+		go p.pump(l, id, l.server, l.client, true)
+	}
+}
+
+// pump forwards one direction of a link chunk by chunk, consulting the
+// fault knobs between chunks. fromServer marks the server->client direction
+// the truncation knob counts.
+func (p *Proxy) pump(l *link, id int, src, dst net.Conn, fromServer bool) {
+	defer p.wg.Done()
+	defer p.reap(id)
+	defer l.drop()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if fromServer {
+				if lim := p.truncateAt.Load(); lim > 0 {
+					already := l.sent.Load()
+					if already >= lim {
+						return // boundary hit: sever mid-stream
+					}
+					if int64(len(chunk)) > lim-already {
+						chunk = chunk[:lim-already]
+						// Ship the partial chunk, then sever: the client
+						// sees a clean prefix ending mid-frame.
+						l.sent.Add(int64(len(chunk)))
+						p.stall(l)
+						dst.Write(chunk)
+						return
+					}
+				}
+				l.sent.Add(int64(len(chunk)))
+			}
+			if !p.stall(l) {
+				return // link died while blackholed
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// stall applies the latency and blackhole knobs before a forward. It
+// reports false when the link died while waiting.
+func (p *Proxy) stall(l *link) bool {
+	if d := time.Duration(p.latency.Load()); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-l.done:
+			return false
+		}
+	}
+	for p.blackhole.Load() {
+		select {
+		case <-time.After(time.Millisecond):
+		case <-l.done:
+			return false
+		}
+	}
+	return !l.dead()
+}
+
+// reap removes a finished link from the registry.
+func (p *Proxy) reap(id int) {
+	p.mu.Lock()
+	delete(p.links, id)
+	p.mu.Unlock()
+}

@@ -1,0 +1,247 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes every byte back, optionally
+// tagging each chunk so tests can tell which backend served them.
+func echoServer(t *testing.T, tag byte) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var closed atomic.Bool
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						out := buf[:n]
+						if tag != 0 {
+							out = append([]byte{tag}, out...)
+						}
+						if _, werr := c.Write(out); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	return ln.Addr().String(), func() {
+		if closed.CompareAndSwap(false, true) {
+			ln.Close()
+		}
+	}
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func roundTrip(t *testing.T, c net.Conn, payload string) string {
+	t.Helper()
+	if _, err := c.Write([]byte(payload)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, len(payload)+1)
+	n, err := io.ReadAtLeast(c, buf, len(payload))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return string(buf[:n])
+}
+
+func TestPassThrough(t *testing.T) {
+	addr, stop := echoServer(t, 0)
+	defer stop()
+	p, err := Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if got := roundTrip(t, c, "hello"); got != "hello" {
+		t.Fatalf("echo through proxy = %q, want %q", got, "hello")
+	}
+}
+
+func TestSeverDropsLiveLinks(t *testing.T) {
+	addr, stop := echoServer(t, 0)
+	defer stop()
+	p, err := Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	roundTrip(t, c, "warm")
+	p.Sever()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 16)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatalf("read after Sever succeeded; want connection error")
+	}
+	// The listener survives: a fresh connection works.
+	c2 := dialProxy(t, p)
+	if got := roundTrip(t, c2, "again"); got != "again" {
+		t.Fatalf("post-sever echo = %q, want %q", got, "again")
+	}
+}
+
+func TestTruncateAfterCutsMidStream(t *testing.T) {
+	addr, stop := echoServer(t, 0)
+	defer stop()
+	p, err := Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	p.TruncateAfter(3)
+	if _, err := c.Write([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, _ := io.ReadAll(c) // reads until the severed link EOFs/errors
+	if len(got) > 3 {
+		t.Fatalf("received %d bytes (%q) past a 3-byte truncation", len(got), got)
+	}
+	if !bytes.HasPrefix([]byte("abcdef"), got) {
+		t.Fatalf("truncated stream %q is not a prefix of the payload", got)
+	}
+}
+
+func TestSetLatencyDelaysForwarding(t *testing.T) {
+	addr, stop := echoServer(t, 0)
+	defer stop()
+	p, err := Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	roundTrip(t, c, "warm")
+	const lat = 30 * time.Millisecond
+	p.SetLatency(lat)
+	start := time.Now()
+	roundTrip(t, c, "slow")
+	// Both directions pay the latency once per chunk.
+	if elapsed := time.Since(start); elapsed < lat {
+		t.Fatalf("round trip took %v with %v injected latency", elapsed, lat)
+	}
+}
+
+func TestBlackholeStallsThenReleases(t *testing.T) {
+	addr, stop := echoServer(t, 0)
+	defer stop()
+	p, err := Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	roundTrip(t, c, "warm")
+	p.SetBlackhole(true)
+	if _, err := c.Write([]byte("void")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 16)
+	if n, err := c.Read(buf); err == nil {
+		t.Fatalf("read %d bytes through a blackhole", n)
+	}
+	p.SetBlackhole(false)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, err := io.ReadAtLeast(c, buf, 4)
+	if err != nil || string(buf[:n]) != "void" {
+		t.Fatalf("post-blackhole read = %q, %v; want the stalled payload", buf[:n], err)
+	}
+}
+
+func TestSetTargetRedirectsNewConnections(t *testing.T) {
+	addrA, stopA := echoServer(t, 'A')
+	defer stopA()
+	addrB, stopB := echoServer(t, 'B')
+	defer stopB()
+	p, err := Listen(addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if got := roundTrip(t, c, "x"); !strings.HasPrefix(got, "A") {
+		t.Fatalf("first backend reply = %q, want tag A", got)
+	}
+	stopA()
+	p.SetTarget(addrB)
+	p.Sever()
+	c2 := dialProxy(t, p)
+	if got := roundTrip(t, c2, "y"); !strings.HasPrefix(got, "B") {
+		t.Fatalf("retargeted reply = %q, want tag B", got)
+	}
+}
+
+func TestFlapCycles(t *testing.T) {
+	addr, stop := echoServer(t, 0)
+	defer stop()
+	p, err := Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	stopFlap := p.Flap(10*time.Millisecond, 10*time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	sawDrop, sawRecover := false, false
+	for time.Now().Before(deadline) && !(sawDrop && sawRecover) {
+		c, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		c.SetDeadline(time.Now().Add(100 * time.Millisecond))
+		_, werr := c.Write([]byte("ping"))
+		buf := make([]byte, 4)
+		_, rerr := io.ReadAtLeast(c, buf, 4)
+		if werr != nil || rerr != nil {
+			sawDrop = true
+		} else {
+			sawRecover = true
+		}
+		c.Close()
+	}
+	stopFlap()
+	if !sawDrop || !sawRecover {
+		t.Fatalf("flap cycle incomplete: sawDrop=%v sawRecover=%v", sawDrop, sawRecover)
+	}
+	// After stop the proxy must be reliably up again.
+	c := dialProxy(t, p)
+	if got := roundTrip(t, c, "done"); got != "done" {
+		t.Fatalf("post-flap echo = %q", got)
+	}
+}

@@ -608,6 +608,20 @@ func (core *pollCore) flushOverflow(c *clientConn) bool {
 	return ok
 }
 
+// pendingDelivery reports whether the connection still holds undelivered
+// traffic: queued messages, or a claimed drain in progress (scheduled also
+// covers the writer-owned pc.pend tail — it is only ever non-empty while
+// the slot is held, so the flag is the one signal needed). Shutdown's drain
+// phase polls it under wmu.
+func (pc *pollConn) pendingDelivery() bool {
+	pc.wmu.Lock()
+	defer pc.wmu.Unlock()
+	if pc.wclosed {
+		return false
+	}
+	return len(pc.outq) > 0 || pc.scheduled
+}
+
 // pushPoll is the poller core's half of push: same merge-instead-of-drop
 // contract as the goroutine core, with the out queue watermark standing in
 // for channel congestion and the timer wheel standing in for the writer's

@@ -234,6 +234,12 @@ type clientConn struct {
 	lastPush atomic.Int64
 	gapEWMA  atomic.Int64
 
+	// writeBusy marks the window in which the goroutine core's writer holds
+	// dequeued messages it has not yet written to the socket, so Shutdown's
+	// drain phase does not mistake an empty queue for a flushed connection.
+	// Always false in poller mode (pc.scheduled covers the same window).
+	writeBusy atomic.Bool
+
 	// overflow is the push merge buffer: when the out queue is congested,
 	// value-initiated refreshes are parked here — at most one entry per
 	// key, newer refreshes folded in by interval union with latest-wins
@@ -847,6 +853,7 @@ func (s *Server) writeLoop(c *clientConn) {
 		case <-c.done:
 			return
 		}
+		c.writeBusy.Store(true)
 		batch = batch[:0]
 		if first != nil {
 			batch = append(batch, first)
@@ -901,6 +908,7 @@ func (s *Server) writeLoop(c *clientConn) {
 			c.wake()
 		}
 		if len(batch) == 0 {
+			c.writeBusy.Store(false)
 			continue // spurious kick: the buffer was drained meanwhile
 		}
 		if err := s.appendFrames(c, &w, batch); err != nil {
@@ -911,6 +919,7 @@ func (s *Server) writeLoop(c *clientConn) {
 			c.conn.Close()
 			return
 		}
+		c.writeBusy.Store(false)
 		if cap(w.buf) > 1<<20 {
 			// Don't pin one exceptional burst's high-water mark for the
 			// connection's lifetime.
@@ -1477,9 +1486,34 @@ func (s *Server) dropClient(c *clientConn) {
 	}
 }
 
-// Close shuts the server down and waits for its goroutines.
+// Close shuts the server down immediately and waits for its goroutines.
+// Coalesced pushes still queued or parked for delivery are dropped with the
+// connections; Shutdown is the graceful variant that flushes them first.
 func (s *Server) Close() error {
+	return s.shutdown(nil)
+}
+
+// Shutdown drains the server gracefully: the listener closes (no new
+// connections), every connection's queued and coalesced pushes are flushed
+// to the kernel — including merge-buffer entries parked under backpressure
+// and open flush windows, on either connection core — and only then are the
+// connections dropped and the goroutines joined. ctx bounds the drain: on
+// expiry the remaining traffic is abandoned, teardown proceeds exactly as
+// in Close, and ctx's error is returned. A nil ctx drains without bound.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.shutdown(ctx)
+}
+
+// shutdown is the shared teardown: nil ctx skips the drain phase (Close
+// semantics). Only the first caller drains and stops the poll core;
+// followers still wait for the goroutines, so every returned call means a
+// fully stopped server.
+func (s *Server) shutdown(ctx context.Context) error {
 	s.connMu.Lock()
+	wasClosed := s.closed
 	s.closed = true
 	ln := s.ln
 	conns := make([]*clientConn, 0, len(s.conns))
@@ -1490,17 +1524,82 @@ func (s *Server) Close() error {
 	if ln != nil {
 		ln.Close()
 	}
+	var err error
+	if ctx != nil && !wasClosed {
+		err = s.drainConns(ctx, conns)
+	}
 	for _, c := range conns {
 		s.dropClient(c)
 	}
-	if s.poll != nil {
+	if s.poll != nil && !wasClosed {
 		// Every connection is out of the registry (the accept loop refuses
 		// new ones once closed is set), so no goroutine can schedule new
 		// work on the core; shut its loops down and join them.
 		s.poll.shutdown()
 	}
 	s.serveWG.Wait()
-	return nil
+	return err
+}
+
+// drainConns blocks until every connection's delivery state — out queues,
+// writer batches in progress, merge-buffer pushes parked under
+// backpressure — has reached the kernel, or ctx is done. Writers are woken
+// once so an idle connection's parked pushes flush without waiting for
+// traffic; a connection that dies mid-drain stops counting as pending.
+func (s *Server) drainConns(ctx context.Context, conns []*clientConn) error {
+	for _, c := range conns {
+		if c.pc != nil {
+			s.poll.schedule(c)
+		} else {
+			c.wake()
+		}
+	}
+	// Require consecutive idle observations: the goroutine core's writer
+	// has an instant between dequeuing a batch and raising writeBusy in
+	// which the connection looks flushed; re-observing across poll gaps
+	// closes that window.
+	const settle = 3
+	streak := 0
+	tick := time.NewTicker(500 * time.Microsecond)
+	defer tick.Stop()
+	for {
+		idle := true
+		for _, c := range conns {
+			if !s.connFlushed(c) {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			if streak++; streak >= settle {
+				return nil
+			}
+		} else {
+			streak = 0
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// connFlushed reports whether c holds no undelivered traffic — or is
+// already torn down, which ends the drain's interest in it just as surely.
+func (s *Server) connFlushed(c *clientConn) bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+	}
+	if c.overflowPending() {
+		return false
+	}
+	if c.pc != nil {
+		return !c.pc.pendingDelivery()
+	}
+	return len(c.out) == 0 && !c.writeBusy.Load()
 }
 
 func (s *Server) logf(format string, args ...interface{}) {

@@ -22,11 +22,32 @@ import (
 	"apcache/internal/interval"
 )
 
-// Update is one observed refresh: the key and the freshly installed
-// interval approximation.
+// EventKind classifies an Update: a per-key refresh, or a connection
+// lifecycle event of the feed the watch rides on.
+type EventKind uint8
+
+const (
+	// EventRefresh is an ordinary refresh: Key carries the observed key
+	// and Interval its freshly installed approximation.
+	EventRefresh EventKind = iota
+	// EventDisconnected reports that the feed's connection dropped and an
+	// automatic reconnect is in progress. Intervals delivered before this
+	// event may go stale until EventReconnected arrives; the stream itself
+	// stays open. Key is -1 and Interval is zero.
+	EventDisconnected
+	// EventReconnected reports that the feed's connection is back and the
+	// watch's subscriptions have been replayed; the refreshes that follow
+	// are live again. Key is -1 and Interval is zero.
+	EventReconnected
+)
+
+// Update is one observed refresh (EventRefresh: the key and the freshly
+// installed interval approximation) or a connection lifecycle event
+// (EventDisconnected/EventReconnected: Key is -1).
 type Update struct {
 	Key      int
 	Interval interval.Interval
+	Event    EventKind
 }
 
 // outBuffer is the capacity of the Updates channel: enough to ride out
@@ -41,6 +62,7 @@ type Watch struct {
 	mu        sync.Mutex
 	pending   map[int]interval.Interval // latest undelivered interval per key
 	order     []int                     // pending keys in arrival order
+	events    []EventKind               // undelivered lifecycle events, in order
 	err       error                     // terminal failure, if any
 	closed    bool
 	coalesced int // updates folded into a pending entry (latest-wins)
@@ -106,6 +128,26 @@ func (w *Watch) Notify(key int, iv interval.Interval) {
 		w.order = append(w.order, key)
 	}
 	w.pending[key] = iv
+	w.mu.Unlock()
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+}
+
+// NotifyEvent records a connection lifecycle event for delivery. Unlike
+// refreshes, events are never coalesced — a disconnect/reconnect pair is
+// always observed as two updates, in order. Like Notify it never blocks and
+// is a no-op after Close/Fail. Events are delivered ahead of the refreshes
+// pending in the same pump run (a reconnect's replayed refreshes typically
+// arrive after the event that announces them anyway).
+func (w *Watch) NotifyEvent(ev EventKind) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.events = append(w.events, ev)
 	w.mu.Unlock()
 	select {
 	case w.kick <- struct{}{}:
@@ -191,10 +233,11 @@ func (r *Registry) Notify(key int, iv interval.Interval) {
 	}
 }
 
-// Detach empties the registry and returns the deduplicated watches that
-// were registered (a watch observing several keys appears once): the
-// teardown path, where every live watch is failed with the feed's error.
-func (r *Registry) Detach() []*Watch {
+// All returns the deduplicated watches currently registered (a watch
+// observing several keys appears once), leaving the registry intact: the
+// broadcast path for connection lifecycle events, where every live watch is
+// notified but stays subscribed.
+func (r *Registry) All() []*Watch {
 	var all []*Watch
 	seen := make(map[*Watch]bool)
 	for _, ws := range r.byKey {
@@ -205,6 +248,14 @@ func (r *Registry) Detach() []*Watch {
 			}
 		}
 	}
+	return all
+}
+
+// Detach empties the registry and returns the deduplicated watches that
+// were registered: the teardown path, where every live watch is failed with
+// the feed's error.
+func (r *Registry) Detach() []*Watch {
+	all := r.All()
 	r.byKey = nil
 	return all
 }
@@ -224,6 +275,10 @@ func (w *Watch) pump() {
 		}
 		w.mu.Lock()
 		run = run[:0]
+		for _, ev := range w.events {
+			run = append(run, Update{Key: -1, Event: ev})
+		}
+		w.events = w.events[:0]
 		for _, k := range w.order {
 			run = append(run, Update{Key: k, Interval: w.pending[k]})
 			delete(w.pending, k)

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"apcache/internal/core"
@@ -108,6 +110,66 @@ func validateSnapshot(snap *snapshot) error {
 		}
 	}
 	return nil
+}
+
+// SaveFile writes the store's snapshot to path crash-safely. The snapshot
+// goes to a temporary file in path's directory first, is fsynced, and is
+// then atomically renamed over path — so a crash at any instant leaves
+// either the complete previous snapshot or the complete new one on disk,
+// never a truncated hybrid. (An abandoned *.tmp* sibling may survive a
+// crash; it is inert — LoadFile never reads it — and the next successful
+// SaveFile of the same path does not depend on it.) The directory is synced
+// after the rename, on a best-effort basis, so the new name itself is
+// durable.
+func (s *Store) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("apcache: save: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("apcache: save: sync: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("apcache: save: close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("apcache: save: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() // best-effort: make the rename itself durable
+		d.Close()
+	}
+	return nil
+}
+
+// LoadFile restores a snapshot written by SaveFile (or any file Save
+// produced). The seed drives the restored controllers' probabilistic
+// adjustments, as in Load.
+func LoadFile(path string, seed int64) (*Store, error) {
+	return LoadFileOptions(path, Options{Seed: seed})
+}
+
+// LoadFileOptions is LoadFile with full control over the restored store's
+// options, mirroring LoadOptions.
+func LoadFileOptions(path string, opts Options) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("apcache: load: %w", err)
+	}
+	defer f.Close()
+	return LoadOptions(f, opts)
 }
 
 // Load restores a snapshot written by Save into a fresh store built with the

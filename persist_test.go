@@ -3,6 +3,8 @@ package apcache
 import (
 	"bytes"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -288,5 +290,115 @@ func TestLoadOptionsControlsShards(t *testing.T) {
 		if v != float64(k*10) {
 			t.Errorf("key %d restored as %g, want %g", k, v, float64(k*10))
 		}
+	}
+}
+
+// TestSaveFileLoadFileRoundTrip checks the crash-safe file path end to end:
+// state survives, and no temporary file is left behind on success.
+func TestSaveFileLoadFileRoundTrip(t *testing.T) {
+	s := newStore(t)
+	for k, v := range []float64{10, 20, 30} {
+		s.Track(k, v)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	restored, err := LoadFile(path, 99)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	for k, want := range []float64{10, 20, 30} {
+		got, err := restored.ReadExact(k)
+		if err != nil || got != want {
+			t.Errorf("key %d restored as %g, want %g (err %v)", k, got, want, err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "state.snap" {
+		names := make([]string, 0, len(ents))
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("directory after SaveFile holds %v, want only state.snap", names)
+	}
+}
+
+// TestSaveFileSurvivesCrashMidWrite simulates the failure SaveFile exists
+// for: a process dies while writing a new snapshot. Because the write goes
+// to a temp file and lands via rename, the abandoned partial file must not
+// shadow or corrupt the last complete snapshot.
+func TestSaveFileSurvivesCrashMidWrite(t *testing.T) {
+	s := newStore(t)
+	s.Track(0, 42)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+
+	// A crash mid-write leaves a partial temp sibling — garbage bytes under
+	// the same naming scheme SaveFile uses.
+	junk := filepath.Join(dir, "state.snap.tmp123456")
+	if err := os.WriteFile(junk, []byte("partial snapsh"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := LoadFile(path, 1)
+	if err != nil {
+		t.Fatalf("LoadFile after simulated crash: %v", err)
+	}
+	if v, err := restored.ReadExact(0); err != nil || v != 42 {
+		t.Fatalf("restored value %g (err %v), want 42", v, err)
+	}
+
+	// The next SaveFile of the same path succeeds regardless of the
+	// leftover, and a fresh load sees the new state.
+	s.Set(0, 43)
+	if err := s.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile over leftover temp: %v", err)
+	}
+	restored2, err := LoadFile(path, 1)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if v, err := restored2.ReadExact(0); err != nil || v != 43 {
+		t.Fatalf("re-saved value %g (err %v), want 43", v, err)
+	}
+}
+
+// TestLoadFileRejectsTruncatedFile: a snapshot cut off mid-byte-stream (the
+// torn write SaveFile's rename discipline prevents, forced here by hand)
+// must fail loudly, not yield a partial store.
+func TestLoadFileRejectsTruncatedFile(t *testing.T) {
+	s := newStore(t)
+	for k := 0; k < 8; k++ {
+		s.Track(k, float64(k))
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path, 1); err == nil {
+		t.Fatalf("LoadFile accepted a truncated snapshot")
+	}
+}
+
+// TestLoadFileMissing: loading a path that does not exist is a plain error.
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.snap"), 1); err == nil {
+		t.Fatalf("LoadFile of a missing path succeeded")
 	}
 }
