@@ -144,6 +144,13 @@ type Options struct {
 	// lock-free seqlock path. It exists, like Shards=1, purely as a
 	// benchmark baseline for the pre-seqlock architecture.
 	LockedReads bool
+	// Durability, when non-nil, makes the store write-ahead durable: every
+	// value write, learned-width update, and subscription is appended to a
+	// per-shard WAL under Durability.Dir, compacted into snapshots in the
+	// background, and recovered by OpenDurable after a crash. Only
+	// OpenDurable honors it; NewStore ignores the field (an in-memory
+	// store has nothing to recover).
+	Durability *DurabilityOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -197,6 +204,13 @@ type Store struct {
 	watchMu  sync.RWMutex
 	watchers watch.Registry
 	watching atomic.Bool
+
+	// Write-ahead durability (OpenDurable). wal is nil on an in-memory
+	// store, which keeps the hot-path guard to one pointer load. compactMu
+	// serializes snapshot producers — Save, SaveFile, and WAL compaction —
+	// so a log truncation always pairs with the snapshot that covers it.
+	wal       *walBackend
+	compactMu sync.Mutex
 }
 
 // Stripe counter indices in Store.counters.
@@ -282,7 +296,15 @@ func (s *Store) chargeLocked(sh *storeShard, counter int, cost float64) {
 func (s *Store) Track(key int, v float64) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	token := s.trackLocked(sh, key, v)
+	sh.mu.Unlock()
+	// The WAL commit waits outside the shard lock: the fsync (policy
+	// permitting) never executes inside anyone's critical section, and
+	// concurrent writers on the shard share one group commit.
+	s.walCommit(sh, token)
+}
+
+func (s *Store) trackLocked(sh *storeShard, key int, v float64) uint64 {
 	if _, ok := sh.src.Value(key); ok && sh.src.Subscribed(storeCacheID, key) {
 		refreshes := sh.src.Set(key, v)
 		for _, r := range refreshes {
@@ -290,6 +312,7 @@ func (s *Store) Track(key int, v float64) {
 			sh.cache.Put(r.Key, r.Interval, r.OriginalWidth)
 			s.notifyWatch(r.Key, r.Interval)
 		}
+		token := s.stageSetLocked(sh, key, v, refreshes)
 		if len(refreshes) == 0 {
 			// The new value sits inside the current interval, so no refresh
 			// fired — but Track promises the key is cached afterwards, so
@@ -299,12 +322,13 @@ func (s *Store) Track(key int, v float64) {
 			r := sh.src.Subscribe(storeCacheID, key)
 			sh.cache.Put(r.Key, r.Interval, r.OriginalWidth)
 		}
-		return
+		return token
 	}
 	sh.src.SetInitial(key, v)
 	r := sh.src.Subscribe(storeCacheID, key)
 	sh.cache.Put(r.Key, r.Interval, r.OriginalWidth)
 	s.notifyWatch(r.Key, r.Interval)
+	return s.stageTrackLocked(sh, key, v)
 }
 
 // Set applies an update to a tracked key. If the new value escapes the
@@ -314,14 +338,17 @@ func (s *Store) Track(key int, v float64) {
 func (s *Store) Set(key int, v float64) bool {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	refreshes := sh.src.Set(key, v)
 	for _, r := range refreshes {
 		s.chargeLocked(sh, cVIR, s.prm.Cvr)
 		sh.cache.Put(r.Key, r.Interval, r.OriginalWidth)
 		s.notifyWatch(r.Key, r.Interval)
 	}
-	return len(refreshes) > 0
+	refreshed := len(refreshes) > 0
+	token := s.stageSetLocked(sh, key, v, refreshes)
+	sh.mu.Unlock()
+	s.walCommit(sh, token)
+	return refreshed
 }
 
 // Get returns the cached approximation for key. It takes no lock: the entry
@@ -343,21 +370,32 @@ func (s *Store) Get(key int) (Interval, bool) {
 func (s *Store) ReadExact(key int) (float64, error) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if _, ok := sh.src.Value(key); !ok {
+		sh.mu.Unlock()
 		return 0, aperrs.UnknownKey(key)
 	}
-	return s.readLocked(sh, key), nil
+	v, token := s.readLocked(sh, key)
+	sh.mu.Unlock()
+	s.walCommit(sh, token)
+	return v, nil
 }
 
 // readLocked serves a query-initiated refresh for a key on an already-locked
-// shard.
-func (s *Store) readLocked(sh *storeShard, key int) float64 {
+// shard. The returned token is the WAL commit handle for the staged width
+// record (zero on a non-durable store); the caller passes it to walCommit
+// after releasing the shard lock.
+func (s *Store) readLocked(sh *storeShard, key int) (float64, uint64) {
 	r := sh.src.Read(storeCacheID, key)
 	s.chargeLocked(sh, cQIR, s.prm.Cqr)
 	sh.cache.Put(r.Key, r.Interval, r.OriginalWidth)
 	s.notifyWatch(r.Key, r.Interval)
-	return r.Value
+	var token uint64
+	if s.wal != nil {
+		// A query-initiated refresh changes only the learned width — the
+		// exact value is unchanged, so one OpWidth record captures it.
+		token = s.wal.log.Stage(sh.idx, walRecord(opWidth, key, r.OriginalWidth))
+	}
+	return r.Value, token
 }
 
 // Do executes a bounded-aggregate query, fetching exact values as needed to
@@ -404,8 +442,10 @@ func (s *Store) DoCtx(ctx context.Context, q Query) (Answer, error) {
 		func(key int) float64 {
 			sh := s.shardFor(key)
 			sh.mu.Lock()
-			defer sh.mu.Unlock()
-			return s.readLocked(sh, key)
+			v, token := s.readLocked(sh, key)
+			sh.mu.Unlock()
+			s.walCommit(sh, token)
+			return v
 		})
 }
 
@@ -571,11 +611,18 @@ const (
 func PollerSupported() bool { return netpoll.Supported() }
 
 // Serve starts a server on addr ("host:port", port 0 picks a free one) and
-// returns it with its bound address.
+// returns it with its bound address. With cfg.WALDir set the server is
+// durable: journaled state under that directory is recovered before the
+// listener opens, and every hosted value and learned width is journaled from
+// then on (see server.Open).
 func Serve(addr string, cfg ServerConfig) (*Server, net.Addr, error) {
-	srv := server.New(cfg)
+	srv, err := server.Open(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	bound, err := srv.Listen(addr)
 	if err != nil {
+		srv.Close()
 		return nil, nil, err
 	}
 	return srv, bound, nil

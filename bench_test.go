@@ -26,6 +26,7 @@ import (
 	"apcache/internal/interval"
 	"apcache/internal/netproto"
 	"apcache/internal/query"
+	"apcache/internal/wal"
 	"apcache/internal/workload"
 )
 
@@ -302,3 +303,50 @@ func BenchmarkStoreReadHeavy(b *testing.B) { benchmarkStoreOpMix(b, bench.ReadHe
 // BenchmarkStoreReadSkewed adds zipf-skewed key popularity, stacking shard
 // hot-spotting on top of the read-heavy mix.
 func BenchmarkStoreReadSkewed(b *testing.B) { benchmarkStoreOpMix(b, bench.ZipfReadHeavy) }
+
+// BenchmarkWALAppend measures what write-ahead durability costs the Set hot
+// path: "nowal" is the plain in-memory store; the fsync variants journal
+// every update through the per-shard WAL under the named policy. The
+// interval-vs-nowal delta is the acceptance headline recorded in
+// BENCH_store.json — group commit must keep it under 2µs/op — while
+// fsync=always pays a real fsync per operation and exists to price that
+// guarantee honestly.
+func BenchmarkWALAppend(b *testing.B) {
+	const keys = 256
+	for _, mode := range []string{"nowal", "none", "interval", "always"} {
+		b.Run("fsync="+mode, func(b *testing.B) {
+			var (
+				s   *Store
+				err error
+			)
+			if mode == "nowal" {
+				s, err = NewStore(Options{InitialWidth: 10})
+			} else {
+				var pol FsyncPolicy
+				if pol, err = wal.ParsePolicy(mode); err != nil {
+					b.Fatal(err)
+				}
+				s, err = OpenDurable(b.TempDir(), Options{
+					InitialWidth: 10,
+					Durability:   &DurabilityOptions{Fsync: pol},
+				})
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			for k := 0; k < keys; k++ {
+				s.Track(k, 0)
+			}
+			rng := rand.New(rand.NewSource(1))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Set(i%keys, rng.Float64()*1000)
+			}
+			b.StopTimer()
+			if err := s.Close(); err != nil {
+				b.Fatalf("durability broke during the benchmark: %v", err)
+			}
+		})
+	}
+}

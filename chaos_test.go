@@ -396,7 +396,10 @@ func chaosFlap(t *testing.T, mode string) {
 // TestShutdownDrainDeliversFinalValues checks the graceful-drain contract:
 // a burst of Sets parks pushes in flush windows and queues, and
 // Server.Shutdown must flush them all to the subscribed client before
-// closing its connection.
+// closing its connection. The server runs durable, extending the contract
+// across the process boundary: the drained journal must recover — on a
+// replacement server over the same WAL directory — to exactly the final
+// values the client was sent, at the widths it was sent them.
 func TestShutdownDrainDeliversFinalValues(t *testing.T) {
 	forEachConnMode(t, shutdownDrain)
 }
@@ -405,12 +408,14 @@ func shutdownDrain(t *testing.T, mode string) {
 	const keys = 32
 	baseline := settleGoroutines()
 
+	walDir := t.TempDir()
 	srv, addr, err := Serve("127.0.0.1:0", ServerConfig{
 		Params:        DefaultParams(1, 2, 0),
 		InitialWidth:  8,
 		Shards:        4,
 		FlushInterval: 2 * time.Millisecond, // wide window: pushes park in it
 		ConnMode:      mode,
+		WALDir:        walDir,
 	})
 	if err != nil {
 		t.Fatalf("Serve: %v", err)
@@ -461,6 +466,49 @@ func shutdownDrain(t *testing.T, mode string) {
 		}
 	}
 
+	// The drain's durability half: a replacement server recovered from the
+	// same WAL directory must host exactly the final values the client was
+	// just sent — and the widths it was sent them at must be the recovered
+	// learned seeds, so a resubscribing client resumes at that precision.
+	srv2, _, err := Serve("127.0.0.1:0", ServerConfig{
+		Params:       DefaultParams(1, 2, 0),
+		InitialWidth: 8,
+		Shards:       4,
+		ConnMode:     mode,
+		WALDir:       walDir,
+	})
+	if err != nil {
+		t.Fatalf("recovery Serve: %v", err)
+	}
+	for k := 0; k < keys; k++ {
+		v, ok := srv2.Value(k)
+		if !ok {
+			t.Fatalf("key %d: not recovered from the drained WAL", k)
+		}
+		if want := 1e6 + float64(k); v != want {
+			t.Fatalf("key %d: recovered value %g, want the drained final value %g", k, v, want)
+		}
+		iv, cached := c.Get(k)
+		if !cached {
+			continue // evicted is legal; the value check above still holds
+		}
+		if w, ok := srv2.LearnedWidth(k); !ok || !almostEq(w, iv.Width()) {
+			t.Fatalf("key %d: recovered learned width %g (ok=%v), client holds width %g",
+				k, w, ok, iv.Width())
+		}
+	}
+	if err := srv2.Shutdown(nil); err != nil {
+		t.Fatalf("recovery server Shutdown: %v", err)
+	}
+
 	c.Close()
 	waitGoroutines(t, baseline)
+}
+
+// almostEq compares widths that traveled through the wire format (float64
+// end to end, so exact equality is expected; the epsilon guards rounding in
+// interval reconstruction only).
+func almostEq(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
 }

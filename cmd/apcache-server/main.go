@@ -23,6 +23,7 @@ import (
 	"apcache/internal/core"
 	"apcache/internal/server"
 	"apcache/internal/trace"
+	"apcache/internal/wal"
 	"apcache/internal/workload"
 )
 
@@ -46,10 +47,16 @@ func main() {
 		protoVer  = flag.Int("protover", 0, "cap the wire protocol: 1 = v1 single frames, 2 = batched v2, 0/3 = v3 with structured errors")
 		connMode  = flag.String("connmode", "", "connection core: 'goroutine' (default; two goroutines per connection) or 'poller' (event-driven, shared loops + writer pool)")
 		drain     = flag.Duration("drain", 5*time.Second, "graceful-drain bound on SIGTERM/interrupt: flush queued pushes before closing connections (0 = close immediately)")
+		walDir    = flag.String("wal", "", "write-ahead log directory: journal values and learned widths, recover them on restart (empty = not durable)")
+		fsync     = flag.String("fsync", "interval", "WAL fsync policy: 'always' (every write waits for fsync), 'interval' (group-commit window), or 'none' (OS decides)")
 	)
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	fsyncPolicy, err := wal.ParsePolicy(*fsync)
+	if err != nil {
+		log.Fatalf("apcache-server: %v", err)
+	}
+	srv, err := server.Open(server.Config{
 		Params: core.Params{
 			Cvr: *cvr, Cqr: *cqr, Alpha: *alpha,
 			Lambda0: *lambda0, Lambda1: math.Inf(1),
@@ -61,8 +68,13 @@ func main() {
 		FlushInterval: *flush,
 		ProtoVersion:  *protoVer,
 		ConnMode:      *connMode,
+		WALDir:        *walDir,
+		WALFsync:      fsyncPolicy,
 		Logf:          log.Printf,
 	})
+	if err != nil {
+		log.Fatalf("apcache-server: %v", err)
+	}
 
 	var updates []workload.UpdateSource
 	rng := rand.New(rand.NewSource(*seed))
@@ -84,13 +96,24 @@ func main() {
 			updates = append(updates, workload.NewRandomWalk(0, *stepLo, *stepHi, rng))
 		}
 	}
+	recovered := 0
 	for k, u := range updates {
+		// A durable server recovered journaled keys already; seed only the
+		// ones the journal did not carry, so a restart resumes the learned
+		// state instead of resetting the walks.
+		if _, ok := srv.Value(k); ok {
+			recovered++
+			continue
+		}
 		srv.SetInitial(k, u.Value())
 	}
 
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("apcache-server: %v", err)
+	}
+	if *walDir != "" {
+		log.Printf("write-ahead log at %s (fsync=%s), %d keys recovered", *walDir, fsyncPolicy, recovered)
 	}
 	log.Printf("serving %d keys on %s (%s connection core, update period %v)", len(updates), bound, srv.ConnMode(), *period)
 

@@ -1,0 +1,542 @@
+package apcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"apcache/internal/aperrs"
+	"apcache/internal/source"
+	"apcache/internal/wal"
+)
+
+// FsyncPolicy selects when WAL appends reach stable storage; see the
+// wal.Policy constants re-exported below.
+type FsyncPolicy = wal.Policy
+
+// Fsync policies for DurabilityOptions.Fsync.
+const (
+	// FsyncInterval (the default) group-commits every flush interval: the
+	// write path stays syscall-free and a crash loses at most the last
+	// interval of appends.
+	FsyncInterval = wal.FsyncInterval
+	// FsyncAlways makes every write wait for an fsync covering it;
+	// concurrent writers on a shard share one group commit.
+	FsyncAlways = wal.FsyncAlways
+	// FsyncNone hands the appends to the OS on the flush interval and
+	// never fsyncs until Close; durability is whatever the kernel gives.
+	FsyncNone = wal.FsyncNone
+)
+
+// ParseFsyncPolicy maps "always" / "interval" / "none" to a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return wal.ParsePolicy(s) }
+
+// WALFS is the filesystem seam the durable backend runs every disk
+// operation through — appends, snapshot writes, renames, truncations, and
+// recovery reads. Production uses the real filesystem; crash-fault tests
+// substitute an injector.
+type WALFS = wal.FS
+
+// DurabilityOptions parameterizes a write-ahead durable store
+// (Options.Durability + OpenDurable).
+type DurabilityOptions struct {
+	// Fsync is the append durability policy (default FsyncInterval).
+	Fsync FsyncPolicy
+	// FsyncInterval is the group-commit window for FsyncInterval/FsyncNone
+	// (default 2ms).
+	FsyncInterval time.Duration
+	// CompactMin is the minimum number of log records before background
+	// compaction considers folding the log into a snapshot (default 1024).
+	CompactMin int
+	// CompactRatio triggers compaction once the log holds more than
+	// CompactRatio records per live key (default 4). Both thresholds must
+	// pass: a tiny store is not snapshotted every handful of writes, and a
+	// huge one is not allowed to grow an unbounded replay tail.
+	CompactRatio float64
+	// FS overrides the filesystem (fault-injection tests).
+	FS WALFS
+}
+
+func (d DurabilityOptions) withDefaults() DurabilityOptions {
+	if d.FsyncInterval <= 0 {
+		d.FsyncInterval = wal.DefaultInterval
+	}
+	if d.CompactMin <= 0 {
+		d.CompactMin = 1024
+	}
+	if d.CompactRatio <= 0 {
+		d.CompactRatio = 4
+	}
+	if d.FS == nil {
+		d.FS = wal.OSFS
+	}
+	return d
+}
+
+// walBackend is the durable state hanging off a Store opened by OpenDurable.
+type walBackend struct {
+	log  *wal.Log
+	fs   wal.FS
+	dir  string
+	opts DurabilityOptions
+
+	seq  uint64 // sequence of the newest snapshot on disk
+	keys int64  // live key estimate for the compaction ratio; updated under shard locks
+
+	kick chan struct{} // nudges the compactor; buffered, lossy
+	stop chan struct{}
+	done chan struct{}
+
+	closed    atomic.Bool // set before the log closes so late writers skip staging
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Aliases keep the staging call sites in apcache.go free of a wal import.
+const (
+	opValue = wal.OpValue
+	opWidth = wal.OpWidth
+	opSub   = wal.OpSub
+)
+
+func walRecord(op wal.Op, key int, val float64) wal.Record {
+	return wal.Record{Op: op, Key: int64(key), Val: val}
+}
+
+// stageTrackLocked journals a newly tracked key: its exact value and its
+// subscription. The caller holds sh.mu (buffer order = state order).
+func (s *Store) stageTrackLocked(sh *storeShard, key int, v float64) uint64 {
+	if s.wal == nil || s.wal.closed.Load() {
+		return 0
+	}
+	atomic.AddInt64(&s.wal.keys, 1)
+	return s.wal.log.Stage(sh.idx, walRecord(opValue, key, v), walRecord(opSub, key, 0))
+}
+
+// stageSetLocked journals a value update plus the width adjustments of the
+// refreshes it fired. The caller holds sh.mu; refreshes is the scratch slice
+// source.Set returned, still valid under the lock.
+func (s *Store) stageSetLocked(sh *storeShard, key int, v float64, refreshes []source.Refresh) uint64 {
+	if s.wal == nil || s.wal.closed.Load() {
+		return 0
+	}
+	recs := make([]wal.Record, 0, 1+len(refreshes))
+	recs = append(recs, walRecord(opValue, key, v))
+	for _, r := range refreshes {
+		recs = append(recs, walRecord(opWidth, r.Key, r.OriginalWidth))
+	}
+	return s.wal.log.Stage(sh.idx, recs...)
+}
+
+// walCommit waits for the staged records' durability (per the fsync policy)
+// and nudges the compactor when the log has outgrown the live state. Called
+// after the shard lock is released. Append failures are sticky inside the
+// log and surfaced by Sync and Close; the in-memory store stays correct
+// regardless, so the write path does not fail the caller.
+func (s *Store) walCommit(sh *storeShard, token uint64) {
+	if s.wal == nil || token == 0 || s.wal.closed.Load() {
+		return
+	}
+	s.wal.log.Commit(sh.idx, token)
+	s.wal.maybeKick()
+}
+
+func (b *walBackend) threshold() int64 {
+	t := int64(b.opts.CompactMin)
+	if r := int64(b.opts.CompactRatio * float64(atomic.LoadInt64(&b.keys))); r > t {
+		t = r
+	}
+	return t
+}
+
+func (b *walBackend) maybeKick() {
+	if b.log.Records() <= b.threshold() {
+		return
+	}
+	select {
+	case b.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Sync forces every buffered WAL append to stable storage regardless of the
+// fsync policy, returning the log's sticky failure if durability has broken.
+// A no-op nil on a non-durable store.
+func (s *Store) Sync() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.log.Sync()
+}
+
+// Close stops the background compactor and flushes, fsyncs, and closes the
+// WAL. The store itself remains usable in memory afterwards, but writes are
+// no longer journaled. A no-op nil on a non-durable store; idempotent. The
+// returned error is the log's sticky failure, if durability ever broke —
+// the one place an FsyncInterval deployment learns its tail never landed.
+func (s *Store) Close() error {
+	b := s.wal
+	if b == nil {
+		return nil
+	}
+	b.closeOnce.Do(func() {
+		b.closed.Store(true)
+		close(b.stop)
+		<-b.done
+		b.closeErr = b.log.Close()
+	})
+	return b.closeErr
+}
+
+// Width returns the learned interval width for a tracked key — the one
+// piece of adaptive state the algorithm keeps per key, and exactly what the
+// WAL exists to preserve across crashes. ok is false for unknown keys.
+func (s *Store) Width(key int) (width float64, ok bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p, ok := sh.src.PolicyFor(storeCacheID, key)
+	if !ok {
+		return 0, false
+	}
+	return p.Width(), true
+}
+
+// snapName formats a snapshot file name; the sequence grows monotonically so
+// lexical order is recovery order.
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%012d.gob", seq) }
+
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".gob") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".gob"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// OpenDurable opens (or creates) a write-ahead durable store rooted at dir.
+//
+// Recovery loads the newest snapshot that decodes and validates, replays
+// the WAL records above the snapshot's LSN in log order — so the store
+// resumes with every acked value, learned width, and subscription — and
+// truncates, rather than rejects, a torn or corrupted log tail: a power cut
+// mid-append costs at most the records that were never acknowledged
+// durable. The recovered state is then folded into a fresh snapshot and an
+// empty log before the store accepts writes ("compaction on open"), which
+// makes recovery idempotent and absorbs shard-count changes between runs.
+//
+// opts.Durability carries the tuning (fsync policy, compaction thresholds,
+// filesystem seam); a nil Durability gets defaults. If a snapshot exists its
+// algorithm parameters win over opts.Params, exactly as in LoadOptions.
+func OpenDurable(dir string, opts Options) (*Store, error) {
+	var d DurabilityOptions
+	if opts.Durability != nil {
+		d = *opts.Durability
+	}
+	d = d.withDefaults()
+	fsys := d.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("apcache: open durable: %w", err)
+	}
+
+	snap, seq, err := newestSnapshot(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	scan, err := wal.ScanDir(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("apcache: open durable: %w", err)
+	}
+	if snap == nil {
+		snap = &snapshot{Version: snapshotVersion, Params: opts.Params}
+	}
+	overlayRecords(snap, scan.Records)
+	startLSN := scan.MaxLSN
+	if snap.LSN > startLSN {
+		startLSN = snap.LSN
+	}
+	snap.LSN = startLSN
+
+	if err := checkSnapshot(snap); err != nil {
+		// Individually validated pieces cannot merge into invalid state;
+		// this guards the invariant rather than an expected path.
+		return nil, fmt.Errorf("apcache: open durable: merged state invalid: %w", err)
+	}
+	s, err := restoreSnapshot(snap, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Compaction on open: fold the recovered state into a fresh snapshot,
+	// then start an empty log against it. Every crash window is covered —
+	// until the new snapshot's rename lands, the old snapshot + old log
+	// recover; after it, the old log's records are all at or below the new
+	// snapshot's LSN and are skipped by the replay gate, so deleting the
+	// old log files needs no atomicity.
+	snap.Version = snapshotVersion
+	newSeq := seq + 1
+	if err := writeSnapshotFS(fsys, dir, newSeq, snap); err != nil {
+		return nil, err
+	}
+	pruneSnapshots(fsys, dir, newSeq)
+	names, _ := fsys.ReadDir(dir)
+	for _, name := range names {
+		if wal.IsLogName(name) || strings.HasSuffix(name, ".tmp") {
+			fsys.Remove(filepath.Join(dir, name))
+		}
+	}
+	log, err := wal.Open(wal.Options{
+		Dir:      dir,
+		Shards:   s.Shards(),
+		Policy:   d.Fsync,
+		Interval: d.FsyncInterval,
+		FS:       fsys,
+		StartLSN: startLSN,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("apcache: open durable: %w", err)
+	}
+	if err := log.Reset(newSeq); err != nil {
+		log.Close()
+		return nil, fmt.Errorf("apcache: open durable: %w", err)
+	}
+	s.wal = &walBackend{
+		log:  log,
+		fs:   fsys,
+		dir:  dir,
+		opts: d,
+		seq:  newSeq,
+		keys: int64(len(snap.Keys)),
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go s.compactLoop()
+	return s, nil
+}
+
+// newestSnapshot returns the newest snapshot under dir that decodes and
+// validates, with its sequence. Older snapshots are fallbacks: a corrupt
+// newer file is skipped, not fatal (the kept-previous snapshot plus the log
+// still recover). seq is the highest sequence seen on disk even among
+// invalid files, so the next snapshot never reuses a name. A snapshot from
+// a newer format version is a hard typed error — falling back to an older
+// file would silently discard acked state.
+func newestSnapshot(fsys wal.FS, dir string) (*snapshot, uint64, error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("apcache: open durable: %w", err)
+	}
+	type cand struct {
+		seq  uint64
+		name string
+	}
+	var cands []cand
+	var maxSeq uint64
+	for _, name := range names {
+		if seq, ok := parseSnapName(name); ok {
+			cands = append(cands, cand{seq, name})
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].seq > cands[j].seq })
+	for _, c := range cands {
+		data, err := fsys.ReadFile(filepath.Join(dir, c.name))
+		if err != nil {
+			continue
+		}
+		var snap snapshot
+		if err := decodeSnap(bytes.NewReader(data), &snap); err != nil {
+			continue
+		}
+		if err := checkSnapshot(&snap); err != nil {
+			if errors.Is(err, aperrs.ErrSnapshotVersion) {
+				return nil, 0, err
+			}
+			continue
+		}
+		return &snap, maxSeq, nil
+	}
+	return nil, maxSeq, nil
+}
+
+// overlayRecords folds replayed WAL records (already in LSN order) into a
+// snapshot's key list, skipping records the snapshot has folded in already.
+// Values that escaped their snapshotted interval drop the cached entry —
+// the interval would violate containment — but keep the key tracked with
+// its learned width, so the next touch re-admits it at learned precision.
+func overlayRecords(snap *snapshot, recs []wal.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	idx := make(map[int]int, len(snap.Keys))
+	for i, ks := range snap.Keys {
+		idx[ks.Key] = i
+	}
+	ent := func(key int) *keySnapshot {
+		if i, ok := idx[key]; ok {
+			return &snap.Keys[i]
+		}
+		snap.Keys = append(snap.Keys, keySnapshot{Key: key, Value: math.NaN()})
+		idx[key] = len(snap.Keys) - 1
+		return &snap.Keys[len(snap.Keys)-1]
+	}
+	for _, r := range recs {
+		if r.LSN <= snap.LSN {
+			continue
+		}
+		key := int(r.Key)
+		switch r.Op {
+		case wal.OpValue:
+			e := ent(key)
+			e.Value = r.Val
+			if e.Cached && (r.Val < e.Lo || r.Val > e.Hi) {
+				e.Cached = false
+				e.Lo, e.Hi, e.OrigW = 0, 0, 0
+			}
+		case wal.OpWidth:
+			ent(key).Width = r.Val
+		case wal.OpSub:
+			ent(key)
+		case wal.OpUnsub:
+			if i, ok := idx[key]; ok {
+				snap.Keys[i].Value = math.NaN() // mark dead; filtered below
+			}
+		}
+	}
+	// Keys without a surviving value cannot be restored (and a NaN would
+	// poison the source): an OpSub or OpWidth whose OpValue fell into the
+	// truncated tail, or an unsubscribed key.
+	live := snap.Keys[:0]
+	for _, ks := range snap.Keys {
+		if !math.IsNaN(ks.Value) {
+			live = append(live, ks)
+		}
+	}
+	snap.Keys = live
+	sort.Slice(snap.Keys, func(a, b int) bool { return snap.Keys[a].Key < snap.Keys[b].Key })
+}
+
+// writeSnapshotFS writes a snapshot crash-safely through the FS seam: temp
+// file, full write, fsync, atomic rename, best-effort directory sync.
+func writeSnapshotFS(fsys wal.FS, dir string, seq uint64, snap *snapshot) error {
+	path := filepath.Join(dir, snapName(seq))
+	tmp := path + ".tmp"
+	var buf bytes.Buffer
+	if err := encodeSnap(&buf, *snap); err != nil {
+		return fmt.Errorf("apcache: snapshot %s: %w", path, err)
+	}
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("apcache: snapshot %s: %w", path, err)
+	}
+	data := buf.Bytes()
+	for len(data) > 0 {
+		n, werr := f.Write(data)
+		if werr != nil {
+			f.Close()
+			fsys.Remove(tmp)
+			return fmt.Errorf("apcache: snapshot %s: %w", path, werr)
+		}
+		data = data[n:]
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("apcache: snapshot %s: sync: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("apcache: snapshot %s: close: %w", path, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("apcache: snapshot %s: %w", path, err)
+	}
+	wal.SyncDir(dir)
+	return nil
+}
+
+// pruneSnapshots removes snapshots older than the previous one: the newest
+// two are kept so a corrupt latest file (torn by a failing disk, not by a
+// crash — the rename protocol rules that out) still leaves a fallback.
+func pruneSnapshots(fsys wal.FS, dir string, newest uint64) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	var seqs []uint64
+	for _, name := range names {
+		if seq, ok := parseSnapName(name); ok && seq != newest {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for _, seq := range seqs[min(1, len(seqs)):] {
+		fsys.Remove(filepath.Join(dir, snapName(seq)))
+	}
+}
+
+// compactLoop runs background compaction: every kick (a commit noticing the
+// log outgrew the thresholds) folds the log into a fresh snapshot.
+func (s *Store) compactLoop() {
+	defer close(s.wal.done)
+	for {
+		select {
+		case <-s.wal.stop:
+			return
+		case <-s.wal.kick:
+			s.Compact()
+		}
+	}
+}
+
+// Compact folds the WAL into a fresh snapshot and truncates it: the
+// snapshot is captured and written under every shard lock (stop-the-world,
+// like Save), renamed into place, and the log reset against it. A crash at
+// any point recovers: before the rename the old snapshot + full log apply;
+// after it the log's records are at or below the new snapshot's LSN and the
+// replay gate skips them, truncated or not. A no-op error on a non-durable
+// store.
+func (s *Store) Compact() error {
+	if s.wal == nil {
+		return fmt.Errorf("apcache: compact: store is not durable")
+	}
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	b := s.wal
+	// Stop the world: no Stage is in flight while the snapshot is captured
+	// and the log truncated, so the snapshot's LSN covers exactly the
+	// records being dropped.
+	s.lockAll()
+	snap, err := s.captureLocked()
+	if err == nil {
+		newSeq := b.seq + 1
+		if err = writeSnapshotFS(b.fs, b.dir, newSeq, &snap); err == nil {
+			if err = b.log.Reset(newSeq); err == nil {
+				b.seq = newSeq
+				atomic.StoreInt64(&b.keys, int64(len(snap.Keys)))
+			}
+		}
+	}
+	s.unlockAll()
+	if err != nil {
+		return err
+	}
+	pruneSnapshots(b.fs, b.dir, b.seq)
+	return nil
+}

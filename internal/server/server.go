@@ -64,6 +64,7 @@ import (
 	"apcache/internal/shard"
 	"apcache/internal/source"
 	"apcache/internal/stats"
+	"apcache/internal/wal"
 )
 
 // DefaultMaxBatch is the batch limit offered when Config.MaxBatch is 0.
@@ -140,6 +141,22 @@ type Config struct {
 	// It exists purely as a benchmark baseline for the pre-lock-free
 	// architecture, like Options.LockedReads on the Store.
 	LockedValueReads bool
+	// WALDir, when non-empty, makes Open journal the server's durable state
+	// — hosted values and per-key learned widths — to a write-ahead log
+	// under this directory. A restarted server recovers the journal before
+	// listening, so reconnecting clients find their keys at the values and
+	// precision the previous process had learned instead of a cold start.
+	// New ignores it (only Open attaches the log).
+	WALDir string
+	// WALFsync selects when journal appends reach stable storage (default
+	// wal.FsyncInterval; see the wal.Policy constants). With wal.FsyncAlways
+	// every Set and exact read waits for an fsync covering its records.
+	WALFsync wal.Policy
+	// WALFsyncInterval is the journal's group-commit window for the
+	// interval/none policies (default 2ms).
+	WALFsyncInterval time.Duration
+	// WALFS overrides the journal's filesystem (fault-injection tests).
+	WALFS wal.FS
 	// Logf, when non-nil, receives diagnostic messages.
 	Logf func(format string, args ...interface{})
 }
@@ -154,8 +171,17 @@ type srcShard struct {
 	mu   sync.Mutex
 	src  *source.Source
 	vals *cache.SeqValues
-	idx  int           // this shard's stripe in the server's occupancy counters
-	_    [64 - 32]byte // pad past one cache line; see storeShard in apcache.go
+	idx  int // this shard's stripe in the server's occupancy counters
+
+	// walWidths mirrors the last width journaled per key, under mu. On a
+	// durable server it serves double duty: the controller factory seeds new
+	// subscriptions from it (so a client resubscribing after a restart — or
+	// to a key another client already adapted — starts at the learned
+	// precision instead of InitialWidth), and the WAL compactor re-emits it
+	// when folding the log. Empty and inert on a non-durable server.
+	walWidths map[int]float64
+
+	_ [64 - 40]byte // pad past one cache line; see storeShard in apcache.go
 }
 
 // Stripe counter indices in Server.shardStats.
@@ -187,6 +213,18 @@ type Server struct {
 	// how many later refreshes were folded into an already-diverted entry.
 	pushOverflows atomic.Int64
 	pushMerges    atomic.Int64
+
+	// wal is the write-ahead journal a durable server (Open with WALDir)
+	// appends hosted values and learned widths to; nil otherwise. walKick
+	// nudges the background compactor (lossy); walStop/walDone bound its
+	// lifetime; walErrOnce rate-limits the broken-durability diagnostic —
+	// append failures are sticky inside the log and surfaced by Shutdown
+	// and Close, the server keeps serving from memory regardless.
+	wal        *wal.Log
+	walKick    chan struct{}
+	walStop    chan struct{}
+	walDone    chan struct{}
+	walErrOnce sync.Once
 
 	// connMu guards the connection registry and listener lifecycle. It is
 	// only ever acquired after a shard lock, never before one.
@@ -372,9 +410,13 @@ func New(cfg Config) *Server {
 	}
 	for i := range s.shards {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
-		sh := &srcShard{idx: i, vals: cache.NewSeqValues()}
+		sh := &srcShard{idx: i, vals: cache.NewSeqValues(), walWidths: make(map[int]float64)}
 		sh.src = source.New(func(cacheID, key int) core.WidthPolicy {
-			return core.NewController(cfg.Params, cfg.InitialWidth, lockedRand{rng})
+			w := cfg.InitialWidth
+			if lw, ok := sh.walWidths[key]; ok && lw > 0 {
+				w = lw // durable server: warm-start at the key's learned width
+			}
+			return core.NewController(cfg.Params, w, lockedRand{rng})
 		})
 		s.shards[i] = sh
 	}
@@ -406,10 +448,15 @@ func (s *Server) syncShard(sh *srcShard) {
 func (s *Server) SetInitial(key int, v float64) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	sh.src.SetInitial(key, v)
 	sh.vals.Store(key, v)
 	s.syncShard(sh)
+	var tok uint64
+	if s.wal != nil {
+		tok = s.wal.Stage(sh.idx, wal.Record{Op: wal.OpValue, Key: int64(key), Val: v})
+	}
+	sh.mu.Unlock()
+	s.walCommit(sh, tok)
 }
 
 // Set updates a value, pushing value-initiated refreshes to every client
@@ -419,11 +466,25 @@ func (s *Server) SetInitial(key int, v float64) {
 func (s *Server) Set(key int, v float64) int {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	refreshes := sh.src.Set(key, v)
 	sh.vals.Store(key, v)
 	s.syncShard(sh)
+	// Journal the update and the width adjustments its refreshes carry while
+	// the lock still orders the buffer against other writers; the commit —
+	// the part that may fsync — waits until the lock is released.
+	var tok uint64
+	if s.wal != nil {
+		recs := make([]wal.Record, 0, 1+len(refreshes))
+		recs = append(recs, wal.Record{Op: wal.OpValue, Key: int64(key), Val: v})
+		for _, r := range refreshes {
+			sh.walWidths[r.Key] = r.OriginalWidth
+			recs = append(recs, wal.Record{Op: wal.OpWidth, Key: int64(r.Key), Val: r.OriginalWidth})
+		}
+		tok = s.wal.Stage(sh.idx, recs...)
+	}
 	if len(refreshes) == 0 {
+		sh.mu.Unlock()
+		s.walCommit(sh, tok)
 		return 0
 	}
 	// One connMu acquisition for the whole batch: taking it per refresh
@@ -434,7 +495,6 @@ func (s *Server) Set(key int, v float64) int {
 		now = time.Now().UnixNano()
 	}
 	s.connMu.Lock()
-	defer s.connMu.Unlock()
 	for _, r := range refreshes {
 		c, ok := s.conns[r.CacheID]
 		if !ok {
@@ -455,6 +515,9 @@ func (s *Server) Set(key int, v float64) int {
 		}
 		s.push(c, m)
 	}
+	s.connMu.Unlock()
+	sh.mu.Unlock()
+	s.walCommit(sh, tok)
 	return len(refreshes)
 }
 
@@ -1149,6 +1212,9 @@ func (s *Server) respondLocked(c *clientConn, msg netproto.Message) netproto.Mes
 		r := sh.src.Read(c.id, int(m.Key))
 		s.observeCost(sh, time.Since(start))
 		s.syncShard(sh)
+		if s.wal != nil {
+			s.walWidthLocked(sh, int(m.Key), r.OriginalWidth)
+		}
 		resp := netproto.GetRefresh()
 		*resp = netproto.Refresh{
 			ID:            m.ID,
@@ -1272,6 +1338,7 @@ func (s *Server) handleMulti(c *clientConn, id uint64, keys []int64, read bool) 
 		if read {
 			start = time.Now()
 		}
+		var wrecs []wal.Record
 		for _, pos := range byShard[shardIdx] {
 			select {
 			case <-dying:
@@ -1284,6 +1351,10 @@ func (s *Server) handleMulti(c *clientConn, id uint64, keys []int64, read bool) 
 			if read {
 				r = sh.src.Read(c.id, int(k))
 				kind = netproto.KindQueryInitiated
+				if s.wal != nil {
+					sh.walWidths[int(k)] = r.OriginalWidth
+					wrecs = append(wrecs, wal.Record{Op: wal.OpWidth, Key: k, Val: r.OriginalWidth})
+				}
 			} else {
 				r = sh.src.Subscribe(c.id, int(k))
 			}
@@ -1295,6 +1366,12 @@ func (s *Server) handleMulti(c *clientConn, id uint64, keys []int64, read bool) 
 				Hi:            r.Interval.Hi,
 				OriginalWidth: r.OriginalWidth,
 			}
+		}
+		if len(wrecs) > 0 {
+			// One journal append for the shard's whole slice; see
+			// walWidthLocked for why this is inline under the lock.
+			s.walNote(s.wal.Append(shardIdx, wrecs...))
+			s.maybeKickWAL()
 		}
 		if n := len(byShard[shardIdx]); read && n > 0 {
 			// Amortize the batch's timer reads: one measurement for the
@@ -1528,6 +1605,14 @@ func (s *Server) shutdown(ctx context.Context) error {
 	if ctx != nil && !wasClosed {
 		err = s.drainConns(ctx, conns)
 	}
+	if s.wal != nil && !wasClosed {
+		// The drain is not complete until the journal covers everything the
+		// connections were just promised: flush it before they drop, so the
+		// recovered server serves exactly the final delivered values.
+		if werr := s.wal.Sync(); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	for _, c := range conns {
 		s.dropClient(c)
 	}
@@ -1538,6 +1623,13 @@ func (s *Server) shutdown(ctx context.Context) error {
 		s.poll.shutdown()
 	}
 	s.serveWG.Wait()
+	if s.wal != nil && !wasClosed {
+		close(s.walStop)
+		<-s.walDone
+		if werr := s.wal.Close(); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	return err
 }
 

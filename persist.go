@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"apcache/internal/aperrs"
 	"apcache/internal/core"
 )
 
@@ -24,6 +25,11 @@ type snapshot struct {
 	VIR     int
 	QIR     int
 	Cost    float64
+	// LSN is the highest WAL sequence number folded into this snapshot
+	// (version 2+; zero for non-durable stores and v1 snapshots). Recovery
+	// replays only log records above it, which is what makes the crash
+	// window between "snapshot renamed" and "log truncated" safe.
+	LSN uint64
 }
 
 type keySnapshot struct {
@@ -35,7 +41,9 @@ type keySnapshot struct {
 	OrigW  float64 // cache entry's eviction rank
 }
 
-const snapshotVersion = 1
+// snapshotVersion is the current format: version 2 added the LSN field.
+// Version 1 snapshots (no LSN) still load — gob leaves the field zero.
+const snapshotVersion = 2
 
 // Save serializes the store's state — exact values, adaptive widths, and
 // cached intervals — so a restarted process can resume with the learned
@@ -50,8 +58,32 @@ const snapshotVersion = 1
 // reads of evicted keys and re-adapt their precision from scratch. Keys are
 // emitted in ascending order, so identical state yields identical bytes.
 func (s *Store) Save(w io.Writer) error {
+	// Hold the compaction lock for the duration: on a durable store a
+	// concurrent compaction would otherwise truncate the WAL against a
+	// different snapshot while this one is being encoded.
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	return s.saveNoCompactLock(w)
+}
+
+// saveNoCompactLock captures and encodes the snapshot; the caller holds the
+// compaction lock (Save, SaveFile, and the compactor all route through it).
+func (s *Store) saveNoCompactLock(w io.Writer) error {
 	s.lockAll()
-	defer s.unlockAll()
+	snap, err := s.captureLocked()
+	s.unlockAll()
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("apcache: save: %w", err)
+	}
+	return nil
+}
+
+// captureLocked builds the snapshot of the store's current state. The caller
+// holds every shard lock (and, on a durable store, the compaction lock).
+func (s *Store) captureLocked() (snapshot, error) {
 	st := s.Stats()
 	snap := snapshot{
 		Version: snapshotVersion,
@@ -59,6 +91,11 @@ func (s *Store) Save(w io.Writer) error {
 		VIR:     st.ValueRefreshes,
 		QIR:     st.QueryRefreshes,
 		Cost:    st.Cost,
+	}
+	if s.wal != nil {
+		// Every shard lock is held, so no Stage is in flight: LastLSN is
+		// exactly the last record this snapshot folds in.
+		snap.LSN = s.wal.log.LastLSN()
 	}
 	for i, sh := range s.shards {
 		cached := 0
@@ -79,14 +116,11 @@ func (s *Store) Save(w io.Writer) error {
 		// means corrupted state; snapshotting it silently would launder
 		// the corruption into the next process.
 		if n := sh.cache.Len(); cached != n {
-			return fmt.Errorf("apcache: save: shard %d has %d cached entries but only %d known to the source", i, n, cached)
+			return snapshot{}, fmt.Errorf("apcache: save: shard %d has %d cached entries but only %d known to the source", i, n, cached)
 		}
 	}
 	sort.Slice(snap.Keys, func(a, b int) bool { return snap.Keys[a].Key < snap.Keys[b].Key })
-	if err := gob.NewEncoder(w).Encode(snap); err != nil {
-		return fmt.Errorf("apcache: save: %w", err)
-	}
-	return nil
+	return snap, nil
 }
 
 // validateSnapshot rejects snapshots whose numeric state would corrupt a
@@ -122,6 +156,12 @@ func validateSnapshot(snap *snapshot) error {
 // after the rename, on a best-effort basis, so the new name itself is
 // durable.
 func (s *Store) SaveFile(path string) error {
+	// Coordinate with WAL compaction: a compaction running concurrently
+	// with an explicit SaveFile would capture and truncate against a
+	// different snapshot mid-write. The lock serializes them; on a
+	// non-durable store it is uncontended.
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -133,7 +173,7 @@ func (s *Store) SaveFile(path string) error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := s.Save(f); err != nil {
+	if err := s.saveNoCompactLock(f); err != nil {
 		return fail(err)
 	}
 	if err := f.Sync(); err != nil {
@@ -191,12 +231,33 @@ func LoadOptions(r io.Reader, opts Options) (*Store, error) {
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("apcache: load: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("apcache: snapshot version %d unsupported", snap.Version)
-	}
-	if err := validateSnapshot(&snap); err != nil {
+	if err := checkSnapshot(&snap); err != nil {
 		return nil, err
 	}
+	return restoreSnapshot(&snap, opts)
+}
+
+// checkSnapshot gates a decoded snapshot: a version newer than this binary
+// fails with the typed ErrSnapshotVersion (the file is fine, the reader is
+// old), anything else out of range or semantically invalid fails as
+// corruption. Gob tolerates missing fields, so every version up to the
+// current one decodes; validation runs before any store state is built.
+func checkSnapshot(snap *snapshot) error {
+	if snap.Version > snapshotVersion {
+		return aperrs.SnapshotVersion(snap.Version, snapshotVersion)
+	}
+	if snap.Version < 1 {
+		return fmt.Errorf("apcache: snapshot version %d invalid", snap.Version)
+	}
+	return validateSnapshot(snap)
+}
+
+// restoreSnapshot builds a fresh store from a validated snapshot. The
+// snapshot's Params always win over opts.Params; replayed values that
+// escaped their cached interval must have Cached cleared by the caller
+// before this runs (the WAL overlay does), since the interval would
+// otherwise violate containment.
+func restoreSnapshot(snap *snapshot, opts Options) (*Store, error) {
 	opts.Params = snap.Params
 	s, err := NewStore(opts)
 	if err != nil {
