@@ -17,6 +17,7 @@ import (
 
 	"apcache/internal/aperrs"
 	"apcache/internal/client"
+	"apcache/internal/watch"
 	"apcache/internal/workload"
 )
 
@@ -35,13 +36,14 @@ func main() {
 		cqr      = flag.Float64("cqr", 2, "query-initiated refresh cost (for reporting)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		maxBatch = flag.Int("maxbatch", 0, "max messages per batch frame (0 = default 128)")
-		protoVer = flag.Int("protover", 0, "cap the wire protocol: 1 = v1 single frames, 2 = batched v2, 0/3 = v3 with structured errors")
+		protoVer = flag.Int("protover", 0, "cap the wire protocol: 1 = v1 single frames, 2 = batched v2, 3 = v3 with structured errors, 0/4 = v4 with continuous queries")
 		timeout  = flag.Duration("timeout", 0, "per-request timeout (0 = default 10s)")
 		ramp     = flag.Float64("ramp", 0, "MAX/MIN batched refinement ramp factor (0 = adaptive from measured RTT, 1 = paper-minimal)")
 		cqrCost  = flag.Duration("cqrcost", 0, "modeled per-key refresh cost for the adaptive ramp (0 = default 100µs)")
 		qlimit   = flag.Duration("qdeadline", 0, "per-query context deadline (0 = client default timeout only)")
 		reconn   = flag.Bool("reconnect", false, "survive server restarts: redial with backoff and replay subscriptions")
 		stale    = flag.Float64("stale", 0, "serve cached reads during outages, widening intervals at this rate (units/s); 0 = fail instead (requires -reconnect)")
+		watchQ   = flag.Bool("watch", false, "register one standing continuous query over -perquery keys with delta -davg (SUM, or MAX with -max) and stream its answers instead of running the poll workload")
 	)
 	flag.Parse()
 
@@ -76,6 +78,10 @@ func main() {
 	kind := workload.Sum
 	if *useMax {
 		kind = workload.Max
+	}
+	if *watchQ {
+		runWatchQuery(c, kind, *davg, min(*perQuery, *keys), *queries, *cvr, *cqr)
+		return
 	}
 	gen := &workload.QueryGen{
 		Kinds:        []workload.AggKind{kind},
@@ -129,4 +135,53 @@ func main() {
 		st.ValueRefreshes, st.QueryRefreshes, cost,
 		float64(st.Cache.Hits)/float64(st.Cache.Hits+st.Cache.Misses+1),
 		st.FramesSent, st.FramesReceived, st.SmoothedRTT, st.ServerCqrCost, st.Reconnects)
+}
+
+// runWatchQuery registers one standing bounded aggregate over the first n
+// keys and streams its answers: the server maintains the aggregate
+// incrementally and emits an update only when the answer interval changes,
+// so the client does no per-update query work at all.
+func runWatchQuery(c *client.Client, kind workload.AggKind, delta float64, n, limit int, cvr, cqr float64) {
+	ks := make([]int, n)
+	for k := range ks {
+		ks[k] = k
+	}
+	w, err := c.WatchQuery(kind, delta, ks...)
+	if err != nil {
+		if errors.Is(err, aperrs.ErrQueryUnsupported) {
+			log.Fatalf("apcache-client: server negotiated protocol v%d, below v4: %v", c.Proto(), err)
+		}
+		log.Fatalf("apcache-client: watch query: %v", err)
+	}
+	defer w.Close()
+	log.Printf("standing %s(%d keys) delta=%.3g registered; streaming answers", kind, n, delta)
+	start := time.Now()
+	seen := 0
+	for u := range w.Updates() {
+		switch u.Event {
+		case watch.EventDisconnected:
+			log.Printf("apcache-client: connection lost; awaiting replay")
+			continue
+		case watch.EventReconnected:
+			log.Printf("apcache-client: reconnected; standing query replayed")
+			continue
+		}
+		seen++
+		if seen%10 == 0 || seen == 1 {
+			st := c.Stats()
+			cost := float64(st.ValueRefreshes)*cvr + float64(st.QueryRefreshes)*cqr
+			log.Printf("u#%d %s -> [%.6g, %.6g] center=%.6g; frames-recv=%d cost-rate=%.4g/s",
+				seen, kind, u.Interval.Lo, u.Interval.Hi, u.Value,
+				st.FramesReceived, cost/time.Since(start).Seconds())
+		}
+		if limit != 0 && seen >= limit {
+			break
+		}
+	}
+	if err := w.Err(); err != nil && seen == 0 {
+		log.Fatalf("apcache-client: watch query stream: %v", err)
+	}
+	st := c.Stats()
+	log.Printf("done: %d answers, frames-sent=%d frames-recv=%d tagged-pushes=%d reconnects=%d",
+		seen, st.FramesSent, st.FramesReceived, st.TaggedPushes, st.Reconnects)
 }

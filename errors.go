@@ -53,6 +53,13 @@ var (
 	// an untyped decode or validation error: a version mismatch is fixed by
 	// upgrading the binary, not by discarding the state.
 	ErrSnapshotVersion = aperrs.ErrSnapshotVersion
+	// ErrQueryUnsupported reports a continuous-query registration
+	// (Client.WatchQueryCtx) against a server that did not negotiate
+	// protocol v4. The client raises it locally instead of sending a frame
+	// the server would reject by tearing down the connection; it is also
+	// the error a standing query's Watch fails with when a reconnect
+	// renegotiates the session below v4.
+	ErrQueryUnsupported = aperrs.ErrQueryUnsupported
 )
 
 // KeyError is the concrete unknown-key failure, carrying the offending

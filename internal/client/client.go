@@ -107,6 +107,8 @@ func (e *ServerError) Is(target error) bool {
 		return target == aperrs.ErrUnknownKey
 	case netproto.CodeBatchTooLarge:
 		return target == aperrs.ErrBatchTooLarge
+	case netproto.CodeUnsupported:
+		return target == aperrs.ErrQueryUnsupported
 	default:
 		return false
 	}
@@ -147,6 +149,12 @@ type Stats struct {
 	// redialed, renegotiated the protocol, and replayed the subscription
 	// set after a transport failure (see Config.Reconnect).
 	Reconnects int
+	// TaggedPushes counts inbound value-initiated refreshes carrying a
+	// nonzero watch tag (see WatchTagged); always 0 below protocol v4.
+	TaggedPushes int
+	// Queries is the number of standing continuous queries currently
+	// registered (see WatchQuery).
+	Queries int
 	// Degraded reports that the connection is currently down: local reads
 	// are serving last-known state while the redial loop (if enabled)
 	// works on recovery. It clears once the subscription set has been
@@ -166,10 +174,10 @@ type Config struct {
 	// to the server as the largest batch the client will accept. 0 selects
 	// 128; values are clamped to [1, netproto.MaxBatchItems].
 	MaxBatch int
-	// ProtoVersion caps the protocol: 0 offers v3 (structured error
-	// frames) with a Hello at Dial time, landing on the minimum of both
-	// peers' versions and falling back to v1 if the server declines;
-	// netproto.Version2/Version3 cap the offer at that version;
+	// ProtoVersion caps the protocol: 0 offers v4 (continuous queries and
+	// tagged watches) with a Hello at Dial time, landing on the minimum of
+	// both peers' versions and falling back to v1 if the server declines;
+	// netproto.Version2/Version3/Version4 cap the offer at that version;
 	// netproto.Version1 skips the handshake and speaks v1 only.
 	ProtoVersion int
 	// Timeout is the default per-request deadline (default 10s), applied
@@ -358,13 +366,17 @@ type Client struct {
 	sess     *sess
 	store    *cache.Cache
 	pending  map[uint64]chan callResult
-	watchers watch.Registry   // watches by observed key
-	subs     map[int]struct{} // desired-state subscriptions, replayed on reconnect
+	watchers watch.Registry       // watches by observed key
+	subs     map[int]struct{}     // desired-state subscriptions, replayed on reconnect
+	queries  map[uint64]*queryReg // standing continuous queries by QID, replayed on reconnect
+	tags     map[int]uint64       // per-key push tags (v4), re-stamped on reconnect
+	nextQID  uint64
 	nextID   uint64
 	closed   bool
 	byUser   bool // closed by an explicit Close, not a transport failure
 	vir      int
 	qir      int
+	tagged   int // pushes received with a nonzero tag
 	readErr  error
 
 	// down marks the gap between a stream dying and the redial loop
@@ -432,7 +444,7 @@ func DialConfig(addr string, cfg Config) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	if cfg.ProtoVersion != 0 && (cfg.ProtoVersion < netproto.Version1 || cfg.ProtoVersion > netproto.Version3) {
+	if cfg.ProtoVersion != 0 && (cfg.ProtoVersion < netproto.Version1 || cfg.ProtoVersion > netproto.Version4) {
 		return nil, fmt.Errorf("client: unsupported protocol version %d", cfg.ProtoVersion)
 	}
 	ramp := cfg.RampFactor
@@ -448,7 +460,7 @@ func DialConfig(addr string, cfg Config) (*Client, error) {
 	}
 	offerProto := netproto.Version1
 	if cfg.ProtoVersion != netproto.Version1 {
-		offerProto = netproto.Version3
+		offerProto = netproto.Version4
 		if cfg.ProtoVersion != 0 && cfg.ProtoVersion < offerProto {
 			offerProto = cfg.ProtoVersion
 		}
@@ -467,6 +479,8 @@ func DialConfig(addr string, cfg Config) (*Client, error) {
 		store:       cache.New(cfg.CacheSize),
 		pending:     make(map[uint64]chan callResult),
 		subs:        make(map[int]struct{}),
+		queries:     make(map[uint64]*queryReg),
+		tags:        make(map[int]uint64),
 		ramp:        ramp,
 		cqrCost:     cqrCost,
 		cqrSet:      cfg.CqrCost > 0,
@@ -525,8 +539,8 @@ func (c *Client) handshake(ctx context.Context, offer, maxBatch int) error {
 	return nil
 }
 
-// Proto returns the negotiated protocol version (netproto.Version1,
-// Version2, or Version3).
+// Proto returns the negotiated protocol version (netproto.Version1 through
+// Version4).
 func (c *Client) Proto() int { return int(c.proto.Load()) }
 
 // SetTimeout adjusts the default per-request deadline (default 10s). The
@@ -652,9 +666,13 @@ func (c *Client) connLost(s *sess, err error) {
 			c.reconnecting = true
 			spawn = true
 			live = c.watchers.All()
+			for _, q := range c.queries {
+				live = append(live, q.w)
+			}
 		}
 	} else {
 		failed = c.watchers.Detach()
+		failed = append(failed, c.detachQueriesLocked()...)
 	}
 	byUser := c.byUser
 	c.mu.Unlock()
@@ -736,6 +754,10 @@ func (c *Client) tryReconnect() bool {
 	for k := range c.subs {
 		keys = append(keys, k)
 	}
+	tagged := make([]int, 0, len(c.tags))
+	for k := range c.tags {
+		tagged = append(tagged, k)
+	}
 	c.mu.Unlock()
 	go c.readLoop(s)
 	go c.writeLoop(s)
@@ -758,6 +780,9 @@ func (c *Client) tryReconnect() bool {
 			return false
 		}
 	}
+	if !c.replayV4(s, tagged) {
+		return false
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -768,9 +793,71 @@ func (c *Client) tryReconnect() bool {
 	c.readErr = nil
 	c.reconnects++
 	live := c.watchers.All()
+	for _, q := range c.queries {
+		live = append(live, q.w)
+	}
 	c.mu.Unlock()
 	for _, w := range live {
 		w.NotifyEvent(watch.EventReconnected)
+	}
+	return true
+}
+
+// replayV4 restores the v4-only desired state after a reconnect: per-key
+// push tags are re-stamped with tagged Subscribe calls, and standing
+// continuous queries are re-registered under their original QIDs, so open
+// WatchQuery streams resume without caller involvement. When the
+// replacement peer renegotiated below v4 the queries cannot be replayed:
+// their watches fail with the typed aperrs.ErrQueryUnsupported while the
+// session itself recovers — plain subscriptions, reads, and untagged
+// watches keep working on the older protocol. It reports false when a
+// transport failure killed the attempt (failSession has run).
+func (c *Client) replayV4(s *sess, tagged []int) bool {
+	if c.proto.Load() < netproto.Version4 {
+		c.mu.Lock()
+		failed := c.detachQueriesLocked()
+		c.mu.Unlock()
+		if len(failed) > 0 {
+			err := fmt.Errorf("client: reconnect renegotiated protocol v%d: %w", c.Proto(), aperrs.ErrQueryUnsupported)
+			for _, w := range failed {
+				w.Fail(err)
+			}
+		}
+		return true
+	}
+	sort.Ints(tagged) // deterministic replay order
+	for _, k := range tagged {
+		c.mu.Lock()
+		tag := c.tags[k]
+		c.mu.Unlock()
+		if tag == 0 {
+			continue // untagged since the snapshot
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.stepTimeout())
+		msg, err := c.call(ctx, &netproto.Subscribe{Key: int64(k), Tag: tag})
+		cancel()
+		if err != nil {
+			c.failSession(s)
+			return false
+		}
+		netproto.Release(msg)
+	}
+	c.mu.Lock()
+	regs := make([]*queryReg, 0, len(c.queries))
+	for _, q := range c.queries {
+		regs = append(regs, q)
+	}
+	c.mu.Unlock()
+	sort.Slice(regs, func(i, j int) bool { return regs[i].qid < regs[j].qid })
+	for _, q := range regs {
+		ctx, cancel := context.WithTimeout(context.Background(), c.stepTimeout())
+		msg, err := c.call(ctx, q.registerMsg())
+		cancel()
+		if err != nil {
+			c.failSession(s)
+			return false
+		}
+		netproto.Release(msg)
 	}
 	return true
 }
@@ -797,11 +884,28 @@ func (c *Client) giveUp() {
 	c.reconnecting = false
 	err := c.readErr
 	failed := c.watchers.Detach()
+	failed = append(failed, c.detachQueriesLocked()...)
 	c.mu.Unlock()
 	werr := aperrs.ConnLost(err)
 	for _, w := range failed {
 		w.Fail(werr)
 	}
+}
+
+// detachQueriesLocked empties the standing-query table and returns the
+// watches that were attached, for the caller to fail outside mu. Clearing
+// the table first makes each watch's unregister hook a no-op. Caller holds
+// mu.
+func (c *Client) detachQueriesLocked() []*watch.Watch {
+	if len(c.queries) == 0 {
+		return nil
+	}
+	ws := make([]*watch.Watch, 0, len(c.queries))
+	for qid, q := range c.queries {
+		delete(c.queries, qid)
+		ws = append(ws, q.w)
+	}
+	return ws
 }
 
 // stepTimeout bounds one reconnection step (handshake, subscription
@@ -831,6 +935,9 @@ func (c *Client) handleMsg(msg netproto.Message) {
 		if m.Kind == netproto.KindValueInitiated {
 			c.vir++
 		}
+		if m.Tag != 0 {
+			c.tagged++
+		}
 		ch := c.takeLocked(m.ID)
 		c.mu.Unlock()
 		if ch != nil {
@@ -859,6 +966,23 @@ func (c *Client) handleMsg(msg netproto.Message) {
 			cp := netproto.GetRefreshBatch()
 			cp.ID = m.ID
 			cp.Items = append(cp.Items[:0], m.Items...)
+			ch <- callResult{msg: cp, at: time.Now()}
+		}
+	case *netproto.QueryUpdate:
+		// Route the fresh answer to the standing query's watch whether or
+		// not a registration call is waiting (the ack carries the initial
+		// answer; pushes have ID 0 and only the watch).
+		iv := interval.Interval{Lo: m.Lo, Hi: m.Hi}
+		c.mu.Lock()
+		q := c.queries[m.QID]
+		ch := c.takeLocked(m.ID)
+		c.mu.Unlock()
+		if q != nil {
+			q.w.NotifyVal(int(m.QID), iv, m.Value)
+		}
+		if ch != nil {
+			cp := netproto.GetQueryUpdate()
+			*cp = *m
 			ch <- callResult{msg: cp, at: time.Now()}
 		}
 	case *netproto.Pong:
@@ -1043,6 +1167,8 @@ func stampID(m netproto.Message, id uint64) {
 	case *netproto.Ping:
 		v.ID = id
 	case *netproto.Hello:
+		v.ID = id
+	case *netproto.RegisterQuery:
 		v.ID = id
 	default:
 		panic(fmt.Sprintf("client: request %T cannot carry an ID", m))
@@ -1305,6 +1431,7 @@ func (c *Client) UnsubscribeCtx(ctx context.Context, key int) error {
 	}
 	c.store.Drop(key)
 	delete(c.subs, key)
+	delete(c.tags, key)
 	if c.down && c.policy.Enabled {
 		c.mu.Unlock()
 		return nil
@@ -1645,6 +1772,182 @@ func (c *Client) unwatch(w *watch.Watch, keys []int) {
 	c.watchers.Remove(w, keys)
 }
 
+// WatchTagged is WatchTaggedCtx with a background context.
+func (c *Client) WatchTagged(tag uint64, keys ...int) (*watch.Watch, error) {
+	return c.WatchTaggedCtx(context.Background(), tag, keys...)
+}
+
+// WatchTaggedCtx is WatchCtx with a caller-chosen fan-out tag stamped on
+// the keys' subscriptions: every push the server sends for them carries the
+// tag back (Stats.TaggedPushes counts arrivals), so multiplexing consumers
+// can attribute refresh traffic to the watch that caused it without a
+// client-side reverse index. Tags ride the subscription, not the watch:
+// they survive the watch's Close (the subscription does too) and are
+// re-stamped on the replacement connection after a reconnect. A zero tag
+// degrades to a plain WatchCtx. Tags need protocol v4; on older connections
+// the call fails with an error matching ErrQueryUnsupported.
+func (c *Client) WatchTaggedCtx(ctx context.Context, tag uint64, keys ...int) (*watch.Watch, error) {
+	if tag == 0 {
+		return c.WatchCtx(ctx, keys...)
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("client: watch of no keys")
+	}
+	if c.proto.Load() < netproto.Version4 {
+		return nil, fmt.Errorf("client: tagged watch needs protocol v4, negotiated v%d: %w", c.Proto(), aperrs.ErrQueryUnsupported)
+	}
+	ks := append([]int(nil), keys...)
+	var w *watch.Watch
+	w = watch.New(func(*watch.Watch) { c.unwatch(w, ks) })
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		w.Close()
+		return nil, c.closeReason()
+	}
+	c.watchers.Add(w, ks)
+	c.mu.Unlock()
+	// Pipelined tagged subscribes: SubscribeMulti carries no tags, so each
+	// key goes out as its own Subscribe frame, all in flight together.
+	calls := make([]multiCall, 0, len(ks))
+	var firstErr error
+	for _, k := range ks {
+		id, ch, start, err := c.startCall(ctx, &netproto.Subscribe{Key: int64(k), Tag: tag})
+		if err != nil {
+			firstErr = err
+			break
+		}
+		calls = append(calls, multiCall{id: id, ch: ch, start: start})
+	}
+	for _, cc := range calls {
+		if firstErr != nil {
+			c.abandon(cc.id)
+			continue
+		}
+		msg, err := c.await(ctx, cc.id, cc.ch, cc.start)
+		if err != nil {
+			firstErr = err
+			continue
+		}
+		netproto.Release(msg)
+	}
+	if firstErr != nil {
+		w.Close()
+		return nil, firstErr
+	}
+	c.noteSubscribed(ks...)
+	c.mu.Lock()
+	for _, k := range ks {
+		c.tags[k] = tag
+	}
+	c.mu.Unlock()
+	return w, nil
+}
+
+// queryReg is the client-side desired state of one standing continuous
+// query: enough to re-register it under the same QID after a reconnect,
+// plus the watch its QueryUpdate stream feeds.
+type queryReg struct {
+	qid   uint64
+	kind  workload.AggKind
+	delta float64
+	keys  []int
+	w     *watch.Watch
+}
+
+// registerMsg builds the wire registration for the query.
+func (q *queryReg) registerMsg() *netproto.RegisterQuery {
+	m := &netproto.RegisterQuery{QID: q.qid, Kind: netproto.AggKind(q.kind), Delta: q.delta, Keys: make([]int64, len(q.keys))}
+	for i, k := range q.keys {
+		m.Keys[i] = int64(k)
+	}
+	return m
+}
+
+// WatchQuery is WatchQueryCtx with a background context.
+func (c *Client) WatchQuery(kind workload.AggKind, delta float64, keys ...int) (*watch.Watch, error) {
+	return c.WatchQueryCtx(context.Background(), kind, delta, keys...)
+}
+
+// WatchQueryCtx registers a standing continuous query — a bounded aggregate
+// (SUM/MAX/MIN/AVG) over keys with precision budget delta — and returns a
+// watch streaming its answer: the server maintains the aggregate
+// incrementally off the push path and sends an update only when the answer
+// interval actually changes, so a standing query costs a fraction of the
+// refresh traffic of polling Query in a loop. Each Update carries the
+// answer interval (guaranteed to contain the true aggregate, width at most
+// delta) and the server's center estimate in Value; Update.Key is the
+// query's internal handle, not a source key. ctx bounds the registration
+// round trip.
+//
+// Close withdraws the registration from the server. Across a reconnect the
+// registration is replayed automatically; if the replacement peer
+// negotiates below protocol v4 the watch fails with an error matching
+// ErrQueryUnsupported (plain watches and reads keep working), which is also
+// the immediate error when this connection is below v4.
+func (c *Client) WatchQueryCtx(ctx context.Context, kind workload.AggKind, delta float64, keys ...int) (*watch.Watch, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("client: query watch of no keys")
+	}
+	if delta < 0 || math.IsNaN(delta) || math.IsInf(delta, 1) {
+		return nil, fmt.Errorf("client: query delta %g outside [0, +Inf)", delta)
+	}
+	if c.proto.Load() < netproto.Version4 {
+		return nil, fmt.Errorf("client: continuous query needs protocol v4, negotiated v%d: %w", c.Proto(), aperrs.ErrQueryUnsupported)
+	}
+	q := &queryReg{kind: kind, delta: delta, keys: append([]int(nil), keys...)}
+	q.w = watch.New(func(*watch.Watch) { c.unwatchQuery(q) })
+	// Publish the registration before the call so the ack's initial answer
+	// — and any push racing it — reaches the watch from the first frame on.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		q.w.Close()
+		return nil, c.closeReason()
+	}
+	c.nextQID++
+	q.qid = c.nextQID
+	c.queries[q.qid] = q
+	c.mu.Unlock()
+	msg, err := c.call(ctx, q.registerMsg())
+	if err != nil {
+		q.w.Close()
+		return nil, err
+	}
+	if _, ok := msg.(*netproto.QueryUpdate); !ok {
+		netproto.Release(msg)
+		q.w.Close()
+		return nil, fmt.Errorf("client: malformed RegisterQuery response %T", msg)
+	}
+	netproto.Release(msg)
+	return q.w, nil
+}
+
+// unwatchQuery is the query watch's unregister hook: it removes the
+// desired-state entry and withdraws the server-side registration
+// (fire-and-forget, like Unsubscribe). During an outage the registration
+// died with the stream, so removing it from the replay set is the whole
+// job.
+func (c *Client) unwatchQuery(q *queryReg) {
+	c.mu.Lock()
+	if c.queries[q.qid] != q {
+		// Already detached (teardown, downgrade, or a replaced entry).
+		c.mu.Unlock()
+		return
+	}
+	delete(c.queries, q.qid)
+	if c.closed || c.down {
+		c.mu.Unlock()
+		return
+	}
+	s := c.sess
+	c.mu.Unlock()
+	select {
+	case s.sendq <- &netproto.UnregisterQuery{QID: q.qid}:
+	case <-s.dead:
+	}
+}
+
 // Stats snapshots the client's counters.
 func (c *Client) Stats() Stats {
 	c.mu.Lock()
@@ -1657,6 +1960,8 @@ func (c *Client) Stats() Stats {
 		SmoothedRTT:    time.Duration(c.rttEWMA.Load()),
 		ServerCqrCost:  time.Duration(c.srvCqrCost.Load()),
 		Reconnects:     c.reconnects,
+		TaggedPushes:   c.tagged,
+		Queries:        len(c.queries),
 		Degraded:       !c.downSince.IsZero(),
 		Cache:          c.store.Stats(),
 	}
@@ -1671,6 +1976,7 @@ func (c *Client) Close() error {
 	c.byUser = true
 	s := c.sess
 	failed := c.watchers.Detach()
+	failed = append(failed, c.detachQueriesLocked()...)
 	c.mu.Unlock()
 	c.closeOnce.Do(func() { close(c.closeCh) })
 	for _, w := range failed {

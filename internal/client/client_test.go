@@ -364,7 +364,7 @@ func TestDialFailure(t *testing.T) {
 
 func TestDialConfigRejectsBadProtoVersion(t *testing.T) {
 	_, addr := newServer(t)
-	for _, ver := range []int{-1, 4, 255} {
+	for _, ver := range []int{-1, 5, 255} {
 		if _, err := DialConfig(addr, Config{CacheSize: 4, ProtoVersion: ver}); err == nil {
 			t.Errorf("ProtoVersion %d accepted", ver)
 		}
@@ -487,8 +487,8 @@ func dialCfg(t *testing.T, addr string, cfg Config) *Client {
 func TestHandshakeNegotiatesV2(t *testing.T) {
 	_, addr := newServer(t)
 	c := dial(t, addr, 10)
-	if c.Proto() != netproto.Version3 {
-		t.Errorf("negotiated proto %d, want v3", c.Proto())
+	if c.Proto() != netproto.Version4 {
+		t.Errorf("negotiated proto %d, want v4", c.Proto())
 	}
 	// A client capped at v2 lands on v2 against a v3 server.
 	c2 := dialCfg(t, addr, Config{CacheSize: 10, ProtoVersion: netproto.Version2})

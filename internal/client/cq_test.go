@@ -1,0 +1,397 @@
+// Continuous-query integration tests: standing bounded aggregates
+// registered over the wire, their answer streams, budget soundness under
+// random-walk workloads, refresh-traffic advantage over polling, and
+// fault-tolerance across reconnects and protocol downgrades.
+package client
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"apcache/internal/aperrs"
+	"apcache/internal/core"
+	"apcache/internal/netproto"
+	"apcache/internal/server"
+	"apcache/internal/watch"
+	"apcache/internal/workload"
+)
+
+// drainAnswers consumes every update currently queued on the watch,
+// returning the newest answer seen (ok=false if none arrived).
+func drainAnswers(w *watch.Watch) (last watch.Update, ok bool) {
+	for {
+		select {
+		case u, open := <-w.Updates():
+			if !open {
+				return last, ok
+			}
+			if u.Event == watch.EventRefresh {
+				last, ok = u, true
+			}
+		default:
+			return last, ok
+		}
+	}
+}
+
+// TestWatchQuerySoundness registers SUM/MAX/AVG queries, drives random
+// walks through the server, and checks the budget contract on both
+// connection cores: every delivered answer interval has width at most
+// Delta, and at quiescent checkpoints the answer contains the true
+// aggregate.
+func TestWatchQuerySoundness(t *testing.T) {
+	forEachConnMode(t, func(t *testing.T, mode string) {
+		srv, addr := newServerMode(t, mode)
+		const nKeys = 16
+		const delta = 24.0
+		values := make([]float64, nKeys)
+		keys := make([]int, nKeys)
+		for k := 0; k < nKeys; k++ {
+			values[k] = float64(100 + k)
+			srv.SetInitial(k, values[k])
+			keys[k] = k
+		}
+		c := dial(t, addr, nKeys)
+		for _, q := range []struct {
+			kind workload.AggKind
+			agg  func([]float64) float64
+		}{
+			{workload.Sum, func(v []float64) float64 {
+				s := 0.0
+				for _, x := range v {
+					s += x
+				}
+				return s
+			}},
+			{workload.Max, func(v []float64) float64 {
+				m := math.Inf(-1)
+				for _, x := range v {
+					m = math.Max(m, x)
+				}
+				return m
+			}},
+			{workload.Avg, func(v []float64) float64 {
+				s := 0.0
+				for _, x := range v {
+					s += x
+				}
+				return s / float64(len(v))
+			}},
+		} {
+			t.Run(q.kind.String(), func(t *testing.T) {
+				w, err := c.WatchQueryCtx(context.Background(), q.kind, delta, keys...)
+				if err != nil {
+					t.Fatalf("WatchQuery(%v): %v", q.kind, err)
+				}
+				defer w.Close()
+				var last watch.Update
+				var seen bool
+				rng := rand.New(rand.NewSource(42))
+				for step := 0; step < 400; step++ {
+					k := rng.Intn(nKeys)
+					values[k] += rng.Float64()*8 - 4
+					srv.Set(k, values[k])
+					if step%100 != 99 {
+						continue
+					}
+					// Quiescent checkpoint: once in-flight updates land, the
+					// newest delivered answer is the engine's current one,
+					// which must contain the true aggregate within budget.
+					truth := q.agg(values)
+					deadline := time.Now().Add(5 * time.Second)
+					for {
+						if u, ok := drainAnswers(w); ok {
+							last, seen = u, true
+						}
+						if seen {
+							if last.Interval.Width() > delta+1e-9 {
+								t.Fatalf("step %d: answer width %g > delta %g", step, last.Interval.Width(), delta)
+							}
+							if last.Interval.Valid(truth) {
+								break
+							}
+						}
+						if time.Now().After(deadline) {
+							t.Fatalf("step %d: answer %v (seen=%v) never converged to contain truth %g", step, last.Interval, seen, truth)
+						}
+						time.Sleep(time.Millisecond)
+					}
+				}
+			})
+		}
+	})
+}
+
+// TestStandingQueryBeatsPolling is the acceptance property of the CQ
+// engine: a standing SUM over 64 random-walk keys costs measurably fewer
+// refresh messages than the poll-equivalent Query loop at the same
+// precision budget. The poller subscribes to the keys (the cheapest polling
+// setup: pushes keep its cache warm) and runs one bounded Query per update
+// step; the watcher holds one registration and receives only answer
+// changes.
+func TestStandingQueryBeatsPolling(t *testing.T) {
+	srv, addr := newServer(t)
+	const nKeys = 64
+	const delta = 64.0
+	values := make([]float64, nKeys)
+	keys := make([]int, nKeys)
+	walks := make([]*workload.RandomWalk, nKeys)
+	for k := 0; k < nKeys; k++ {
+		values[k] = 100
+		srv.SetInitial(k, values[k])
+		keys[k] = k
+		walks[k] = workload.NewRandomWalk(values[k], 0.5, 4, rand.New(rand.NewSource(int64(k))))
+	}
+
+	watcher := dial(t, addr, nKeys)
+	w, err := watcher.WatchQueryCtx(context.Background(), workload.Sum, delta, keys...)
+	if err != nil {
+		t.Fatalf("WatchQuery: %v", err)
+	}
+	defer w.Close()
+
+	poller := dial(t, addr, nKeys)
+	if err := poller.SubscribeMulti(keys); err != nil {
+		t.Fatalf("SubscribeMulti: %v", err)
+	}
+
+	q := workload.Query{Kind: workload.Sum, Keys: keys, Delta: delta}
+	const steps = 512
+	for step := 0; step < steps; step++ {
+		k := step % nKeys
+		srv.Set(k, walks[k].Step())
+		if step%4 == 3 {
+			if _, err := poller.Query(q); err != nil {
+				t.Fatalf("poll Query: %v", err)
+			}
+		}
+	}
+	// Quiesce so in-flight pushes land before the traffic comparison.
+	time.Sleep(100 * time.Millisecond)
+
+	ws, ps := watcher.Stats(), poller.Stats()
+	cqTraffic := ws.FramesReceived
+	pollTraffic := ps.ValueRefreshes + ps.QueryRefreshes
+	t.Logf("standing CQ: %d frames (%d value refreshes); poll loop: %d refreshes (%d pushes + %d reads)",
+		cqTraffic, ws.ValueRefreshes, pollTraffic, ps.ValueRefreshes, ps.QueryRefreshes)
+	if ws.ValueRefreshes != 0 {
+		t.Errorf("CQ watcher received %d per-key pushes; the aggregate should be maintained server-side", ws.ValueRefreshes)
+	}
+	if cqTraffic*2 >= pollTraffic {
+		t.Errorf("standing CQ traffic %d not measurably below poll traffic %d", cqTraffic, pollTraffic)
+	}
+	if ws.Queries != 1 {
+		t.Errorf("watcher Stats.Queries = %d, want 1", ws.Queries)
+	}
+}
+
+// TestWatchQueryUnsupportedBelowV4 checks the typed downgrade: a client on
+// a sub-v4 connection gets ErrQueryUnsupported from WatchQuery and
+// WatchTagged immediately, and the connection stays fully usable.
+func TestWatchQueryUnsupportedBelowV4(t *testing.T) {
+	srv, addr := newServer(t)
+	srv.SetInitial(0, 5)
+	c := dialCfg(t, addr, Config{CacheSize: 4, ProtoVersion: netproto.Version3})
+	if _, err := c.WatchQuery(workload.Sum, 1.0, 0); !errors.Is(err, aperrs.ErrQueryUnsupported) {
+		t.Fatalf("WatchQuery on v3 = %v, want ErrQueryUnsupported match", err)
+	}
+	if _, err := c.WatchTagged(9, 0); !errors.Is(err, aperrs.ErrQueryUnsupported) {
+		t.Fatalf("WatchTagged on v3 = %v, want ErrQueryUnsupported match", err)
+	}
+	if v, err := c.ReadExact(0); err != nil || v != 5 {
+		t.Fatalf("connection unusable after rejected registration: %g, %v", v, err)
+	}
+	if st := c.Stats(); st.Queries != 0 {
+		t.Errorf("Stats.Queries = %d after rejected registration", st.Queries)
+	}
+}
+
+// TestReconnectDowngradeFailsQueryWatch replaces a v4 server with a
+// v3-capped one behind the same proxy: the reconnect handshake lands on v3,
+// the standing query cannot be replayed, so its watch fails with the typed
+// ErrQueryUnsupported — while plain subscriptions and reads keep working on
+// the downgraded wire. The renegotiation counterpart of
+// TestReconnectRenegotiatesProtocol.
+func TestReconnectDowngradeFailsQueryWatch(t *testing.T) {
+	srv1, addr1 := newServer(t)
+	srv1.SetInitial(0, 5)
+	srv1.SetInitial(1, 6)
+	p, c := proxied(t, addr1, Config{CacheSize: 8, Reconnect: ReconnectPolicy{
+		Enabled:   true,
+		BaseDelay: time.Millisecond,
+		MaxDelay:  10 * time.Millisecond,
+	}})
+	if err := c.Subscribe(0); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	w, err := c.WatchQuery(workload.Sum, 4.0, 0, 1)
+	if err != nil {
+		t.Fatalf("WatchQuery: %v", err)
+	}
+	srv1.Close()
+	p.Sever()
+
+	srv2 := server.New(server.Config{
+		Params:       core.Params{Cvr: 1, Cqr: 2, Alpha: 1, Lambda0: 0, Lambda1: math.Inf(1)},
+		InitialWidth: 10,
+		Seed:         2,
+		ProtoVersion: netproto.Version3,
+	})
+	srv2.SetInitial(0, 7)
+	srv2.SetInitial(1, 8)
+	addr2, err := srv2.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+	p.SetTarget(addr2.String())
+
+	// The watch must terminate with the typed downgrade error.
+	deadline := time.After(10 * time.Second)
+	for open := true; open; {
+		select {
+		case _, ok := <-w.Updates():
+			open = ok
+		case <-deadline:
+			t.Fatalf("query watch never closed after downgrade")
+		}
+	}
+	if err := w.Err(); !errors.Is(err, aperrs.ErrQueryUnsupported) {
+		t.Fatalf("downgraded query watch Err = %v, want ErrQueryUnsupported match", err)
+	}
+	if got := c.Proto(); got != netproto.Version3 {
+		t.Fatalf("reconnected session negotiated v%d, want v3", got)
+	}
+	if v, err := c.ReadExact(0); err != nil || v != 7 {
+		t.Fatalf("ReadExact over downgraded session = %g, %v; want 7", v, err)
+	}
+	if st := c.Stats(); st.Queries != 0 {
+		t.Errorf("Stats.Queries = %d after downgrade, want 0", st.Queries)
+	}
+}
+
+// TestStandingQuerySurvivesServerRestart is the chaos property: a
+// registered continuous query rides a server kill + reconnect via
+// registration replay — the watch observes the outage as a
+// Disconnected/Reconnected pair, then resumes delivering answers from the
+// replacement server, never failing.
+func TestStandingQuerySurvivesServerRestart(t *testing.T) {
+	srv1, addr1 := newServer(t)
+	srv1.SetInitial(0, 10)
+	srv1.SetInitial(1, 20)
+	p, c := proxied(t, addr1, Config{CacheSize: 8, Reconnect: ReconnectPolicy{
+		Enabled:   true,
+		BaseDelay: time.Millisecond,
+		MaxDelay:  10 * time.Millisecond,
+	}})
+	w, err := c.WatchQuery(workload.Sum, 6.0, 0, 1)
+	if err != nil {
+		t.Fatalf("WatchQuery: %v", err)
+	}
+	defer w.Close()
+	srv1.Close()
+	p.Sever()
+
+	srv2 := server.New(server.Config{
+		Params:       core.Params{Cvr: 1, Cqr: 2, Alpha: 1, Lambda0: 0, Lambda1: math.Inf(1)},
+		InitialWidth: 10,
+		Seed:         3,
+	})
+	srv2.SetInitial(0, 100)
+	srv2.SetInitial(1, 200)
+	addr2, err := srv2.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+	p.SetTarget(addr2.String())
+
+	// The replayed registration's ack re-seeds the answer from the new
+	// server's values; drive one more update for good measure.
+	sawDisc, sawRecon := false, false
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		srv2.Set(0, 100+float64(time.Now().UnixNano()%7))
+		select {
+		case u, ok := <-w.Updates():
+			if !ok {
+				t.Fatalf("query watch died across restart: %v", w.Err())
+			}
+			switch u.Event {
+			case watch.EventDisconnected:
+				sawDisc = true
+			case watch.EventReconnected:
+				sawRecon = true
+			case watch.EventRefresh:
+				if sawRecon && u.Interval.Lo >= 250 {
+					if u.Interval.Width() > 6.0+1e-9 {
+						t.Fatalf("post-restart answer width %g > delta", u.Interval.Width())
+					}
+					if !sawDisc {
+						t.Errorf("no EventDisconnected before recovery")
+					}
+					if c.Stats().Queries != 1 {
+						t.Errorf("Stats.Queries = %d after replay, want 1", c.Stats().Queries)
+					}
+					return
+				}
+			}
+		case <-time.After(5 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no post-restart answer (sawDisc=%v sawRecon=%v)", sawDisc, sawRecon)
+		}
+	}
+}
+
+// TestWatchTaggedFanout checks the push fan-out tag satellite: pushes for a
+// tagged watch's keys carry the tag back on v4 connections, visible in
+// Stats.TaggedPushes, and the tag is cleared with the subscription.
+func TestWatchTaggedFanout(t *testing.T) {
+	forEachConnMode(t, func(t *testing.T, mode string) {
+		srv, addr := newServerMode(t, mode)
+		srv.SetInitial(0, 50)
+		srv.SetInitial(1, 60)
+		c := dial(t, addr, 8)
+		w, err := c.WatchTagged(77, 0, 1)
+		if err != nil {
+			t.Fatalf("WatchTagged: %v", err)
+		}
+		defer w.Close()
+		deadline := time.Now().Add(5 * time.Second)
+		v := 50.0
+		for c.Stats().TaggedPushes == 0 {
+			v += 100
+			srv.Set(0, v)
+			if time.Now().After(deadline) {
+				t.Fatalf("no tagged push arrived")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		// Unsubscribing clears the tag server-side: subsequent pushes for a
+		// re-subscribed key are untagged.
+		if err := c.Unsubscribe(0); err != nil {
+			t.Fatalf("Unsubscribe: %v", err)
+		}
+		if err := c.Subscribe(0); err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		base := c.Stats()
+		for i := 0; i < 50; i++ {
+			v += 100
+			srv.Set(0, v)
+		}
+		time.Sleep(50 * time.Millisecond)
+		st := c.Stats()
+		if st.ValueRefreshes <= base.ValueRefreshes {
+			t.Fatalf("no pushes after re-subscribe")
+		}
+		if st.TaggedPushes != base.TaggedPushes {
+			t.Errorf("pushes still tagged after unsubscribe: %d -> %d", base.TaggedPushes, st.TaggedPushes)
+		}
+	})
+}

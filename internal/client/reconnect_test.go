@@ -167,8 +167,8 @@ func TestReconnectRenegotiatesProtocol(t *testing.T) {
 	if err := c.Subscribe(0); err != nil {
 		t.Fatalf("Subscribe: %v", err)
 	}
-	if got := c.Proto(); got != netproto.Version3 {
-		t.Fatalf("fresh session negotiated v%d, want v%d", got, netproto.Version3)
+	if got := c.Proto(); got != netproto.Version4 {
+		t.Fatalf("fresh session negotiated v%d, want v%d", got, netproto.Version4)
 	}
 	srv1.Close()
 	p.Sever()

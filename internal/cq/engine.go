@@ -1,0 +1,362 @@
+// Package cq implements the server-side continuous-query engine: standing
+// bounded aggregates (SUM/AVG/MAX/MIN over a key set, precision budget
+// Delta) maintained incrementally off the refresh push path.
+//
+// Each registered query acts as one more cache client inside the server: it
+// holds its own per-key width-policy subscriptions (under an
+// engine-allocated cache ID), so the paper's adaptive controllers keep
+// working unchanged one level down. The engine adds the level above — it
+// splits Delta into per-key width caps, folds every refresh that escapes a
+// cap-clamped interval into a running aggregate (O(1) for SUM/AVG, winner
+// trees for MAX/MIN), emits an update only when the answer interval
+// actually changes, and re-splits the budget adaptively as observed
+// refresh rates shift, steering wide shares to hot keys.
+package cq
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"apcache/internal/interval"
+)
+
+// AggKind selects a query's aggregate. The numbering mirrors
+// netproto.AggKind and workload.AggKind, so the three translate one-to-one.
+type AggKind uint8
+
+// Aggregates a query may request.
+const (
+	Sum AggKind = iota
+	Max
+	Min
+	Avg
+)
+
+// Spec describes one standing query.
+type Spec struct {
+	// Owner is the connection the query belongs to; updates carry it back
+	// so the server can route them without a reverse index.
+	Owner int
+	// QID is the client-chosen handle, unique within the owner.
+	QID uint64
+	// Kind selects the aggregate.
+	Kind AggKind
+	// Delta is the precision budget: the answer interval's width never
+	// exceeds it.
+	Delta float64
+	// Keys is the aggregated key set, distinct.
+	Keys []int
+}
+
+// Update is one change to a standing query's answer, addressed to its
+// owning connection.
+type Update struct {
+	Owner int
+	QID   uint64
+	Value float64
+	Iv    interval.Interval
+}
+
+// Steer directs one key's width cap at Target for the query's subscription
+// (CacheID). The server applies it by re-capping the source subscription
+// and force-reading the key when its current width exceeds Target. Steers
+// are ordered shrinks-first so the budget invariant (cap sum <= Delta)
+// holds at every instant of a gradual application.
+type Steer struct {
+	CacheID int
+	Key     int
+	Target  float64
+}
+
+// Budget re-splitting parameters: a query re-splits after resplitEvery
+// observed refreshes, rate EWMAs mix half old/half new per window,
+// rateFloor keeps cold keys alive, and a re-split is applied only when
+// some share moved by more than steerMinRel.
+const (
+	resplitEvery = 64
+	rateFloor    = 1.0 / 64
+	steerMinRel  = 0.10
+)
+
+// InitialTarget returns the equal-split per-key width target a newly
+// registered query starts from: Delta/n for SUM (the Minkowski sum of the
+// widths must stay within Delta), and Delta per key for AVG (whose answer
+// width is the mean of the per-key widths) and MAX/MIN (whose answer width
+// is at most the widest single interval).
+func InitialTarget(kind AggKind, delta float64, n int) float64 {
+	if kind == Sum && n > 0 {
+		return delta / float64(n)
+	}
+	return delta
+}
+
+// query is the engine-side state of one registered standing query.
+type query struct {
+	spec    Spec
+	cacheID int
+	idx     map[int]int
+	pipe    *Pipeline
+	answer  interval.Interval
+	value   float64
+
+	// Budget state, slot-indexed like spec.Keys.
+	targets []float64
+	counts  []float64
+	rates   []float64
+	scores  []float64
+	events  int
+
+	emits []Item // Observe scratch
+}
+
+// Engine maintains every registered standing query. All methods are safe
+// for concurrent use; the caller's lock order is shard mutex → Engine
+// (Observe runs under the updated key's shard lock) → connection registry.
+type Engine struct {
+	mu      sync.Mutex
+	byCache map[int]*query
+	byOwner map[int]map[uint64]*query
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{
+		byCache: make(map[int]*query),
+		byOwner: make(map[int]map[uint64]*query),
+	}
+}
+
+// Queries returns the number of registered standing queries.
+func (e *Engine) Queries() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.byCache)
+}
+
+// Register installs a standing query under the server-allocated cacheID.
+// ivs[i] and vals[i] seed key spec.Keys[i]'s current approximation (the
+// caller subscribes and reads the keys first, under their shard locks).
+// It replaces any previous query with the same (Owner, QID); replaced
+// reports that, carrying the old query's cacheID and keys for the caller
+// to unsubscribe. The returned Update is the registration's initial
+// answer.
+func (e *Engine) Register(spec Spec, cacheID int, ivs []interval.Interval, vals []float64) (up Update, replaced Dropped, wasReplaced bool) {
+	q := &query{
+		spec:    spec,
+		cacheID: cacheID,
+		idx:     make(map[int]int, len(spec.Keys)),
+		targets: make([]float64, len(spec.Keys)),
+		counts:  make([]float64, len(spec.Keys)),
+		rates:   make([]float64, len(spec.Keys)),
+		scores:  make([]float64, len(spec.Keys)),
+	}
+	t0 := InitialTarget(spec.Kind, spec.Delta, len(spec.Keys))
+	for i, k := range spec.Keys {
+		q.idx[k] = i
+		q.targets[i] = t0
+	}
+	q.pipe = NewPipeline(FilterKeys(spec.Keys), &Aggregate{Agg: newAggregator(spec.Kind)})
+	for i, k := range spec.Keys {
+		// Fold each seed's emissions as it lands: the aggregate emits only
+		// on answer change, so an extreme whose champion arrived early
+		// pushes nothing for the later seeds — reading only the last
+		// push's emissions would seed a zero answer.
+		q.emits = q.pipe.Push(Item{Key: k, Iv: ivs[i], Val: vals[i]}, q.emits[:0])
+		for _, it := range q.emits {
+			q.answer, q.value = it.Iv, it.Val
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	owned := e.byOwner[spec.Owner]
+	if owned == nil {
+		owned = make(map[uint64]*query)
+		e.byOwner[spec.Owner] = owned
+	}
+	if old := owned[spec.QID]; old != nil {
+		delete(e.byCache, old.cacheID)
+		replaced = Dropped{CacheID: old.cacheID, Keys: old.spec.Keys}
+		wasReplaced = true
+	}
+	owned[spec.QID] = q
+	e.byCache[cacheID] = q
+	return Update{Owner: spec.Owner, QID: spec.QID, Value: q.value, Iv: q.answer}, replaced, wasReplaced
+}
+
+func newAggregator(kind AggKind) Aggregator {
+	switch kind {
+	case Max:
+		return NewMax()
+	case Min:
+		return NewMin()
+	case Avg:
+		return NewAvg()
+	default:
+		return NewSum()
+	}
+}
+
+// Dropped names a torn-down query's source-side footprint: the cache ID its
+// subscriptions were installed under and the keys they cover.
+type Dropped struct {
+	CacheID int
+	Keys    []int
+}
+
+// Unregister removes the owner's query qid, reporting its footprint for
+// the caller to unsubscribe.
+func (e *Engine) Unregister(owner int, qid uint64) (Dropped, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q := e.byOwner[owner][qid]
+	if q == nil {
+		return Dropped{}, false
+	}
+	delete(e.byOwner[owner], qid)
+	if len(e.byOwner[owner]) == 0 {
+		delete(e.byOwner, owner)
+	}
+	delete(e.byCache, q.cacheID)
+	return Dropped{CacheID: q.cacheID, Keys: q.spec.Keys}, true
+}
+
+// DropOwner removes every query owned by the connection, returning their
+// footprints; the server calls it from connection teardown.
+func (e *Engine) DropOwner(owner int) []Dropped {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	owned := e.byOwner[owner]
+	if len(owned) == 0 {
+		return nil
+	}
+	out := make([]Dropped, 0, len(owned))
+	for _, q := range owned {
+		delete(e.byCache, q.cacheID)
+		out = append(out, Dropped{CacheID: q.cacheID, Keys: q.spec.Keys})
+	}
+	delete(e.byOwner, owner)
+	return out
+}
+
+// Observe folds one refresh addressed to cacheID into its query: the
+// engine recomputes the aggregate incrementally and reports whether the
+// answer changed (emit) along with the update to push. When allowSteer is
+// set and the query's re-split window has elapsed, steers carries the new
+// per-key width caps for the caller to apply after releasing its shard
+// lock (shrinks first); callers re-observing the refreshes those
+// applications cause must pass allowSteer=false to bound the recursion.
+// Refreshes whose cacheID is no registered query are ignored.
+func (e *Engine) Observe(cacheID, key int, iv interval.Interval, val float64, allowSteer bool) (up Update, emit bool, steers []Steer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q := e.byCache[cacheID]
+	if q == nil {
+		return Update{}, false, nil
+	}
+	if i, ok := q.idx[key]; ok {
+		q.counts[i]++
+	}
+	q.emits = q.pipe.Push(Item{Key: key, Iv: iv, Val: val}, q.emits[:0])
+	for _, it := range q.emits {
+		q.answer, q.value = it.Iv, it.Val
+		up = Update{Owner: q.spec.Owner, QID: q.spec.QID, Value: it.Val, Iv: it.Iv}
+		emit = true
+	}
+	q.events++
+	if allowSteer && q.events >= resplitEvery {
+		steers = q.resplit()
+	}
+	return up, emit, steers
+}
+
+// Answer returns the query's current answer, for tests and stats.
+func (e *Engine) Answer(owner int, qid uint64) (interval.Interval, float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q := e.byOwner[owner][qid]
+	if q == nil {
+		return interval.Interval{}, 0, false
+	}
+	return q.answer, q.value, true
+}
+
+// Targets returns a copy of the query's current per-key width targets in
+// spec.Keys order, for tests and stats.
+func (e *Engine) Targets(owner int, qid uint64) ([]float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q := e.byOwner[owner][qid]
+	if q == nil {
+		return nil, false
+	}
+	out := make([]float64, len(q.targets))
+	copy(out, q.targets)
+	return out, true
+}
+
+// resplit re-divides the query's budget across its keys from the refresh
+// rates observed since the last window.
+//
+// For a random-walk value with step variance sigma^2 cached at width w, the
+// escape (refresh) rate scales as sigma^2/w^2; from the observed count c at
+// the current width the engine infers sigma^2 ∝ c·w^2, and minimizing the
+// total refresh rate subject to the width budget gives the optimum
+// w ∝ (c·w^2)^(1/3) — hot keys earn wide shares, quiet keys lend theirs.
+// MAX/MIN queries never re-split: a flat Delta per key already meets the
+// budget, and narrowing one key cannot loosen another's requirement.
+func (q *query) resplit() []Steer {
+	q.events = 0
+	if q.spec.Kind == Max || q.spec.Kind == Min {
+		return nil
+	}
+	n := len(q.targets)
+	total := 0.0
+	for i := range q.rates {
+		q.rates[i] = 0.5*q.rates[i] + 0.5*q.counts[i]
+		q.counts[i] = 0
+		q.scores[i] = math.Cbrt((q.rates[i] + rateFloor) * q.targets[i] * q.targets[i])
+		total += q.scores[i]
+	}
+	if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+		return nil
+	}
+	budget := q.spec.Delta
+	if q.spec.Kind == Avg {
+		budget *= float64(n)
+	}
+	changed := false
+	for i := range q.scores {
+		t := budget * q.scores[i] / total
+		if d := math.Abs(t - q.targets[i]); d > steerMinRel*q.targets[i] {
+			changed = true
+		}
+		q.scores[i] = t
+	}
+	if !changed {
+		return nil
+	}
+	// Steer every key, not just the movers: a partial application would
+	// break the cap-sum invariant. Shrinks first (most negative move
+	// first), so the sum of applied caps never exceeds the budget at any
+	// instant of a gradual application.
+	type move struct {
+		s     Steer
+		delta float64
+	}
+	moves := make([]move, 0, n)
+	for i, k := range q.spec.Keys {
+		moves = append(moves, move{
+			s:     Steer{CacheID: q.cacheID, Key: k, Target: q.scores[i]},
+			delta: q.scores[i] - q.targets[i],
+		})
+		q.targets[i] = q.scores[i]
+	}
+	sort.Slice(moves, func(a, b int) bool { return moves[a].delta < moves[b].delta })
+	steers := make([]Steer, 0, n)
+	for _, m := range moves {
+		steers = append(steers, m.s)
+	}
+	return steers
+}

@@ -1,0 +1,215 @@
+// Streaming operators over interval streams. A continuous query is a
+// pipeline of composable stages — filter → group-by → aggregate → top-k —
+// in the style of streaming-iterator executors: each stage consumes keyed
+// interval updates one at a time and emits the downstream updates they
+// cause, so new query shapes are operator compositions, not engine
+// rewrites.
+package cq
+
+import (
+	"sort"
+
+	"apcache/internal/interval"
+)
+
+// Item is one element of a keyed interval stream: a key's current
+// approximation and the exact value it was refreshed at. Operators that
+// emit derived streams (group-by, aggregate) reuse Key for the derived
+// identity (group ID, AggKey).
+type Item struct {
+	Key int
+	Iv  interval.Interval
+	Val float64
+}
+
+// AggKey is the Key of items emitted by an Aggregate stage: the whole
+// stream folded to one value.
+const AggKey = -1
+
+// Operator is one stage of a streaming pipeline. Push feeds one upstream
+// update and appends the downstream updates it causes to out, returning
+// the extended slice; a stage whose state absorbed the update without
+// changing its output appends nothing.
+type Operator interface {
+	Push(it Item, out []Item) []Item
+}
+
+// Pipeline chains operators: each stage's emissions feed the next. The
+// zero stages pipeline is the identity.
+type Pipeline struct {
+	ops  []Operator
+	a, b []Item // stage scratch, reused across pushes
+}
+
+// NewPipeline returns a pipeline running ops in order.
+func NewPipeline(ops ...Operator) *Pipeline { return &Pipeline{ops: ops} }
+
+// Push feeds one item through every stage, appending the final stage's
+// emissions to out.
+func (p *Pipeline) Push(it Item, out []Item) []Item {
+	cur := append(p.a[:0], it)
+	next := p.b[:0]
+	for _, op := range p.ops {
+		next = next[:0]
+		for _, x := range cur {
+			next = op.Push(x, next)
+		}
+		cur, next = next, cur
+	}
+	p.a, p.b = cur, next
+	return append(out, cur...)
+}
+
+// Filter passes through the items satisfying Pred and drops the rest.
+type Filter struct {
+	Pred func(Item) bool
+}
+
+// Push implements Operator.
+func (f Filter) Push(it Item, out []Item) []Item {
+	if f.Pred(it) {
+		out = append(out, it)
+	}
+	return out
+}
+
+// FilterKeys returns a Filter passing only the given keys.
+func FilterKeys(keys []int) Filter {
+	set := make(map[int]struct{}, len(keys))
+	for _, k := range keys {
+		set[k] = struct{}{}
+	}
+	return Filter{Pred: func(it Item) bool { _, ok := set[it.Key]; return ok }}
+}
+
+// Aggregate folds every upstream item into one Aggregator and emits
+// Item{Key: AggKey} whenever the aggregate interval or center estimate
+// changes.
+type Aggregate struct {
+	Agg Aggregator
+
+	last  interval.Interval
+	lastV float64
+	sent  bool
+}
+
+// Push implements Operator.
+func (g *Aggregate) Push(it Item, out []Item) []Item {
+	g.Agg.Update(it.Key, it.Iv, it.Val)
+	res, v := g.Agg.Result(), g.Agg.Value()
+	if g.sent && res == g.last && v == g.lastV {
+		return out
+	}
+	g.sent, g.last, g.lastV = true, res, v
+	return append(out, Item{Key: AggKey, Iv: res, Val: v})
+}
+
+// GroupBy routes each item to a per-group aggregate (built by New on first
+// use) and emits Item{Key: group} whenever that group's aggregate changes.
+type GroupBy struct {
+	Group func(key int) int
+	New   func() Aggregator
+
+	groups map[int]*Aggregate
+}
+
+// Push implements Operator.
+func (g *GroupBy) Push(it Item, out []Item) []Item {
+	if g.groups == nil {
+		g.groups = make(map[int]*Aggregate)
+	}
+	gid := g.Group(it.Key)
+	ga := g.groups[gid]
+	if ga == nil {
+		ga = &Aggregate{Agg: g.New()}
+		g.groups[gid] = ga
+	}
+	n := len(out)
+	out = ga.Push(it, out)
+	for i := n; i < len(out); i++ {
+		out[i].Key = gid
+	}
+	return out
+}
+
+// TopK tracks the K largest center estimates in the stream. Whenever the
+// membership of the top-K set changes, Push emits the new members in rank
+// order (largest first). Ranking scans all tracked keys per update — TopK
+// is a reporting stage over modest key sets, not the engine hot path.
+type TopK struct {
+	K int
+
+	items map[int]Item
+	rank  []Item
+}
+
+// Push implements Operator.
+func (t *TopK) Push(it Item, out []Item) []Item {
+	if t.items == nil {
+		t.items = make(map[int]Item)
+	}
+	t.items[it.Key] = it
+	prev := make([]int, 0, t.K)
+	for _, m := range t.rank {
+		prev = append(prev, m.Key)
+	}
+	t.rank = t.rank[:0]
+	for _, x := range t.items {
+		t.rank = append(t.rank, x)
+	}
+	sort.Slice(t.rank, func(i, j int) bool {
+		if t.rank[i].Val != t.rank[j].Val {
+			return t.rank[i].Val > t.rank[j].Val
+		}
+		return t.rank[i].Key < t.rank[j].Key
+	})
+	if len(t.rank) > t.K {
+		t.rank = t.rank[:t.K]
+	}
+	same := len(prev) == len(t.rank)
+	if same {
+		for i, m := range t.rank {
+			if prev[i] != m.Key {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		return out
+	}
+	return append(out, t.rank...)
+}
+
+// Top returns the current top-K members in rank order; the slice is owned
+// by the operator and valid until the next Push.
+func (t *TopK) Top() []Item { return t.rank }
+
+// Certain reports whether the current top-K membership is unambiguous
+// given the interval approximations: every member's Lo must be at least
+// every non-member's Hi. A false result means a non-member's true value
+// could exceed a member's.
+func (t *TopK) Certain() bool {
+	if len(t.rank) == 0 {
+		return len(t.items) == 0
+	}
+	minLo := t.rank[0].Iv.Lo
+	for _, m := range t.rank[1:] {
+		if m.Iv.Lo < minLo {
+			minLo = m.Iv.Lo
+		}
+	}
+	member := make(map[int]struct{}, len(t.rank))
+	for _, m := range t.rank {
+		member[m.Key] = struct{}{}
+	}
+	for k, x := range t.items {
+		if _, ok := member[k]; ok {
+			continue
+		}
+		if x.Iv.Hi > minLo {
+			return false
+		}
+	}
+	return true
+}

@@ -37,6 +37,9 @@ type Decoder struct {
 	readMulti    ReadMulti
 	subMulti     SubscribeMulti
 	refreshBatch RefreshBatch
+	registerQ    RegisterQuery
+	queryUpdate  QueryUpdate
+	unregisterQ  UnregisterQuery
 	batch        Batch
 	arena        subArena
 }
@@ -100,6 +103,12 @@ func (d *Decoder) box(t MsgType) (Message, error) {
 		return &d.subMulti, nil
 	case TRefreshBatch:
 		return &d.refreshBatch, nil
+	case TRegisterQuery:
+		return &d.registerQ, nil
+	case TQueryUpdate:
+		return &d.queryUpdate, nil
+	case TUnregisterQuery:
+		return &d.unregisterQ, nil
 	default:
 		return newMessage(t) // reports the unknown type
 	}

@@ -35,6 +35,14 @@ func FuzzReadMsg(f *testing.F) {
 		&RefreshBatch{ID: 0, Items: []RefreshItem{
 			{Key: 3, Kind: KindValueInitiated, Value: 9, Lo: 8, Hi: 10, OriginalWidth: 2},
 		}},
+		// v4: continuous queries and tagged subscriptions/pushes.
+		&RegisterQuery{ID: 20, QID: 1, Kind: AggSum, Delta: 4, Keys: []int64{1, 2, 3}},
+		&RegisterQuery{ID: 21, QID: 2, Kind: AggAvg, Delta: 0.5, Keys: []int64{-9}},
+		&QueryUpdate{ID: 22, QID: 1, Value: 6, Lo: 4, Hi: 8},
+		&QueryUpdate{ID: 0, QID: 2, Value: -9, Lo: -9, Hi: -9},
+		&UnregisterQuery{ID: 23, QID: 1},
+		&Subscribe{ID: 24, Key: 5, Tag: 7},
+		&Refresh{ID: 0, Key: 5, Kind: KindValueInitiated, Value: 3, Lo: 2, Hi: 4, OriginalWidth: 2, Tag: 7},
 	}
 	for _, m := range seeds {
 		var buf bytes.Buffer

@@ -58,6 +58,9 @@ const (
 	TRefreshBatch
 	TBatch
 	TError2
+	TRegisterQuery
+	TQueryUpdate
+	TUnregisterQuery
 )
 
 // Protocol versions negotiated by Hello/HelloAck. Hello carries the highest
@@ -74,6 +77,14 @@ const (
 	// free-text ErrorMsg, so mixed-version fleets upgrade without
 	// connection teardowns on unknown frame types.
 	Version3 = 3
+	// Version4 adds continuous queries (RegisterQuery/QueryUpdate/
+	// UnregisterQuery) and push tagging: Subscribe and Refresh grow a
+	// trailing optional Tag field that attributes a push to the watch or
+	// query that caused its subscription. All v4 frames and fields are
+	// only ever sent to peers that negotiated v4; a v4 client talking to
+	// an older server gets a typed "unsupported" error from its own
+	// library instead of wedging the connection.
+	Version4 = 4
 )
 
 // MaxBatchItems caps the sub-messages in a Batch frame and the entries in a
@@ -112,6 +123,12 @@ func (t MsgType) String() string {
 		return "Batch"
 	case TError2:
 		return "Error2"
+	case TRegisterQuery:
+		return "RegisterQuery"
+	case TQueryUpdate:
+		return "QueryUpdate"
+	case TUnregisterQuery:
+		return "UnregisterQuery"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -137,9 +154,17 @@ type Message interface {
 
 // Subscribe registers interest in Key; the server responds with a Refresh
 // (KindInitial) echoing ID.
+//
+// Tag attributes the subscription to a client-side consumer (a Watch or a
+// query); the server stamps it onto every value-initiated push for Key so
+// the client can route without a key-indexed lookup. It is a v4 trailing
+// optional field: encoded only when nonzero, and senders must leave it 0 on
+// connections below v4 (older decoders reject trailing bytes). The server
+// keeps one tag per (connection, key): the latest Subscribe wins.
 type Subscribe struct {
 	ID  uint64
 	Key int64
+	Tag uint64
 }
 
 // Unsubscribe withdraws interest in Key. Used by exact-caching style
@@ -162,6 +187,12 @@ type Ping struct {
 }
 
 // Refresh delivers an approximation (and exact value) for Key.
+//
+// Tag echoes the tag registered by a tagged Subscribe on value-initiated
+// pushes (0 when the subscription was untagged). Like Subscribe.Tag it is a
+// v4 trailing optional field: encoded only when nonzero, never sent below
+// v4. Tagged pushes travel as standalone Refresh frames — RefreshBatch
+// items carry no tag, so the push coalescer must not fold them in.
 type Refresh struct {
 	ID            uint64 // echoes the triggering request; 0 for pushes
 	Key           int64
@@ -169,6 +200,7 @@ type Refresh struct {
 	Value         float64
 	Lo, Hi        float64
 	OriginalWidth float64
+	Tag           uint64
 }
 
 // Pong answers a Ping.
@@ -299,6 +331,67 @@ type Batch struct {
 	Msgs []Message
 }
 
+// AggKind selects the aggregate a continuous query maintains. The values
+// mirror internal/workload's AggKind so query plans translate one-to-one.
+type AggKind uint8
+
+// Aggregates a RegisterQuery may request.
+const (
+	AggSum AggKind = iota
+	AggMax
+	AggMin
+	AggAvg
+)
+
+// String returns the aggregate name.
+func (k AggKind) String() string {
+	switch k {
+	case AggSum:
+		return "SUM"
+	case AggMax:
+		return "MAX"
+	case AggMin:
+		return "MIN"
+	case AggAvg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("AggKind(%d)", uint8(k))
+	}
+}
+
+// RegisterQuery registers a standing bounded aggregate over Keys with
+// precision budget Delta: the server keeps the answer interval current and
+// pushes a QueryUpdate whenever it changes. QID is a client-chosen nonzero
+// handle scoping the query within the connection; the server acks the
+// registration with a QueryUpdate echoing ID and carrying the initial
+// answer, and stamps QID on every subsequent push. v4 only.
+type RegisterQuery struct {
+	ID    uint64
+	QID   uint64
+	Kind  AggKind
+	Delta float64
+	Keys  []int64
+}
+
+// QueryUpdate delivers the current answer interval [Lo, Hi] of the standing
+// query QID. Value is the server's center estimate (the aggregate of the
+// cached centers). ID echoes the RegisterQuery on the registration ack and
+// is 0 on pushes. v4 only.
+type QueryUpdate struct {
+	ID     uint64
+	QID    uint64
+	Value  float64
+	Lo, Hi float64
+}
+
+// UnregisterQuery withdraws the standing query QID. Fire-and-forget like
+// Unsubscribe: the server tears the query down and sends no response. v4
+// only.
+type UnregisterQuery struct {
+	ID  uint64
+	QID uint64
+}
+
 // MaxFrame bounds accepted frame sizes; real frames are tiny, so anything
 // larger indicates a corrupt or hostile stream.
 const MaxFrame = 1 << 16
@@ -315,6 +408,8 @@ func batchLen(m Message) int {
 		return len(b.Keys)
 	case *RefreshBatch:
 		return len(b.Items)
+	case *RegisterQuery:
+		return len(b.Keys)
 	case *Batch:
 		return len(b.Msgs)
 	default:
@@ -468,6 +563,12 @@ func newMessage(t MsgType) (Message, error) {
 		return &Batch{}, nil
 	case TError2:
 		return &Error2{}, nil
+	case TRegisterQuery:
+		return &RegisterQuery{}, nil
+	case TQueryUpdate:
+		return &QueryUpdate{}, nil
+	case TUnregisterQuery:
+		return &UnregisterQuery{}, nil
 	default:
 		return nil, fmt.Errorf("netproto: unknown message type %d", uint8(t))
 	}
@@ -569,12 +670,24 @@ func (r *reader) done() error {
 
 func (m *Subscribe) msgType() MsgType { return TSubscribe }
 func (m *Subscribe) encode(b []byte) []byte {
-	return putU64(putU64(b, m.ID), uint64(m.Key))
+	b = putU64(putU64(b, m.ID), uint64(m.Key))
+	if m.Tag != 0 {
+		// Trailing optional field, v4 only: the sender gates on the
+		// negotiated version (older decoders reject trailing bytes).
+		b = putU64(b, m.Tag)
+	}
+	return b
 }
 func (m *Subscribe) decode(b []byte) error {
 	r := reader{b: b}
 	m.ID = r.u64()
 	m.Key = int64(r.u64())
+	// The explicit zero matters on reused decode boxes: an untagged frame
+	// must not leak the previous subscription's tag.
+	m.Tag = 0
+	if r.err == nil && len(r.b) > 0 {
+		m.Tag = r.u64()
+	}
 	return r.done()
 }
 
@@ -617,6 +730,11 @@ func (m *Refresh) encode(b []byte) []byte {
 	b = putF64(b, m.Lo)
 	b = putF64(b, m.Hi)
 	b = putF64(b, m.OriginalWidth)
+	if m.Tag != 0 {
+		// Trailing optional field, v4 only: the sender gates on the
+		// negotiated version (older decoders reject trailing bytes).
+		b = putU64(b, m.Tag)
+	}
 	return b
 }
 func (m *Refresh) decode(b []byte) error {
@@ -628,6 +746,12 @@ func (m *Refresh) decode(b []byte) error {
 	m.Lo = r.f64()
 	m.Hi = r.f64()
 	m.OriginalWidth = r.f64()
+	// The explicit zero matters on reused decode boxes: an untagged push
+	// must not leak the previous refresh's tag.
+	m.Tag = 0
+	if r.err == nil && len(r.b) > 0 {
+		m.Tag = r.u64()
+	}
 	if err := r.done(); err != nil {
 		return err
 	}
@@ -918,5 +1042,84 @@ func (m *Batch) decodeWith(b []byte, newMsg func(MsgType) (Message, error)) erro
 		}
 		m.Msgs = append(m.Msgs, sub)
 	}
+	return r.done()
+}
+
+func (m *RegisterQuery) msgType() MsgType { return TRegisterQuery }
+func (m *RegisterQuery) encode(b []byte) []byte {
+	b = putU64(b, m.ID)
+	b = putU64(b, m.QID)
+	b = append(b, byte(m.Kind))
+	b = putF64(b, m.Delta)
+	b = putU16(b, uint16(len(m.Keys)))
+	for _, k := range m.Keys {
+		b = putU64(b, uint64(k))
+	}
+	return b
+}
+func (m *RegisterQuery) decode(b []byte) error {
+	r := reader{b: b}
+	m.ID = r.u64()
+	m.QID = r.u64()
+	m.Kind = AggKind(r.u8())
+	m.Delta = r.f64()
+	n := int(r.u16())
+	if r.err == nil {
+		if n == 0 {
+			return fmt.Errorf("netproto: empty RegisterQuery")
+		}
+		if n > MaxBatchItems {
+			return errTooLarge("RegisterQuery", n)
+		}
+	}
+	m.Keys = m.Keys[:0]
+	if cap(m.Keys) < n {
+		m.Keys = make([]int64, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		m.Keys = append(m.Keys, int64(r.u64()))
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	if m.Kind > AggAvg {
+		return fmt.Errorf("netproto: bad aggregate kind %d", m.Kind)
+	}
+	if m.QID == 0 {
+		return fmt.Errorf("netproto: RegisterQuery with QID 0")
+	}
+	if math.IsNaN(m.Delta) || m.Delta < 0 {
+		return fmt.Errorf("netproto: bad query delta %v", m.Delta)
+	}
+	return nil
+}
+
+func (m *QueryUpdate) msgType() MsgType { return TQueryUpdate }
+func (m *QueryUpdate) encode(b []byte) []byte {
+	b = putU64(b, m.ID)
+	b = putU64(b, m.QID)
+	b = putF64(b, m.Value)
+	b = putF64(b, m.Lo)
+	b = putF64(b, m.Hi)
+	return b
+}
+func (m *QueryUpdate) decode(b []byte) error {
+	r := reader{b: b}
+	m.ID = r.u64()
+	m.QID = r.u64()
+	m.Value = r.f64()
+	m.Lo = r.f64()
+	m.Hi = r.f64()
+	return r.done()
+}
+
+func (m *UnregisterQuery) msgType() MsgType { return TUnregisterQuery }
+func (m *UnregisterQuery) encode(b []byte) []byte {
+	return putU64(putU64(b, m.ID), m.QID)
+}
+func (m *UnregisterQuery) decode(b []byte) error {
+	r := reader{b: b}
+	m.ID = r.u64()
+	m.QID = r.u64()
 	return r.done()
 }

@@ -48,6 +48,7 @@ var (
 	readPool         = sync.Pool{New: func() any { return new(Read) }}
 	readMultiPool    = sync.Pool{New: func() any { return new(ReadMulti) }}
 	batchPool        = sync.Pool{New: func() any { return new(Batch) }}
+	queryUpdatePool  = sync.Pool{New: func() any { return new(QueryUpdate) }}
 )
 
 // GetRefresh returns a zeroed *Refresh from the message pool.
@@ -66,6 +67,10 @@ func GetReadMulti() *ReadMulti { return readMultiPool.Get().(*ReadMulti) }
 
 // GetBatch returns a *Batch with empty Msgs, keeping its previous capacity.
 func GetBatch() *Batch { return batchPool.Get().(*Batch) }
+
+// GetQueryUpdate returns a zeroed *QueryUpdate from the message pool; the
+// standing-query push path emits one per answer change.
+func GetQueryUpdate() *QueryUpdate { return queryUpdatePool.Get().(*QueryUpdate) }
 
 // Release returns m's storage to the message pools when m is one of the
 // pooled high-volume types; other types are left to the garbage collector.
@@ -88,6 +93,9 @@ func Release(m Message) {
 		v.ID = 0
 		v.Keys = v.Keys[:0]
 		readMultiPool.Put(v)
+	case *QueryUpdate:
+		*v = QueryUpdate{}
+		queryUpdatePool.Put(v)
 	case *Batch:
 		for i, sub := range v.Msgs {
 			Release(sub)

@@ -59,6 +59,8 @@ import (
 
 	"apcache/internal/cache"
 	"apcache/internal/core"
+	"apcache/internal/cq"
+	"apcache/internal/interval"
 	"apcache/internal/netpoll"
 	"apcache/internal/netproto"
 	"apcache/internal/shard"
@@ -112,8 +114,9 @@ type Config struct {
 	// to requests always flush immediately regardless.
 	FlushInterval time.Duration
 	// ProtoVersion caps the protocol the server speaks: 0 negotiates up
-	// to v3 with clients that send Hello (each connection lands on the
-	// minimum of both peers' offers); netproto.Version2 caps negotiation
+	// to v4 with clients that send Hello (each connection lands on the
+	// minimum of both peers' offers); netproto.Version3 caps negotiation
+	// below continuous queries and tagged pushes; netproto.Version2 caps
 	// at v2 (free-text error frames); netproto.Version1 declines every
 	// Hello, forcing all clients onto v1 single-message frames (the
 	// compatibility/testing escape hatch).
@@ -203,6 +206,12 @@ type Server struct {
 	// server runs the goroutine core.
 	poll *pollCore
 
+	// engine maintains the registered continuous queries (protocol v4).
+	// Each query holds source subscriptions under an engine-allocated cache
+	// ID disjoint from connection IDs, so Set's push loop routes refreshes
+	// that resolve to no connection here.
+	engine *cq.Engine
+
 	// shardStats holds each shard's occupancy gauges in its own padded
 	// counter stripe, published by the shard's lock holder after every
 	// mutation so Stats can read them without touching any shard mutex.
@@ -291,6 +300,47 @@ type clientConn struct {
 	// scratch is the read loop's per-request working storage, reused
 	// across requests; only the read-loop goroutine touches it.
 	scratch reqScratch
+
+	// tags maps key → the watch tag the client's latest tagged Subscribe
+	// (protocol v4) attached; value-initiated pushes for the key carry the
+	// tag back so the client attributes them to a watch without guessing.
+	// tagMu guards the map; nTags lets Set's push loop skip the lookup on
+	// the (common) untagged connection entirely.
+	tagMu sync.Mutex
+	tags  map[int64]uint64
+	nTags atomic.Int32
+}
+
+// setTag records (tag != 0) or clears (tag == 0) the watch tag pushes for
+// key should carry. The latest Subscribe for the key wins.
+func (c *clientConn) setTag(key int64, tag uint64) {
+	c.tagMu.Lock()
+	if tag == 0 {
+		if _, ok := c.tags[key]; ok {
+			delete(c.tags, key)
+			c.nTags.Add(-1)
+		}
+	} else {
+		if c.tags == nil {
+			c.tags = make(map[int64]uint64)
+		}
+		if _, ok := c.tags[key]; !ok {
+			c.nTags.Add(1)
+		}
+		c.tags[key] = tag
+	}
+	c.tagMu.Unlock()
+}
+
+// tagFor returns the watch tag pushes for key carry, 0 for none.
+func (c *clientConn) tagFor(key int64) uint64 {
+	if c.nTags.Load() == 0 {
+		return 0
+	}
+	c.tagMu.Lock()
+	t := c.tags[key]
+	c.tagMu.Unlock()
+	return t
 }
 
 // wake nudges the writer goroutine to drain the overflow buffer; a pending
@@ -377,7 +427,7 @@ func New(cfg Config) *Server {
 	if cfg.InitialWidth < 0 {
 		panic("server: negative initial width")
 	}
-	if cfg.ProtoVersion != 0 && (cfg.ProtoVersion < netproto.Version1 || cfg.ProtoVersion > netproto.Version3) {
+	if cfg.ProtoVersion != 0 && (cfg.ProtoVersion < netproto.Version1 || cfg.ProtoVersion > netproto.Version4) {
 		panic(fmt.Sprintf("server: unsupported protocol version %d", cfg.ProtoVersion))
 	}
 	mode := cfg.ConnMode
@@ -403,6 +453,7 @@ func New(cfg Config) *Server {
 		shards:     make([]*srcShard, n),
 		shardStats: stats.NewStripes(n, srvCounters),
 		conns:      make(map[int]*clientConn),
+		engine:     cq.NewEngine(),
 	}
 	if mode == ConnModePoller && !netpoll.Supported() {
 		s.connMode = ConnModeGoroutine
@@ -494,11 +545,18 @@ func (s *Server) Set(key int, v float64) int {
 	if s.cfg.FlushInterval > 0 {
 		now = time.Now().UnixNano()
 	}
+	var steers []cq.Steer
 	s.connMu.Lock()
 	for _, r := range refreshes {
 		c, ok := s.conns[r.CacheID]
 		if !ok {
-			continue // client disconnected; subscription reaped below
+			// No such connection: the subscription is either a disconnected
+			// client's (reaped by dropClient eventually) or a standing
+			// query's, held under an engine-allocated cache ID. Observing
+			// under connMu serializes concurrent Sets on a query's member
+			// keys, so its QueryUpdates are enqueued in answer order.
+			steers = s.observeCQLocked(r, true, steers)
+			continue
 		}
 		if now != 0 {
 			c.observePush(now, s.cfg.FlushInterval)
@@ -512,13 +570,56 @@ func (s *Server) Set(key int, v float64) int {
 			Lo:            r.Interval.Lo,
 			Hi:            r.Interval.Hi,
 			OriginalWidth: r.OriginalWidth,
+			Tag:           c.tagFor(int64(r.Key)),
 		}
 		s.push(c, m)
 	}
 	s.connMu.Unlock()
 	sh.mu.Unlock()
 	s.walCommit(sh, tok)
+	if len(steers) > 0 {
+		s.applySteers(steers)
+	}
 	return len(refreshes)
+}
+
+// observeCQLocked folds one refresh addressed to an engine-owned cache ID
+// into its standing query and, when the answer interval changed, enqueues a
+// QueryUpdate to the owning connection. The caller holds the key's shard
+// lock and connMu; steers the engine's budget re-split requested are
+// appended for the caller to apply after releasing the shard lock.
+func (s *Server) observeCQLocked(r source.Refresh, allowSteer bool, steers []cq.Steer) []cq.Steer {
+	up, emit, st := s.engine.Observe(r.CacheID, r.Key, r.Interval, r.Value, allowSteer)
+	if emit {
+		if c, ok := s.conns[up.Owner]; ok {
+			m := netproto.GetQueryUpdate()
+			*m = netproto.QueryUpdate{QID: up.QID, Value: up.Value, Lo: up.Iv.Lo, Hi: up.Iv.Hi}
+			s.reply(c, m)
+		}
+	}
+	return append(steers, st...)
+}
+
+// applySteers re-caps a standing query's per-key width shares after a budget
+// re-split. Steers arrive shrinks-first from the engine and each is applied
+// under its key's shard lock alone, so the sum of live caps never exceeds
+// the query's budget at any instant. A key whose shipped interval is wider
+// than its tightened cap is force-read to bring it under; the resulting
+// refresh folds back into the engine with steering disabled, bounding the
+// recursion at one level.
+func (s *Server) applySteers(steers []cq.Steer) {
+	for _, st := range steers {
+		sh := s.shardFor(st.Key)
+		sh.mu.Lock()
+		cur, ok := sh.src.SetWidthCap(st.CacheID, st.Key, st.Target)
+		if ok && cur > st.Target {
+			r := sh.src.Read(st.CacheID, st.Key)
+			s.connMu.Lock()
+			s.observeCQLocked(r, false, nil)
+			s.connMu.Unlock()
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // Value returns the current exact value. The default path probes the
@@ -614,6 +715,8 @@ type Stats struct {
 	// RefreshCost is the measured per-key query-initiated refresh latency
 	// (mean of the shards' EWMAs); zero until the server has served reads.
 	RefreshCost time.Duration
+	// Queries is the number of registered standing continuous queries.
+	Queries int
 }
 
 // Stats reports per-shard occupancy. The gauges are read from the per-shard
@@ -626,6 +729,7 @@ func (s *Server) Stats() Stats {
 		PushOverflows: int(s.pushOverflows.Load()),
 		PushMerges:    int(s.pushMerges.Load()),
 		RefreshCost:   s.RefreshCost(),
+		Queries:       s.engine.Queries(),
 	}
 	for i := range s.shards {
 		st.PerShard[i] = ShardStats{
@@ -1038,7 +1142,9 @@ func (s *Server) appendFrames(c *clientConn, w *connWriter, msgs []netproto.Mess
 		}
 	}
 	for _, m := range msgs {
-		if r, ok := m.(*netproto.Refresh); ok && isPush(r) {
+		// Tagged pushes (r.Tag != 0) stay standalone frames: RefreshBatch
+		// items carry no tag, so folding one into a run would drop it.
+		if r, ok := m.(*netproto.Refresh); ok && isPush(r) && r.Tag == 0 {
 			w.run = append(w.run, r.Item())
 			netproto.Release(r)
 			continue
@@ -1128,6 +1234,10 @@ func (s *Server) dispatch(c *clientConn, msg netproto.Message) {
 		s.handleMulti(c, m.ID, m.Keys, false)
 	case *netproto.Batch:
 		s.handleBatch(c, m)
+	case *netproto.RegisterQuery:
+		s.handleRegisterQuery(c, m)
+	case *netproto.UnregisterQuery:
+		s.handleUnregisterQuery(c, m)
 	default:
 		s.reply(c, errFrame(c, 0, netproto.CodeUnsupported, 0, fmt.Sprintf("unexpected %T", msg)))
 	}
@@ -1142,7 +1252,7 @@ func (s *Server) handleHello(c *clientConn, m *netproto.Hello) {
 		s.reply(c, errFrame(c, m.ID, netproto.CodeUnsupported, 0, "protocol v2 unsupported"))
 		return
 	}
-	ver := netproto.Version3
+	ver := netproto.Version4
 	if s.cfg.ProtoVersion != 0 && s.cfg.ProtoVersion < ver {
 		ver = s.cfg.ProtoVersion
 	}
@@ -1192,6 +1302,11 @@ func (s *Server) respondLocked(c *clientConn, msg netproto.Message) netproto.Mes
 		}
 		r := sh.src.Subscribe(c.id, int(m.Key))
 		s.syncShard(sh)
+		if c.proto.Load() >= netproto.Version4 {
+			// v4 watch fan-out: the latest Subscribe's tag (possibly 0,
+			// clearing it) is stamped on the key's future pushes.
+			c.setTag(m.Key, m.Tag)
+		}
 		resp := netproto.GetRefresh()
 		*resp = netproto.Refresh{
 			ID:            m.ID,
@@ -1230,6 +1345,7 @@ func (s *Server) respondLocked(c *clientConn, msg netproto.Message) netproto.Mes
 		sh := s.shardFor(int(m.Key))
 		sh.src.Unsubscribe(c.id, int(m.Key))
 		s.syncShard(sh)
+		c.setTag(m.Key, 0)
 		return nil
 	case *netproto.Ping:
 		return &netproto.Pong{ID: m.ID}
@@ -1522,6 +1638,119 @@ func (s *Server) handleBatch(c *clientConn, b *netproto.Batch) {
 	s.unlockShardSet(shardSet)
 }
 
+// handleRegisterQuery installs a standing continuous query (protocol v4):
+// the server subscribes the engine — acting as one more cache client, under
+// a freshly allocated cache ID — to every member key with an equal-split
+// width cap, force-reads each key for an exact seed, registers the
+// aggregate with the engine, and acks with a QueryUpdate carrying the
+// initial answer. The seed reads and the ack happen under all member
+// shards' locks, so no concurrent Set can slip a member update between the
+// seeded answer and the ack.
+func (s *Server) handleRegisterQuery(c *clientConn, m *netproto.RegisterQuery) {
+	if c.proto.Load() < netproto.Version4 {
+		s.reply(c, errFrame(c, m.ID, netproto.CodeUnsupported, 0, "continuous queries need protocol v4"))
+		return
+	}
+	seen := make(map[int64]struct{}, len(m.Keys))
+	for _, k := range m.Keys {
+		if _, dup := seen[k]; dup {
+			s.reply(c, errFrame(c, m.ID, netproto.CodeUnsupported, k, fmt.Sprintf("duplicate key %d in query", k)))
+			return
+		}
+		seen[k] = struct{}{}
+	}
+	// Validate the key set lock-free first, exactly like handleMulti: keys
+	// are never deleted, so presence at check time still holds at fill time.
+	if !s.cfg.LockedValueReads {
+		for _, k := range m.Keys {
+			if !s.shardFor(int(k)).vals.Contains(int(k)) {
+				s.reply(c, errUnknownKey(c, m.ID, k))
+				return
+			}
+		}
+	}
+	s.connMu.Lock()
+	s.nextID++
+	qcid := s.nextID // cache IDs and connection IDs share one sequence, so they never collide
+	s.connMu.Unlock()
+	spec := cq.Spec{Owner: c.id, QID: m.QID, Kind: cq.AggKind(m.Kind), Delta: m.Delta, Keys: make([]int, len(m.Keys))}
+	for i, k := range m.Keys {
+		spec.Keys[i] = int(k)
+	}
+	t0 := cq.InitialTarget(spec.Kind, spec.Delta, len(spec.Keys))
+	shardSet, _ := s.shardSetFor(c, m.Keys)
+	s.lockShardSet(shardSet)
+	if s.cfg.LockedValueReads {
+		for _, k := range m.Keys {
+			if _, ok := s.shardFor(int(k)).src.Value(int(k)); !ok {
+				s.reply(c, errUnknownKey(c, m.ID, k))
+				s.unlockShardSet(shardSet)
+				return
+			}
+		}
+	}
+	ivs := make([]interval.Interval, len(spec.Keys))
+	vals := make([]float64, len(spec.Keys))
+	for i, k := range spec.Keys {
+		sh := s.shardFor(k)
+		sh.src.Subscribe(qcid, k)
+		sh.src.SetWidthCap(qcid, k, t0)
+		r := sh.src.Read(qcid, k) // query-initiated: exact seed, already under the cap
+		ivs[i], vals[i] = r.Interval, r.Value
+	}
+	for _, i := range shardSet {
+		s.syncShard(s.shards[i])
+	}
+	up, replaced, wasReplaced := s.engine.Register(spec, qcid, ivs, vals)
+	s.connMu.Lock()
+	_, alive := s.conns[c.id]
+	if alive {
+		ack := netproto.GetQueryUpdate()
+		*ack = netproto.QueryUpdate{ID: m.ID, QID: m.QID, Value: up.Value, Lo: up.Iv.Lo, Hi: up.Iv.Hi}
+		s.reply(c, ack)
+	}
+	s.connMu.Unlock()
+	s.unlockShardSet(shardSet)
+	if !alive {
+		// The connection died mid-registration. dropClient's engine sweep
+		// may have run before our Register made the query visible, so tear
+		// it down here; if the sweep did catch it, reaping twice is benign.
+		if d, ok := s.engine.Unregister(c.id, m.QID); ok {
+			s.reapQuery(d)
+		} else {
+			s.reapQuery(cq.Dropped{CacheID: qcid, Keys: spec.Keys})
+		}
+	}
+	if wasReplaced {
+		s.reapQuery(replaced)
+	}
+}
+
+// handleUnregisterQuery tears down a standing query. Like Unsubscribe it is
+// fire-and-forget; an unknown QID is ignored (the unregister may race the
+// connection's own teardown).
+func (s *Server) handleUnregisterQuery(c *clientConn, m *netproto.UnregisterQuery) {
+	if c.proto.Load() < netproto.Version4 {
+		return
+	}
+	if d, ok := s.engine.Unregister(c.id, m.QID); ok {
+		s.reapQuery(d)
+	}
+}
+
+// reapQuery removes a torn-down standing query's source-side subscriptions,
+// which live under the query's own cache ID and are therefore missed by the
+// per-connection UnsubscribeCache sweep.
+func (s *Server) reapQuery(d cq.Dropped) {
+	for _, k := range d.Keys {
+		sh := s.shardFor(k)
+		sh.mu.Lock()
+		sh.src.Unsubscribe(d.CacheID, k)
+		s.syncShard(sh)
+		sh.mu.Unlock()
+	}
+}
+
 // dropClient removes a disconnected client and its subscriptions. It is
 // the single teardown path for both cores: the goroutine core reaches it
 // from the read loop's exit, the poller core from read/write errors, reply
@@ -1552,6 +1781,12 @@ func (s *Server) dropClient(c *clientConn) {
 		netproto.Release(m)
 	}
 	c.ovMu.Unlock()
+	// Tear down the connection's standing queries before the subscription
+	// sweep: their source subscriptions live under engine-allocated cache
+	// IDs the per-connection sweep cannot see.
+	for _, d := range s.engine.DropOwner(c.id) {
+		s.reapQuery(d)
+	}
 	// Reap the client's subscriptions shard by shard so Set stops preparing
 	// refreshes for it. (Within the protocol this is connection teardown,
 	// not the cache-eviction notification the paper's algorithm avoids.)

@@ -41,6 +41,36 @@ type Refresh struct {
 type subscription struct {
 	policy core.WidthPolicy
 	iv     interval.Interval
+	// cap bounds the width of every approximation shipped on this
+	// subscription (0 = uncapped). The continuous-query engine sets it to
+	// the key's share of a query's precision budget; the policy keeps
+	// adapting underneath, the cap only clips what ships.
+	cap float64
+}
+
+// clamped narrows iv to the subscription's width cap. The clamp intersects
+// with the cap-wide interval centered on the exact value v, so the result
+// still contains v, stays inside iv where possible, and handles unbounded
+// policy intervals (a policy width past lambda1).
+func (sub *subscription) clamped(iv interval.Interval, v float64) interval.Interval {
+	if sub.cap <= 0 || iv.Width() <= sub.cap {
+		return iv
+	}
+	return iv.Intersect(interval.Centered(v, sub.cap))
+}
+
+// steer keeps the policy's internal width from running away past the cap:
+// growth is pointless above it (every shipped interval is clipped), and
+// capping the learned width means a later cap raise resumes growth from
+// the cap rather than jumping to a stale huge width.
+func (sub *subscription) steer() {
+	if sub.cap <= 0 {
+		return
+	}
+	type widthSetter interface{ SetWidth(w float64) }
+	if ws, ok := sub.policy.(widthSetter); ok && sub.policy.Width() > sub.cap {
+		ws.SetWidth(sub.cap)
+	}
 }
 
 // keySub is one cache's subscription to one key. Per-key subscriber lists
@@ -134,7 +164,7 @@ func (s *Source) Subscribe(cacheID, key int) Refresh {
 	sub := s.lookup(cacheID, key)
 	if sub == nil {
 		sub = &subscription{policy: s.factory(cacheID, key)}
-		sub.iv = sub.policy.NewInterval(v)
+		sub.iv = sub.clamped(sub.policy.NewInterval(v), v)
 		s.install(cacheID, key, sub)
 	}
 	return Refresh{CacheID: cacheID, Key: key, Value: v, Interval: sub.iv, OriginalWidth: sub.policy.Width()}
@@ -217,6 +247,8 @@ func (s *Source) Set(key int, v float64) []Refresh {
 		} else {
 			iv = sub.policy.RefreshInterval(core.ValueInitiated, v)
 		}
+		iv = sub.clamped(iv, v)
+		sub.steer()
 		sub.iv = iv
 		out = append(out, Refresh{
 			CacheID:       ks.cacheID,
@@ -251,8 +283,35 @@ func (s *Source) Read(cacheID, key int) Refresh {
 	} else {
 		iv = sub.policy.RefreshInterval(core.QueryInitiated, v)
 	}
+	iv = sub.clamped(iv, v)
+	sub.steer()
 	sub.iv = iv
 	return Refresh{CacheID: cacheID, Key: key, Value: v, Interval: iv, OriginalWidth: sub.policy.Width()}
+}
+
+// SetWidthCap bounds the width of every approximation shipped to
+// (cacheID, key) at cap (0 removes the bound) and returns the width of the
+// currently shipped interval, so the caller can tell whether it must
+// force a refresh (via Read) to bring the live approximation under a
+// tightened cap. It reports false if the pair has no subscription.
+func (s *Source) SetWidthCap(cacheID, key int, cap float64) (curWidth float64, ok bool) {
+	sub := s.lookup(cacheID, key)
+	if sub == nil {
+		return 0, false
+	}
+	sub.cap = cap
+	sub.steer()
+	return sub.iv.Width(), true
+}
+
+// WidthCap returns the pair's current width cap (0 = uncapped) and whether
+// the subscription exists.
+func (s *Source) WidthCap(cacheID, key int) (float64, bool) {
+	sub := s.lookup(cacheID, key)
+	if sub == nil {
+		return 0, false
+	}
+	return sub.cap, true
 }
 
 // IntervalFor returns the interval the source believes cacheID holds for

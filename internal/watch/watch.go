@@ -47,7 +47,11 @@ const (
 type Update struct {
 	Key      int
 	Interval interval.Interval
-	Event    EventKind
+	// Value is the exact-value estimate accompanying the interval on feeds
+	// that supply one (continuous-query answer streams, via NotifyVal);
+	// 0 on plain key-refresh feeds.
+	Value float64
+	Event EventKind
 }
 
 // outBuffer is the capacity of the Updates channel: enough to ride out
@@ -60,10 +64,10 @@ const outBuffer = 16
 // reports which. All methods are safe for concurrent use.
 type Watch struct {
 	mu        sync.Mutex
-	pending   map[int]interval.Interval // latest undelivered interval per key
-	order     []int                     // pending keys in arrival order
-	events    []EventKind               // undelivered lifecycle events, in order
-	err       error                     // terminal failure, if any
+	pending   map[int]Update // latest undelivered update per key
+	order     []int          // pending keys in arrival order
+	events    []EventKind    // undelivered lifecycle events, in order
+	err       error          // terminal failure, if any
 	closed    bool
 	coalesced int // updates folded into a pending entry (latest-wins)
 
@@ -79,7 +83,7 @@ type Watch struct {
 // the feed can unregister it.
 func New(onClose func(*Watch)) *Watch {
 	w := &Watch{
-		pending: make(map[int]interval.Interval),
+		pending: make(map[int]Update),
 		kick:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
 		out:     make(chan Update, outBuffer),
@@ -117,6 +121,13 @@ func (w *Watch) Coalesced() int {
 // Safe to call from producers holding unrelated locks; calls after
 // Close/Fail are no-ops.
 func (w *Watch) Notify(key int, iv interval.Interval) {
+	w.NotifyVal(key, iv, 0)
+}
+
+// NotifyVal is Notify carrying an exact-value estimate alongside the
+// interval — the continuous-query answer feed, where the center estimate is
+// part of the answer. Latest-wins coalescing applies to the pair as a unit.
+func (w *Watch) NotifyVal(key int, iv interval.Interval, val float64) {
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
@@ -127,7 +138,7 @@ func (w *Watch) Notify(key int, iv interval.Interval) {
 	} else {
 		w.order = append(w.order, key)
 	}
-	w.pending[key] = iv
+	w.pending[key] = Update{Key: key, Interval: iv, Value: val}
 	w.mu.Unlock()
 	select {
 	case w.kick <- struct{}{}:
@@ -280,7 +291,7 @@ func (w *Watch) pump() {
 		}
 		w.events = w.events[:0]
 		for _, k := range w.order {
-			run = append(run, Update{Key: k, Interval: w.pending[k]})
+			run = append(run, w.pending[k])
 			delete(w.pending, k)
 		}
 		w.order = w.order[:0]
